@@ -1,0 +1,45 @@
+// mcc compiles mini-C source to a PXE binary image (JSON on stdout or -o).
+//
+// Usage: mcc [-O 0|2] [-o out.pxe] file.mc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cc"
+)
+
+func main() {
+	opt := flag.Int("O", 2, "optimization level (0 or 2)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcc [-O 0|2] [-o out.pxe] file.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	img, _, err := cc.Compile(string(src), cc.Config{Name: flag.Arg(0), Opt: *opt})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data, err := img.Marshal()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+// polybench regenerates the paper's tables and figures (see internal/bench).
+//
+// Usage:
+//
+//	polybench -table 1|2|3|4|5
+//	polybench -figure 4
+//	polybench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate table N (1-5)")
+	figure := flag.Int("figure", 0, "regenerate figure N (4)")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+
+	run := func(name string, f func() (string, error)) {
+		fmt.Printf("==== %s ====\n", name)
+		txt, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(txt)
+	}
+
+	want := func(n int, kind string) bool {
+		if *all {
+			return true
+		}
+		if kind == "table" {
+			return *table == n
+		}
+		return *figure == n
+	}
+
+	any := false
+	if want(1, "table") {
+		any = true
+		run("Table 1", func() (string, error) { _, t, err := bench.Table1(); return t, err })
+	}
+	if want(2, "table") {
+		any = true
+		run("Table 2", func() (string, error) {
+			_, t, err := bench.Table2()
+			return "Table 2: Phoenix normalized runtimes\n" + t, err
+		})
+	}
+	if want(3, "table") {
+		any = true
+		run("Table 3", bench.Table3)
+	}
+	if want(4, "table") {
+		any = true
+		run("Table 4", func() (string, error) { _, t, err := bench.Table4(); return t, err })
+	}
+	if want(5, "table") {
+		any = true
+		run("Table 5", func() (string, error) { _, t, err := bench.Table5(); return t, err })
+	}
+	if want(4, "figure") {
+		any = true
+		run("Figure 4", func() (string, error) { _, t, err := bench.Figure4(); return t, err })
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,121 @@
+// polynima is the command-line recompiler: project management, disassembly,
+// ICFT tracing, lifting, (additive) recompilation, and execution of PXE
+// binaries on the bundled MX64 machine.
+//
+// Usage:
+//
+//	polynima disasm  prog.pxe               print the recovered CFG (JSON)
+//	polynima run     prog.pxe [-in file]    execute a binary
+//	polynima recompile prog.pxe -o out.pxe  [-trace] [-fence-opt] [-prune]
+//	polynima additive  prog.pxe [-in file]  run with the additive loop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	inFile := fs.String("in", "", "input byte stream file")
+	outFile := fs.String("o", "", "output image")
+	doTrace := fs.Bool("trace", false, "run the ICFT tracer before lifting")
+	fenceOpt := fs.Bool("fence-opt", false, "run spinloop detection and remove fences when provable")
+	prune := fs.Bool("prune", false, "run the callback-usage analysis and prune wrappers")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	imgPath := os.Args[2]
+	_ = fs.Parse(os.Args[3:])
+
+	data, err := os.ReadFile(imgPath)
+	check(err)
+	img, err := image.Unmarshal(data)
+	check(err)
+
+	var input []byte
+	if *inFile != "" {
+		input, err = os.ReadFile(*inFile)
+		check(err)
+	}
+	in := core.Input{Data: input, Seed: *seed}
+
+	switch cmd {
+	case "disasm":
+		p, err := core.NewProject(img, core.DefaultOptions())
+		check(err)
+		out, err := p.Graph.Marshal()
+		check(err)
+		os.Stdout.Write(out)
+	case "run":
+		m, err := vm.New(img, *seed)
+		check(err)
+		if input != nil {
+			m.SetInput(input)
+		}
+		res := m.Run(4_000_000_000)
+		fmt.Print(res.Output)
+		if res.Fault != nil {
+			fmt.Fprintln(os.Stderr, res.Fault)
+			os.Exit(1)
+		}
+		os.Exit(res.ExitCode)
+	case "recompile":
+		p, err := core.NewProject(img, core.DefaultOptions())
+		check(err)
+		if *doTrace {
+			_, err := p.Trace([]core.Input{in})
+			check(err)
+		}
+		if *prune {
+			check(p.PruneCallbacks([]core.Input{in}))
+		}
+		if *fenceOpt {
+			rep, err := p.FenceOptimize([]core.Input{in})
+			check(err)
+			fmt.Fprintf(os.Stderr, "spinloop analysis: %d non-spinning, %d spinning, %d uncovered; fences removable: %v\n",
+				rep.NonSpinning, rep.Spinning, rep.Uncovered, rep.FencesRemovable)
+		}
+		rec, err := p.Recompile()
+		check(err)
+		out, err := rec.Marshal()
+		check(err)
+		if *outFile == "" {
+			os.Stdout.Write(out)
+		} else {
+			check(os.WriteFile(*outFile, out, 0o644))
+		}
+		fmt.Fprintf(os.Stderr, "recompiled: %d funcs, %d blocks, %d bytes of new code, pipeline %s\n",
+			p.Stats.Funcs, p.Stats.Blocks, p.Stats.CodeSize, p.Stats.Total())
+	case "additive":
+		p, err := core.NewProject(img, core.DefaultOptions())
+		check(err)
+		res, err := p.RunAdditive(in, 64)
+		check(err)
+		fmt.Print(res.Result.Output)
+		fmt.Fprintf(os.Stderr, "additive: %d recompilation loops, %d misses integrated\n",
+			res.Recompiles, len(res.Misses))
+		os.Exit(res.Result.ExitCode)
+	default:
+		usage()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: polynima disasm|run|recompile|additive prog.pxe [flags]")
+	os.Exit(2)
+}

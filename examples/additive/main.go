@@ -1,0 +1,69 @@
+// Additive lifting (§3.2): a binary that dispatches through function
+// pointers cannot be fully resolved statically. The statically recompiled
+// output reports a control-flow miss at run time; the additive loop
+// integrates the discovered target into the on-disk CFG, re-runs the
+// pipeline, and restarts — converging to a binary that supports the path.
+//
+//	go run ./examples/additive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+const src = `
+extern input_byte;
+extern print_str;
+func op_inc(x) { return x + 1; }
+func op_dbl(x) { return x * 2; }
+func op_neg(x) { return -x; }
+var ops[3];
+func main() {
+	store64(ops, op_inc);
+	store64(ops + 8, op_dbl);
+	store64(ops + 16, op_neg);
+	var acc = 5;
+	var c = input_byte();
+	while (c != -1) {
+		var f = load64(ops + (c - 'a') * 8);
+		acc = f(acc);
+		c = input_byte();
+	}
+	return acc;
+}`
+
+func main() {
+	img, _, err := cc.Compile(src, cc.Config{Name: "additive", Opt: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.NewProject(img, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "abc" exercises all three dispatch targets; none is statically known.
+	res, err := p.RunAdditive(core.Input{Data: []byte("abc"), Seed: 1}, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first session: exit=%d after %d recompilation loops\n",
+		res.Result.ExitCode, res.Recompiles)
+	for i, miss := range res.Misses {
+		fmt.Printf("  miss %d: site %#x -> new target %#x (integrated)\n",
+			i+1, miss.Site, miss.Target)
+	}
+
+	// The grown CFG persists in the project: new inputs over known paths
+	// run natively with no further recompilation.
+	res2, err := p.RunAdditive(core.Input{Data: []byte("cba"), Seed: 2}, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second session: exit=%d after %d recompilation loops\n",
+		res2.Result.ExitCode, res2.Recompiles)
+}

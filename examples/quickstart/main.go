@@ -1,0 +1,85 @@
+// Quickstart: compile a multithreaded mini-C program, recompile it with
+// Polynima, and run both binaries on the bundled MX64 machine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+const src = `
+extern thread_create;
+extern thread_join;
+extern print_str;
+extern print_i64;
+var total = 0;
+func worker(arg) {
+	var i;
+	for (i = 0; i < 1000; i = i + 1) { atomic_add(&total, arg); }
+	return 0;
+}
+func main() {
+	var t1 = thread_create(worker, 1);
+	var t2 = thread_create(worker, 2);
+	thread_join(t1);
+	thread_join(t2);
+	print_str("total=");
+	print_i64(total);
+	return 0;
+}`
+
+func main() {
+	// 1. "Legacy binary": compile the program (gcc -O2 stand-in).
+	img, _, err := cc.Compile(src, cc.Config{Name: "quickstart", Opt: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run the original.
+	m, err := vm.New(img, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig := m.Run(1_000_000_000)
+	fmt.Printf("original:   %s (exit %d, %d cycles)\n",
+		trim(orig.Output), orig.ExitCode, orig.Cycles)
+
+	// 3. Recompile: disassemble, lift to PIR, optimize, lower.
+	p, err := core.NewProject(img, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := p.Recompile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recompiled: %d funcs, %d blocks -> %d bytes of new code in %s\n",
+		p.Stats.Funcs, p.Stats.Blocks, p.Stats.CodeSize, p.Stats.Total())
+
+	// 4. Run the standalone replacement binary.
+	m2, err := vm.New(rec, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := m2.Run(1_000_000_000)
+	fmt.Printf("replacement: %s (exit %d, %d cycles, %.2fx)\n",
+		trim(res.Output), res.ExitCode, res.Cycles,
+		float64(res.Cycles)/float64(orig.Cycles))
+	if res.Output != orig.Output || res.ExitCode != orig.ExitCode {
+		log.Fatal("behaviour diverged!")
+	}
+	fmt.Println("behaviour preserved ✓")
+}
+
+func trim(s string) string {
+	if len(s) > 0 && s[len(s)-1] == '\n' {
+		return s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package asm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/mx"
+)
+
+func TestBuildLayoutAndSymbols(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.RodataLabel("msg")
+	b.Rodata([]byte("hi\x00"))
+	b.DataLabel("g")
+	b.DataQuad(7)
+	b.DataLabel("fnptr")
+	b.DataAddr("main")
+	b.BSS("buf", 100)
+	b.Entry("main")
+	b.Label("main")
+	b.MovSym(mx.RAX, "g")
+	b.Ret()
+
+	img, syms, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry != syms["main"] || syms["main"] != image.TextBase {
+		t.Fatalf("entry %#x, main %#x", img.Entry, syms["main"])
+	}
+	if syms["msg"] != image.RodataBase || syms["g"] != image.DataBase {
+		t.Fatalf("section bases wrong: %#x %#x", syms["msg"], syms["g"])
+	}
+	if syms["buf"] != image.BSSBase {
+		t.Fatalf("bss base %#x", syms["buf"])
+	}
+	// The data-section function pointer must hold main's address.
+	data := img.Section(".data")
+	got := uint64(0)
+	for i := 0; i < 8; i++ {
+		got |= uint64(data.Data[8+i]) << (8 * i)
+	}
+	if got != syms["main"] {
+		t.Fatalf("fnptr %#x != main %#x", got, syms["main"])
+	}
+	// MovSym fixed up to g's absolute address.
+	inst, _ := mx.Decode(img.Text().Data)
+	if inst.Op != mx.MOVRI || uint64(inst.Imm) != syms["g"] {
+		t.Fatalf("fixup wrong: %v", inst)
+	}
+}
+
+func TestBranchFixups(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.Entry("main")
+	b.Label("main")
+	b.Jmp("fwd")
+	b.Label("back")
+	b.Ret()
+	b.Label("fwd")
+	b.Jcc(mx.CondE, "back")
+	b.Call("back")
+	b.Ret()
+	img, syms, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := img.Text().Data
+	// Decode the jmp at main and check its resolved target.
+	inst, n := mx.Decode(text)
+	if inst.Op != mx.JMP {
+		t.Fatalf("first inst %v", inst)
+	}
+	target := image.TextBase + uint64(n) + uint64(int64(inst.Disp))
+	if target != syms["fwd"] {
+		t.Fatalf("jmp target %#x, want %#x", target, syms["fwd"])
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		build func(b *asm.Builder)
+		want  string
+	}{
+		{func(b *asm.Builder) { b.Label("x"); b.Label("x"); b.Entry("x"); b.Ret() }, "duplicate label"},
+		{func(b *asm.Builder) { b.Entry("main"); b.Label("main"); b.Jmp("nowhere") }, "undefined label"},
+		{func(b *asm.Builder) { b.Label("main"); b.Ret() }, "no entry point"},
+		{func(b *asm.Builder) { b.BSS("b", 8); b.BSS("b", 8); b.Entry("m"); b.Label("m") }, "duplicate bss"},
+		{func(b *asm.Builder) {
+			b.DataLabel("main")
+			b.DataQuad(0)
+			b.Entry("main")
+			b.Label("main")
+			b.Ret()
+		}, "multiply defined"},
+	}
+	for _, c := range cases {
+		b := asm.NewBuilder("t")
+		c.build(b)
+		_, _, err := b.Build()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("want error containing %q, got %v", c.want, err)
+		}
+	}
+}
+
+func TestRawBytesEmission(t *testing.T) {
+	// Raw bytes support hand-crafted (e.g. overlapping) code sequences.
+	b := asm.NewBuilder("t")
+	b.Entry("main")
+	b.Label("main")
+	raw := mx.Inst{Op: mx.MOVRI, Dst: mx.RAX, Imm: 9}.Encode(nil)
+	b.Raw(raw)
+	b.Ret()
+	img, _, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := mx.Decode(img.Text().Data)
+	if inst.Imm != 9 {
+		t.Fatalf("raw emission lost: %v", inst)
+	}
+}

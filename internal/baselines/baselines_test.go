@@ -1,0 +1,196 @@
+package baselines_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/cc"
+	"repro/internal/image"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func compile(t *testing.T, src string, opt int) *image.Image {
+	t.Helper()
+	img, _, err := cc.Compile(src, cc.Config{Name: "b", Opt: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func run(t *testing.T, img *image.Image, seed int64) vm.Result {
+	t.Helper()
+	m, err := vm.New(img, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run(500_000_000)
+}
+
+const singleThreaded = `
+extern print_i64;
+func main() {
+	var s = 0;
+	var i;
+	for (i = 0; i < 100; i = i + 1) { s = s + i; }
+	print_i64(s);
+	return 42;
+}`
+
+// multiThreaded exercises per-thread emulated stacks: each worker fills a
+// local array and recurses, so sharing one emulated stack corrupts state.
+const multiThreaded = `
+extern thread_create;
+extern thread_join;
+var c = 0;
+func depth(n, a) {
+	var buf[16];
+	var i;
+	for (i = 0; i < 16; i = i + 1) { buf[i] = a * 1000 + n * 16 + i; }
+	if (n > 0) { depth(n - 1, a); }
+	for (i = 0; i < 16; i = i + 1) {
+		if (buf[i] != a * 1000 + n * 16 + i) { atomic_add(&c, 1000000); }
+	}
+	return 0;
+}
+func w(a) {
+	var i;
+	for (i = 0; i < 50; i = i + 1) {
+		depth(6, a);
+		atomic_add(&c, a);
+	}
+	return 0;
+}
+func main() {
+	var t1 = thread_create(w, 1);
+	var t2 = thread_create(w, 2);
+	thread_join(t1);
+	thread_join(t2);
+	if (c != 150) { return 1; }
+	return 42;
+}`
+
+func TestMcSemaLikeSingleThreadedWorks(t *testing.T) {
+	img := compile(t, singleThreaded, 2)
+	rec, _, err := baselines.McSemaLike(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, rec, 1)
+	if res.Fault != nil || res.ExitCode != 42 || res.Output != "4950\n" {
+		t.Fatalf("single-threaded static recompile failed: %+v", res)
+	}
+}
+
+func TestMcSemaLikeMultithreadedFails(t *testing.T) {
+	// The shared virtual state / shared emulated stack corrupts
+	// multithreaded executions (§2.2.1) — the Table 1 ✗ entries.
+	img := compile(t, multiThreaded, 2)
+	rec, _, err := baselines.McSemaLike(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, rec, 1)
+	if res.Fault == nil && res.ExitCode == 42 {
+		t.Fatal("multithreaded program unexpectedly survived the shared-state model")
+	}
+}
+
+func TestMctollRejectsVLA(t *testing.T) {
+	img := compile(t, `
+func f(n) {
+	var a[n];
+	a[0] = 7;
+	return a[0];
+}
+func main() { return f(3); }`, 2)
+	_, _, err := baselines.MctollLike(img)
+	if err == nil || !strings.Contains(err.Error(), "stack allocation") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMctollRejectsIndirectCallsAndAtomicsAndOMP(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`func g(x) { return x; } func main() { var f = g; return f(1); }`, "indirect call"},
+		{`var c = 0; func main() { return atomic_xadd(&c, 1); }`, "atomic"},
+		{`extern omp_parallel_for;
+func body(lo, hi, a) { return 0; }
+func main() { omp_parallel_for(body, 0, 4, 0, 2); return 0; }`, "OpenMP"},
+	}
+	for _, c := range cases {
+		img := compile(t, c.src, 2)
+		_, _, err := baselines.MctollLike(img)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("src %q: err = %v", c.src[:30], err)
+		}
+	}
+}
+
+func TestMctollAcceptsSimplePthreadProgram(t *testing.T) {
+	// Lasagne supports a subset of multithreaded binaries (5/7 Phoenix).
+	img := compile(t, `
+extern thread_create;
+extern thread_join;
+var c = 0;
+func w(a) { atomic_add(&c, a); return 0; }
+func main() {
+	var t1 = thread_create(w, 40);
+	thread_join(t1);
+	atomic_add(&c, 2);
+	return c;
+}`, 2)
+	rec, _, err := baselines.MctollLike(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, rec, 1)
+	if res.Fault != nil || res.ExitCode != 42 {
+		t.Fatalf("supported program failed: %+v", res)
+	}
+}
+
+func TestBinRecLikeTracesAndRecompiles(t *testing.T) {
+	img := compile(t, singleThreaded, 2)
+	br, err := baselines.BinRecLike(img, nil, 1, 100_000_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.TracedInsts == 0 || br.Blocks == 0 {
+		t.Fatalf("no trace recorded: %+v", br)
+	}
+	res := run(t, br.Img, 1)
+	if res.Fault != nil || res.ExitCode != 42 {
+		t.Fatalf("binrec-like recompile of traced path failed: %+v", res)
+	}
+}
+
+func TestBinRecLikeSlowerThanPolynimaTracer(t *testing.T) {
+	// The emulator-coupled translate-execute loop must cost far more than
+	// a plain traced run (the Table 4 gap).
+	w := workloads.ByName("mcf_like")
+	img, err := w.Compile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := baselines.BinRecLike(img, nil, 1, 500_000_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain run for comparison.
+	m, _ := vm.New(img, 1)
+	t0 := nowNanos()
+	m.Run(500_000_000)
+	plain := nowNanos() - t0
+	if br.LiftTime.Nanoseconds() < 5*plain {
+		t.Fatalf("binrec-like lift (%v) not substantially slower than plain run (%dns)",
+			br.LiftTime, plain)
+	}
+}
+
+func nowNanos() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,135 @@
+package cc
+
+// AST node definitions. The language is expression/statement mini-C with a
+// single 64-bit integer value type.
+
+// Program is a parsed translation unit.
+type Program struct {
+	Externs []string
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global scalar or array.
+type GlobalDecl struct {
+	Name string
+	Init int64 // scalar initializer
+	// ArrayLen > 0 declares an array of 64-bit elements (the name evaluates
+	// to its address). ArrayInit optionally initializes leading elements.
+	ArrayLen  int64
+	IsArray   bool
+	ArrayInit []int64
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement.
+type Stmt interface{ stmt() }
+
+type (
+	// VarStmt declares a local scalar: var name = init;
+	VarStmt struct {
+		Name string
+		Init Expr // nil means zero
+	}
+	// ArrStmt declares a local array: var name[len];
+	// If Len is a constant expression the array lives in the frame;
+	// otherwise it is a variable-length array allocated by moving the
+	// stack pointer (the construct that defeats mctoll-style static
+	// frame-size recovery).
+	ArrStmt struct {
+		Name string
+		Len  Expr
+	}
+	ExprStmt   struct{ X Expr }
+	AssignStmt struct {
+		LHS Expr // Ident, Index, or Deref
+		Op  string
+		RHS Expr
+	}
+	IfStmt struct {
+		Cond Expr
+		Then []Stmt
+		Else []Stmt
+	}
+	WhileStmt struct {
+		Cond Expr
+		Body []Stmt
+	}
+	ForStmt struct {
+		Init Stmt // may be nil
+		Cond Expr // may be nil (infinite)
+		Post Stmt // may be nil
+		Body []Stmt
+	}
+	ReturnStmt   struct{ X Expr } // X may be nil
+	BreakStmt    struct{}
+	ContinueStmt struct{}
+)
+
+func (*VarStmt) stmt()      {}
+func (*ArrStmt) stmt()      {}
+func (*ExprStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is an expression; every expression evaluates to an int64.
+type Expr interface{ expr() }
+
+type (
+	NumExpr   struct{ V int64 }
+	StrExpr   struct{ S string } // address of NUL-terminated .rodata string
+	IdentExpr struct{ Name string }
+	UnaryExpr struct {
+		Op string // "-", "~", "!", "*", "&"
+		X  Expr
+	}
+	BinExpr struct {
+		Op   string
+		L, R Expr
+	}
+	// IndexExpr is e[i]: 64-bit load at e + 8*i (or store when assigned).
+	IndexExpr struct {
+		Base, Idx Expr
+	}
+	CallExpr struct {
+		Name string // function, extern, or builtin name
+		Args []Expr
+	}
+	// CondExpr is && / || with short-circuit evaluation.
+	CondExpr struct {
+		Op   string
+		L, R Expr
+	}
+)
+
+func (*NumExpr) expr()   {}
+func (*StrExpr) expr()   {}
+func (*IdentExpr) expr() {}
+func (*UnaryExpr) expr() {}
+func (*BinExpr) expr()   {}
+func (*IndexExpr) expr() {}
+func (*CallExpr) expr()  {}
+func (*CondExpr) expr()  {}
+
+// Builtins compile to dedicated instruction sequences rather than calls.
+var builtins = map[string]int{ // name -> arity
+	"load8": 1, "load32": 1, "load64": 1,
+	"store8": 2, "store32": 2, "store64": 2,
+	"atomic_add": 2, "atomic_sub": 2, "atomic_and": 2, "atomic_or": 2,
+	"atomic_xadd": 2, "atomic_inc": 1, "atomic_dec": 1,
+	"atomic_cas": 3, "xchg": 2, "fence": 0,
+	"vload": 2, "vstore": 2, "vadd": 2, "vmul": 2, "vbcast": 2, "vhadd": 1,
+	"alloca": 1,
+}

@@ -1,0 +1,235 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/mx"
+)
+
+// evalCall compiles a call expression: builtin, direct guest call, external
+// library call, or indirect call through a function-pointer variable.
+func (g *codegen) evalCall(x *CallExpr, depth int) (mx.Reg, error) {
+	if _, isBuiltin := builtins[x.Name]; isBuiltin {
+		return g.evalBuiltin(x, depth)
+	}
+	dst := g.scratch(depth)
+	dmin := depth
+	if dmin > len(scratchPool)-1 {
+		dmin = len(scratchPool) - 1
+	}
+
+	// Save live intermediates of the enclosing expression.
+	for i := 0; i < dmin; i++ {
+		g.b.I(mx.Inst{Op: mx.PUSH, Dst: scratchPool[i]})
+	}
+	// Evaluate arguments left to right, stashing each on the stack.
+	for _, a := range x.Args {
+		r, err := g.eval(a, depth)
+		if err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.PUSH, Dst: r})
+	}
+	for i := len(x.Args) - 1; i >= 0; i-- {
+		g.b.I(mx.Inst{Op: mx.POP, Dst: argRegs[i]})
+	}
+
+	// Resolve the callee. A local or global variable shadowing a function
+	// name is an indirect call through the variable's value.
+	_, isLocal := g.slots[x.Name]
+	_, isRegLocal := g.regLocals[x.Name]
+	switch {
+	case isLocal || isRegLocal || (g.globals[x.Name] && !g.funcs[x.Name]):
+		if err := g.loadIdent(x.Name, mx.R11); err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.CALLR, Dst: mx.R11})
+	case g.funcs[x.Name]:
+		g.b.Call("fn_" + x.Name)
+	case g.externs[x.Name]:
+		g.b.CallExt(x.Name)
+	default:
+		return 0, fmt.Errorf("cc: func %s: call of undefined %q", g.fn.Name, x.Name)
+	}
+
+	if dst != mx.RAX {
+		g.b.MovRR(dst, mx.RAX)
+	}
+	for i := dmin - 1; i >= 0; i-- {
+		g.b.I(mx.Inst{Op: mx.POP, Dst: scratchPool[i]})
+	}
+	return dst, nil
+}
+
+// constVReg extracts a constant vector-register index from a builtin arg.
+func constVReg(e Expr) (mx.Reg, error) {
+	n, ok := foldConst(e).(*NumExpr)
+	if !ok || n.V < 0 || n.V >= int64(mx.NumVRegs) {
+		return 0, fmt.Errorf("cc: vector register index must be a constant 0..%d", mx.NumVRegs-1)
+	}
+	return mx.Reg(n.V), nil
+}
+
+func (g *codegen) evalBuiltin(x *CallExpr, depth int) (mx.Reg, error) {
+	dst := g.scratch(depth)
+	switch x.Name {
+	case "load8", "load32", "load64":
+		r, err := g.eval(x.Args[0], depth)
+		if err != nil {
+			return 0, err
+		}
+		op := map[string]mx.Op{"load8": mx.LOAD8, "load32": mx.LOAD32, "load64": mx.LOAD64}[x.Name]
+		g.b.I(mx.Inst{Op: op, Dst: dst, Base: r})
+		return dst, nil
+	case "store8", "store32", "store64":
+		p, v, err := g.evalPair(x.Args[0], x.Args[1], depth)
+		if err != nil {
+			return 0, err
+		}
+		op := map[string]mx.Op{"store8": mx.STORE8, "store32": mx.STORE32, "store64": mx.STORE64}[x.Name]
+		g.b.I(mx.Inst{Op: op, Dst: v, Base: p})
+		if dst != v {
+			g.b.MovRR(dst, v)
+		}
+		return dst, nil
+	case "atomic_add", "atomic_sub", "atomic_and", "atomic_or":
+		p, v, err := g.evalPair(x.Args[0], x.Args[1], depth)
+		if err != nil {
+			return 0, err
+		}
+		op := map[string]mx.Op{
+			"atomic_add": mx.LOCKADD, "atomic_sub": mx.LOCKSUB,
+			"atomic_and": mx.LOCKAND, "atomic_or": mx.LOCKOR,
+		}[x.Name]
+		g.b.I(mx.Inst{Op: op, Dst: v, Base: p})
+		g.b.MovRI(dst, 0)
+		return dst, nil
+	case "atomic_xadd":
+		p, v, err := g.evalPair(x.Args[0], x.Args[1], depth)
+		if err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.LOCKXADD, Dst: v, Base: p})
+		if dst != v {
+			g.b.MovRR(dst, v)
+		}
+		return dst, nil
+	case "atomic_inc", "atomic_dec":
+		// Returns 1 when the new value is zero (CKit-style dec locks).
+		p, err := g.eval(x.Args[0], depth)
+		if err != nil {
+			return 0, err
+		}
+		op := mx.LOCKINC
+		if x.Name == "atomic_dec" {
+			op = mx.LOCKDEC
+		}
+		g.b.I(mx.Inst{Op: op, Base: p})
+		g.b.I(mx.Inst{Op: mx.SETCC, Dst: dst, Cc: mx.CondE})
+		return dst, nil
+	case "xchg":
+		p, v, err := g.evalPair(x.Args[0], x.Args[1], depth)
+		if err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.XCHG, Dst: v, Base: p})
+		if dst != v {
+			g.b.MovRR(dst, v)
+		}
+		return dst, nil
+	case "atomic_cas":
+		// atomic_cas(p, old, new) -> 1 if swapped, else 0.
+		if depth >= 6 {
+			return 0, fmt.Errorf("cc: atomic_cas nested too deep")
+		}
+		if depth > 0 {
+			g.b.I(mx.Inst{Op: mx.PUSH, Dst: mx.RAX})
+		}
+		for i := 0; i < 3; i++ {
+			r, err := g.eval(x.Args[i], depth)
+			if err != nil {
+				return 0, err
+			}
+			g.b.I(mx.Inst{Op: mx.PUSH, Dst: r})
+		}
+		g.b.I(mx.Inst{Op: mx.POP, Dst: mx.R11}) // new
+		pReg := mx.R10
+		g.b.I(mx.Inst{Op: mx.POP, Dst: mx.RAX}) // old (cmpxchg contract)
+		g.b.I(mx.Inst{Op: mx.POP, Dst: pReg})   // p
+		g.b.I(mx.Inst{Op: mx.CMPXCHG, Dst: mx.R11, Base: pReg})
+		g.b.I(mx.Inst{Op: mx.SETCC, Dst: dst, Cc: mx.CondE})
+		if depth > 0 {
+			g.b.I(mx.Inst{Op: mx.POP, Dst: mx.RAX})
+		}
+		return dst, nil
+	case "fence":
+		g.b.I(mx.Inst{Op: mx.MFENCE})
+		g.b.MovRI(dst, 0)
+		return dst, nil
+	case "vload", "vstore":
+		vr, err := constVReg(x.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		p, err := g.eval(x.Args[1], depth)
+		if err != nil {
+			return 0, err
+		}
+		op := mx.VLOAD
+		if x.Name == "vstore" {
+			op = mx.VSTORE
+		}
+		g.b.I(mx.Inst{Op: op, Dst: vr, Base: p})
+		g.b.MovRI(dst, 0)
+		return dst, nil
+	case "vadd", "vmul":
+		vd, err := constVReg(x.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		vs, err := constVReg(x.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		op := mx.VADD
+		if x.Name == "vmul" {
+			op = mx.VMUL
+		}
+		g.b.I(mx.Inst{Op: op, Dst: vd, Src: vs})
+		g.b.MovRI(dst, 0)
+		return dst, nil
+	case "vbcast":
+		vd, err := constVReg(x.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		r, err := g.eval(x.Args[1], depth)
+		if err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.VBCAST, Dst: vd, Src: r})
+		g.b.MovRI(dst, 0)
+		return dst, nil
+	case "vhadd":
+		vs, err := constVReg(x.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.VHADD, Dst: dst, Src: vs})
+		return dst, nil
+	case "alloca":
+		// alloca(nbytes): only valid where no expression temporaries are
+		// stacked (enforced by construction in workloads: used as a simple
+		// initializer).
+		r, err := g.eval(x.Args[0], depth)
+		if err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.ADDRI, Dst: r, Imm: 15})
+		g.b.I(mx.Inst{Op: mx.ANDRI, Dst: r, Imm: ^int64(15)})
+		g.b.I(mx.Inst{Op: mx.SUBRR, Dst: mx.RSP, Src: r})
+		g.b.MovRR(dst, mx.RSP)
+		return dst, nil
+	}
+	return 0, fmt.Errorf("cc: unknown builtin %q", x.Name)
+}

@@ -1,0 +1,423 @@
+package cc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/vm"
+)
+
+// compileRun compiles src at the given opt level, runs it, and returns the
+// result.
+func compileRun(t *testing.T, src string, opt int) vm.Result {
+	t.Helper()
+	img, _, err := cc.Compile(src, cc.Config{Name: "test", Opt: opt})
+	if err != nil {
+		t.Fatalf("compile (O%d): %v", opt, err)
+	}
+	m, err := vm.New(img, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run(100_000_000)
+	if res.Fault != nil {
+		t.Fatalf("O%d fault: %v (output %q)", opt, res.Fault, res.Output)
+	}
+	return res
+}
+
+// runBoth runs src at O0 and O2 and checks both produce the expected exit
+// code; it returns the two results for cost comparisons.
+func runBoth(t *testing.T, src string, wantExit int) (o0, o2 vm.Result) {
+	t.Helper()
+	o0 = compileRun(t, src, 0)
+	o2 = compileRun(t, src, 2)
+	if o0.ExitCode != wantExit {
+		t.Fatalf("O0 exit %d, want %d (output %q)", o0.ExitCode, wantExit, o0.Output)
+	}
+	if o2.ExitCode != wantExit {
+		t.Fatalf("O2 exit %d, want %d (output %q)", o2.ExitCode, wantExit, o2.Output)
+	}
+	return o0, o2
+}
+
+func TestReturnConstant(t *testing.T) {
+	runBoth(t, `func main() { return 42; }`, 42)
+}
+
+func TestArithmetic(t *testing.T) {
+	runBoth(t, `
+func main() {
+	var a = 10;
+	var b = 3;
+	return a*b + a/b - a%b + (a<<2) - (a>>1) + (a&b) + (a|b) + (a^b);
+}`, 30+3-1+40-5+2+11+9)
+}
+
+func TestUnaryOps(t *testing.T) {
+	runBoth(t, `
+func main() {
+	var a = 5;
+	return -a + 20 + ~a + 10 + !a + !0;
+}`, -5+20-6+10+0+1)
+}
+
+func TestComparisonsAndConds(t *testing.T) {
+	runBoth(t, `
+func main() {
+	var a = 7;
+	var b = 9;
+	var n = 0;
+	if (a < b) { n = n + 1; }
+	if (a > b) { n = n + 10; }
+	if (a <= 7) { n = n + 2; }
+	if (a >= 8) { n = n + 20; }
+	if (a == 7 && b == 9) { n = n + 4; }
+	if (a == 0 || b == 9) { n = n + 8; }
+	if (!(a != 7)) { n = n + 16; }
+	return n;
+}`, 1+2+4+8+16)
+}
+
+func TestWhileAndFor(t *testing.T) {
+	runBoth(t, `
+func main() {
+	var s = 0;
+	var i = 0;
+	while (i < 10) { s = s + i; i = i + 1; }
+	for (i = 0; i < 5; i = i + 1) { s = s + 100; }
+	return s;
+}`, 45+500)
+}
+
+func TestBreakContinue(t *testing.T) {
+	runBoth(t, `
+func main() {
+	var s = 0;
+	var i;
+	for (i = 0; i < 100; i = i + 1) {
+		if (i % 2 == 0) { continue; }
+		if (i > 10) { break; }
+		s = s + i;
+	}
+	return s;
+}`, 1+3+5+7+9)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	runBoth(t, `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+func main() { return fib(12); }`, 144)
+}
+
+func TestSixParams(t *testing.T) {
+	runBoth(t, `
+func sum6(a, b, c, d, e, f) { return a + b + c + d + e + f; }
+func main() { return sum6(1, 2, 3, 4, 5, 6); }`, 21)
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	runBoth(t, `
+var g = 5;
+var tbl[4] = {10, 20, 30, 40};
+var buf[8];
+func main() {
+	g = g + 1;
+	buf[0] = tbl[3];
+	buf[1] = tbl[0];
+	return g + buf[0] + buf[1];
+}`, 6+40+10)
+}
+
+func TestLocalArrays(t *testing.T) {
+	runBoth(t, `
+func main() {
+	var a[10];
+	var i;
+	for (i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+	var s = 0;
+	for (i = 0; i < 10; i = i + 1) { s = s + a[i]; }
+	return s;
+}`, 285)
+}
+
+func TestVLA(t *testing.T) {
+	// Variable-length array: defeats static frame-size recovery.
+	runBoth(t, `
+func sumn(n) {
+	var a[n];
+	var i;
+	for (i = 0; i < n; i = i + 1) { a[i] = i; }
+	var s = 0;
+	for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+	return s;
+}
+func main() { return sumn(10) + sumn(20); }`, 45+190)
+}
+
+func TestAlloca(t *testing.T) {
+	runBoth(t, `
+func main() {
+	var p = alloca(64);
+	store64(p, 7);
+	store64(p + 8, 8);
+	return load64(p) + load64(p + 8);
+}`, 15)
+}
+
+func TestPointersAndAddressOf(t *testing.T) {
+	runBoth(t, `
+func bump(p) { *p = *p + 1; }
+func main() {
+	var x = 10;
+	bump(&x);
+	bump(&x);
+	var q = &x;
+	return *q;
+}`, 12)
+}
+
+func TestWidthBuiltins(t *testing.T) {
+	runBoth(t, `
+var buf[4];
+func main() {
+	store8(buf, 200);
+	store32(buf + 8, -5);
+	return load8(buf) + load32(buf + 8) + 5;
+}`, 200)
+}
+
+func TestStringsAndPrint(t *testing.T) {
+	res := compileRun(t, `
+extern print_str;
+extern print_i64;
+func main() {
+	print_str("sum=");
+	print_i64(1 + 2);
+	return 0;
+}`, 2)
+	if res.Output != "sum=3\n" {
+		t.Fatalf("output %q", res.Output)
+	}
+}
+
+func TestFunctionPointers(t *testing.T) {
+	runBoth(t, `
+func add(a, b) { return a + b; }
+func mul(a, b) { return a * b; }
+func apply(f, a, b) { return f(a, b); }
+func main() {
+	var g = apply(add, 3, 4) ;
+	var h = apply(mul, 3, 4);
+	return g * 100 + h;
+}`, 712)
+}
+
+func TestAtomicsBuiltins(t *testing.T) {
+	runBoth(t, `
+var c = 0;
+func main() {
+	atomic_add(&c, 5);
+	atomic_sub(&c, 1);
+	var old = atomic_xadd(&c, 10);  // old = 4, c = 14
+	var ok = atomic_cas(&c, 14, 20); // ok = 1, c = 20
+	var bad = atomic_cas(&c, 999, 7); // bad = 0
+	var prev = xchg(&c, 30);         // prev = 20, c = 30
+	fence();
+	return c + old + ok*100 + bad*1000 + prev;
+}`, 30+4+100+0+20)
+}
+
+func TestAtomicIncDec(t *testing.T) {
+	runBoth(t, `
+var c = 0;
+func main() {
+	atomic_add(&c, 2);
+	var z1 = atomic_dec(&c); // c=1, not zero
+	var z2 = atomic_dec(&c); // c=0, zero -> 1
+	return z1*10 + z2;
+}`, 1)
+}
+
+func TestThreadsFromC(t *testing.T) {
+	src := `
+extern thread_create;
+extern thread_join;
+var counter = 0;
+func worker(arg) {
+	var i;
+	for (i = 0; i < 1000; i = i + 1) { atomic_add(&counter, arg); }
+	return 0;
+}
+func main() {
+	var t1 = thread_create(worker, 1);
+	var t2 = thread_create(worker, 2);
+	thread_join(t1);
+	thread_join(t2);
+	return counter / 30;
+}`
+	runBoth(t, src, 100)
+}
+
+func TestSpinlockInC(t *testing.T) {
+	src := `
+extern thread_create;
+extern thread_join;
+var lock = 0;
+var count = 0;
+func worker(arg) {
+	var i;
+	for (i = 0; i < 400; i = i + 1) {
+		while (atomic_cas(&lock, 0, 1) == 0) { }
+		count = count + 1;
+		store64(&lock, 0);
+	}
+	return 0;
+}
+func main() {
+	var t1 = thread_create(worker, 0);
+	var t2 = thread_create(worker, 0);
+	thread_join(t1);
+	thread_join(t2);
+	return count / 8;
+}`
+	runBoth(t, src, 100)
+}
+
+func TestVectorBuiltins(t *testing.T) {
+	runBoth(t, `
+var a[4] = {1, 2, 3, 4};
+var b[4] = {5, 6, 7, 8};
+func main() {
+	vload(0, a);
+	vload(1, b);
+	vmul(0, 1);   // {5, 12, 21, 32}
+	return vhadd(0);
+}`, 70)
+}
+
+func TestO2UsesFewerCycles(t *testing.T) {
+	src := `
+func main() {
+	var s = 0;
+	var i;
+	for (i = 0; i < 10000; i = i + 1) { s = s + i * 3 - (i & 7); }
+	return s % 251;
+}`
+	o0, o2 := runBoth(t, src, func() int {
+		s := int64(0)
+		for i := int64(0); i < 10000; i++ {
+			s += i*3 - (i & 7)
+		}
+		return int(s % 251)
+	}())
+	if o2.Cycles >= o0.Cycles {
+		t.Fatalf("O2 (%d cycles) not faster than O0 (%d cycles)", o2.Cycles, o0.Cycles)
+	}
+	// The gap should be substantial (the Table 2 O0-vs-O3 premise).
+	if float64(o0.Cycles)/float64(o2.Cycles) < 1.5 {
+		t.Fatalf("O0/O2 ratio too small: %d / %d", o0.Cycles, o2.Cycles)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`func main() { return undefined_var; }`, "undefined identifier"},
+		{`func main() { nosuchfn(); }`, "undefined"},
+		{`func f() {} func f() {} func main() {}`, "duplicate function"},
+		{`func main() { var x; var x; }`, "duplicate local"},
+		{`func f(a,b,c,d,e,f,g) {} func main() {}`, "6 parameters"},
+		{`func main() { break; }`, "break outside loop"},
+		{`var g = x;`, "constant"},
+		{`func main() { 3 = 4; }`, "assignment target"},
+		{`func main() { return load8(1, 2); }`, "expects 1 args"},
+	}
+	for _, c := range cases {
+		_, _, err := cc.Compile(c.src, cc.Config{Name: "e", Opt: 0})
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error %q does not contain %q", err, c.want)
+		}
+	}
+}
+
+func TestNoMain(t *testing.T) {
+	if _, _, err := cc.Compile(`func f() {}`, cc.Config{}); err == nil ||
+		!strings.Contains(err.Error(), "no main") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCommentsAndLiterals(t *testing.T) {
+	runBoth(t, `
+// line comment
+/* block
+   comment */
+func main() {
+	var c = 'A';        // 65
+	var h = 0x10;       // 16
+	var n = -3;
+	return c + h + n + '\n';
+}`, 65+16-3+10)
+}
+
+func TestDeepExpression(t *testing.T) {
+	// Forces scratch-pool overflow handling.
+	runBoth(t, `
+func main() {
+	var a = 1;
+	return ((((((((a+1)*2)+3)*2)+5)*2)+7)*2) + (a + (a + (a + (a + (a + (a + (a + (a + 1))))))));
+}`, func() int {
+		a := 1
+		v := ((((((((a+1)*2)+3)*2)+5)*2)+7)*2 + (a + (a + (a + (a + (a + (a + (a + (a + 1)))))))))
+		return v
+	}()) //nolint
+}
+
+func TestCompoundAssign(t *testing.T) {
+	runBoth(t, `
+var g = 10;
+func main() {
+	var a = 1;
+	a += 5; a -= 2; a *= 3;
+	g += a;
+	var arr[2];
+	arr[0] = 7;
+	arr[0] += 3;
+	return a + g + arr[0];
+}`, 12+22+10)
+}
+
+func TestNestedCallsInArgs(t *testing.T) {
+	runBoth(t, `
+func inc(x) { return x + 1; }
+func add(a, b) { return a + b; }
+func main() { return add(inc(inc(1)), add(inc(2), inc(3))); }`, 3+3+4)
+}
+
+func TestQsortFromC(t *testing.T) {
+	src := `
+extern qsort;
+var arr[6] = {9, 1, 8, 2, 7, 3};
+func cmp(pa, pb) { return load64(pa) - load64(pb); }
+func main() {
+	qsort(arr, 6, 8, cmp);
+	var i;
+	var bad = 0;
+	for (i = 0; i < 5; i = i + 1) {
+		if (arr[i] > arr[i+1]) { bad = 1; }
+	}
+	if (bad) { return 255; }
+	return arr[0]*10 + arr[5];
+}`
+	runBoth(t, src, 19)
+}

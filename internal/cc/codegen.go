@@ -1,0 +1,570 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/mx"
+)
+
+// Config selects compilation options.
+type Config struct {
+	Name string // image name
+	Opt  int    // 0 (gcc -O0 model) or 2 (gcc -O3 model)
+}
+
+// Compile compiles mcc source to a PXE image. The returned symbol table maps
+// "fn_<name>" labels to addresses; it is ground truth for tests only — the
+// image itself is stripped.
+func Compile(src string, cfg Config) (*image.Image, map[string]uint64, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return CompileProgram(prog, cfg)
+}
+
+// CompileProgram compiles a parsed program.
+func CompileProgram(prog *Program, cfg Config) (*image.Image, map[string]uint64, error) {
+	g := &codegen{
+		prog:      prog,
+		b:         asm.NewBuilder(cfg.Name),
+		opt:       cfg.Opt,
+		externs:   map[string]bool{},
+		funcs:     map[string]bool{},
+		globals:   map[string]bool{},
+		strs:      map[string]string{},
+		globalArr: map[string]bool{},
+	}
+	for _, e := range prog.Externs {
+		g.externs[e] = true
+	}
+	for _, f := range prog.Funcs {
+		if g.funcs[f.Name] {
+			return nil, nil, fmt.Errorf("cc: duplicate function %s", f.Name)
+		}
+		g.funcs[f.Name] = true
+	}
+	hasMain := g.funcs["main"]
+	if !hasMain {
+		return nil, nil, fmt.Errorf("cc: no main function")
+	}
+	for _, gd := range prog.Globals {
+		g.globals[gd.Name] = true
+		g.globalArr[gd.Name] = gd.IsArray
+		g.emitGlobal(gd)
+	}
+	g.b.Entry("fn_main")
+	for _, f := range prog.Funcs {
+		if err := g.emitFunc(f); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g.b.Build()
+}
+
+type codegen struct {
+	prog    *Program
+	b       *asm.Builder
+	opt     int
+	externs map[string]bool
+	funcs   map[string]bool
+	globals map[string]bool
+	strs    map[string]string // literal -> label
+	nlabel  int
+	nstr    int
+
+	globalArr map[string]bool // global name -> is array (name = address)
+
+	// per-function state
+	fn        *FuncDecl
+	slots     map[string]int32  // local -> rbp-relative offset (negative)
+	regLocals map[string]mx.Reg // O2: local -> callee-saved register
+	arrays    map[string]bool   // local fixed arrays (name = frame address)
+	vlaNames  map[string]bool   // local VLAs (slot holds a pointer)
+	frameSize int32
+	breaks    []string
+	conts     []string
+	epilogue  string
+	usedCS    []mx.Reg // callee-saved registers used (O2)
+	hasVLA    bool
+}
+
+func (g *codegen) label() string {
+	g.nlabel++
+	return fmt.Sprintf(".L%d", g.nlabel)
+}
+
+func (g *codegen) strLabel(s string) string {
+	if l, ok := g.strs[s]; ok {
+		return l
+	}
+	l := fmt.Sprintf("str%d", g.nstr)
+	g.nstr++
+	g.strs[s] = l
+	g.b.RodataLabel(l)
+	g.b.Rodata(append([]byte(s), 0))
+	return l
+}
+
+func (g *codegen) emitGlobal(gd *GlobalDecl) {
+	name := "g_" + gd.Name
+	if !gd.IsArray {
+		g.b.DataLabel(name)
+		g.b.DataQuad(uint64(gd.Init))
+		return
+	}
+	if len(gd.ArrayInit) == 0 {
+		g.b.BSS(name, uint64(gd.ArrayLen)*8)
+		return
+	}
+	g.b.DataLabel(name)
+	for i := int64(0); i < gd.ArrayLen; i++ {
+		var v int64
+		if int(i) < len(gd.ArrayInit) {
+			v = gd.ArrayInit[i]
+		}
+		g.b.DataQuad(uint64(v))
+	}
+}
+
+// scratch register pool for O2 expression evaluation. R11 is the emergency
+// register used when the pool is exhausted.
+var scratchPool = []mx.Reg{mx.RAX, mx.RCX, mx.RDX, mx.RSI, mx.R8, mx.R9, mx.R10}
+
+var calleeSaved = []mx.Reg{mx.RBX, mx.R12, mx.R13, mx.R14, mx.R15}
+
+var argRegs = []mx.Reg{mx.RDI, mx.RSI, mx.RDX, mx.RCX, mx.R8, mx.R9}
+
+// emitFunc compiles one function.
+func (g *codegen) emitFunc(f *FuncDecl) error {
+	g.fn = f
+	g.slots = map[string]int32{}
+	g.regLocals = map[string]mx.Reg{}
+	g.arrays = map[string]bool{}
+	g.vlaNames = map[string]bool{}
+	g.frameSize = 0
+	g.breaks, g.conts = nil, nil
+	g.epilogue = g.label()
+	g.usedCS = nil
+	g.hasVLA = false
+
+	// Discover locals: params first, then var/arr statements.
+	type localInfo struct {
+		name      string
+		arrayLen  int64 // 0 scalar; -1 VLA; >0 fixed array
+		uses      int
+		addrTaken bool
+	}
+	order := []*localInfo{}
+	byName := map[string]*localInfo{}
+	addLocal := func(name string, arrayLen int64) error {
+		if byName[name] != nil {
+			return fmt.Errorf("cc: func %s: duplicate local %q", f.Name, name)
+		}
+		li := &localInfo{name: name, arrayLen: arrayLen}
+		byName[name] = li
+		order = append(order, li)
+		return nil
+	}
+	for _, pn := range f.Params {
+		if err := addLocal(pn, 0); err != nil {
+			return err
+		}
+	}
+	var scanStmts func(ss []Stmt) error
+	var scanExpr func(e Expr)
+	scanExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *IdentExpr:
+			if li := byName[x.Name]; li != nil {
+				li.uses++
+			}
+		case *UnaryExpr:
+			if x.Op == "&" {
+				if id, ok := x.X.(*IdentExpr); ok {
+					if li := byName[id.Name]; li != nil {
+						li.addrTaken = true
+					}
+				}
+			}
+			scanExpr(x.X)
+		case *BinExpr:
+			scanExpr(x.L)
+			scanExpr(x.R)
+		case *CondExpr:
+			scanExpr(x.L)
+			scanExpr(x.R)
+		case *IndexExpr:
+			scanExpr(x.Base)
+			scanExpr(x.Idx)
+		case *CallExpr:
+			for _, a := range x.Args {
+				scanExpr(a)
+			}
+		}
+	}
+	scanStmts = func(ss []Stmt) error {
+		for _, s := range ss {
+			switch x := s.(type) {
+			case *VarStmt:
+				if err := addLocal(x.Name, 0); err != nil {
+					return err
+				}
+				if x.Init != nil {
+					scanExpr(x.Init)
+				}
+			case *ArrStmt:
+				ln := int64(-1)
+				if n, ok := foldConst(x.Len).(*NumExpr); ok && n.V > 0 {
+					ln = n.V
+					g.arrays[x.Name] = true
+				} else {
+					g.hasVLA = true
+					g.vlaNames[x.Name] = true
+				}
+				if err := addLocal(x.Name, ln); err != nil {
+					return err
+				}
+				scanExpr(x.Len)
+			case *ExprStmt:
+				scanExpr(x.X)
+			case *AssignStmt:
+				scanExpr(x.LHS)
+				scanExpr(x.RHS)
+			case *IfStmt:
+				scanExpr(x.Cond)
+				if err := scanStmts(x.Then); err != nil {
+					return err
+				}
+				if err := scanStmts(x.Else); err != nil {
+					return err
+				}
+			case *WhileStmt:
+				scanExpr(x.Cond)
+				if err := scanStmts(x.Body); err != nil {
+					return err
+				}
+			case *ForStmt:
+				if x.Init != nil {
+					if err := scanStmts([]Stmt{x.Init}); err != nil {
+						return err
+					}
+				}
+				if x.Cond != nil {
+					scanExpr(x.Cond)
+				}
+				if x.Post != nil {
+					if err := scanStmts([]Stmt{x.Post}); err != nil {
+						return err
+					}
+				}
+				if err := scanStmts(x.Body); err != nil {
+					return err
+				}
+			case *ReturnStmt:
+				if x.X != nil {
+					scanExpr(x.X)
+				}
+			}
+		}
+		return nil
+	}
+	if err := scanStmts(f.Body); err != nil {
+		return err
+	}
+
+	// Assign storage. At O2, the most-used non-addressed scalars get
+	// callee-saved registers; everything else gets a frame slot.
+	if g.opt >= 2 {
+		cands := []*localInfo{}
+		for _, li := range order {
+			if li.arrayLen == 0 && !li.addrTaken {
+				cands = append(cands, li)
+			}
+		}
+		// Stable selection by use count.
+		for len(g.regLocals) < len(calleeSaved) {
+			var best *localInfo
+			for _, li := range cands {
+				if _, done := g.regLocals[li.name]; done {
+					continue
+				}
+				if best == nil || li.uses > best.uses {
+					best = li
+				}
+			}
+			if best == nil || best.uses == 0 {
+				break
+			}
+			r := calleeSaved[len(g.regLocals)]
+			g.regLocals[best.name] = r
+			g.usedCS = append(g.usedCS, r)
+		}
+	}
+	for _, li := range order {
+		if _, inReg := g.regLocals[li.name]; inReg {
+			continue
+		}
+		switch {
+		case li.arrayLen > 0:
+			g.frameSize += int32(li.arrayLen) * 8
+			g.slots[li.name] = -g.frameSize
+		default: // scalar or VLA pointer slot
+			g.frameSize += 8
+			g.slots[li.name] = -g.frameSize
+		}
+	}
+	g.frameSize = (g.frameSize + 15) &^ 15
+
+	// Prologue.
+	g.b.Label("fn_" + f.Name)
+	g.b.I(mx.Inst{Op: mx.PUSH, Dst: mx.RBP})
+	g.b.MovRR(mx.RBP, mx.RSP)
+	if g.frameSize > 0 {
+		g.b.I(mx.Inst{Op: mx.SUBRI, Dst: mx.RSP, Imm: int64(g.frameSize)})
+	}
+	for _, r := range g.usedCS {
+		g.b.I(mx.Inst{Op: mx.PUSH, Dst: r})
+	}
+	// Spill/move parameters into their homes.
+	for i, pn := range f.Params {
+		if r, ok := g.regLocals[pn]; ok {
+			g.b.MovRR(r, argRegs[i])
+		} else {
+			g.b.I(mx.Inst{Op: mx.STORE64, Dst: argRegs[i], Base: mx.RBP, Disp: g.slots[pn]})
+		}
+	}
+
+	// Body.
+	if err := g.stmts(f.Body); err != nil {
+		return err
+	}
+
+	// Implicit return 0.
+	g.b.MovRI(mx.RAX, 0)
+	g.b.Label(g.epilogue)
+	for i := len(g.usedCS) - 1; i >= 0; i-- {
+		g.b.I(mx.Inst{Op: mx.POP, Dst: g.usedCS[i]})
+	}
+	g.b.MovRR(mx.RSP, mx.RBP)
+	g.b.I(mx.Inst{Op: mx.POP, Dst: mx.RBP})
+	g.b.Ret()
+	return nil
+}
+
+// --- statements -------------------------------------------------------------
+
+func (g *codegen) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) stmt(s Stmt) error {
+	switch x := s.(type) {
+	case *VarStmt:
+		if x.Init == nil {
+			return g.storeLocal(x.Name, func(r mx.Reg) { g.b.MovRI(r, 0) })
+		}
+		r, err := g.eval(x.Init, 0)
+		if err != nil {
+			return err
+		}
+		return g.storeLocalReg(x.Name, r)
+	case *ArrStmt:
+		if !g.vlaNames[x.Name] {
+			return nil // fixed array: space already reserved in the frame
+		}
+		// VLA: rsp -= round16(len*8); slot <- rsp
+		r, err := g.eval(x.Len, 0)
+		if err != nil {
+			return err
+		}
+		g.b.I(mx.Inst{Op: mx.SHLRI, Dst: r, Imm: 3})
+		g.b.I(mx.Inst{Op: mx.ADDRI, Dst: r, Imm: 15})
+		g.b.I(mx.Inst{Op: mx.ANDRI, Dst: r, Imm: ^int64(15)})
+		g.b.I(mx.Inst{Op: mx.SUBRR, Dst: mx.RSP, Src: r})
+		g.b.MovRR(r, mx.RSP)
+		return g.storeLocalReg(x.Name, r)
+	case *ExprStmt:
+		_, err := g.eval(x.X, 0)
+		return err
+	case *AssignStmt:
+		return g.assign(x)
+	case *IfStmt:
+		elseL, endL := g.label(), g.label()
+		target := endL
+		if len(x.Else) > 0 {
+			target = elseL
+		}
+		if err := g.branchIfFalse(x.Cond, target); err != nil {
+			return err
+		}
+		if err := g.stmts(x.Then); err != nil {
+			return err
+		}
+		if len(x.Else) > 0 {
+			g.b.Jmp(endL)
+			g.b.Label(elseL)
+			if err := g.stmts(x.Else); err != nil {
+				return err
+			}
+		}
+		g.b.Label(endL)
+		return nil
+	case *WhileStmt:
+		head, end := g.label(), g.label()
+		g.breaks = append(g.breaks, end)
+		g.conts = append(g.conts, head)
+		g.b.Label(head)
+		if err := g.branchIfFalse(x.Cond, end); err != nil {
+			return err
+		}
+		if err := g.stmts(x.Body); err != nil {
+			return err
+		}
+		g.b.Jmp(head)
+		g.b.Label(end)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		return nil
+	case *ForStmt:
+		head, post, end := g.label(), g.label(), g.label()
+		if x.Init != nil {
+			if err := g.stmt(x.Init); err != nil {
+				return err
+			}
+		}
+		g.breaks = append(g.breaks, end)
+		g.conts = append(g.conts, post)
+		g.b.Label(head)
+		if x.Cond != nil {
+			if err := g.branchIfFalse(x.Cond, end); err != nil {
+				return err
+			}
+		}
+		if err := g.stmts(x.Body); err != nil {
+			return err
+		}
+		g.b.Label(post)
+		if x.Post != nil {
+			if err := g.stmt(x.Post); err != nil {
+				return err
+			}
+		}
+		g.b.Jmp(head)
+		g.b.Label(end)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		return nil
+	case *ReturnStmt:
+		if x.X != nil {
+			r, err := g.eval(x.X, 0)
+			if err != nil {
+				return err
+			}
+			if r != mx.RAX {
+				g.b.MovRR(mx.RAX, r)
+			}
+		} else {
+			g.b.MovRI(mx.RAX, 0)
+		}
+		g.b.Jmp(g.epilogue)
+		return nil
+	case *BreakStmt:
+		if len(g.breaks) == 0 {
+			return fmt.Errorf("cc: func %s: break outside loop", g.fn.Name)
+		}
+		g.b.Jmp(g.breaks[len(g.breaks)-1])
+		return nil
+	case *ContinueStmt:
+		if len(g.conts) == 0 {
+			return fmt.Errorf("cc: func %s: continue outside loop", g.fn.Name)
+		}
+		g.b.Jmp(g.conts[len(g.conts)-1])
+		return nil
+	}
+	return fmt.Errorf("cc: unknown statement %T", s)
+}
+
+// assign compiles an assignment statement.
+func (g *codegen) assign(x *AssignStmt) error {
+	// Rewrite compound assignment a op= b as a = a op b (re-evaluating the
+	// address for Index/Deref targets; fine because mcc expressions are
+	// side-effect free apart from calls, which we re-evaluate as C does not
+	// guarantee single evaluation for this lowering at O0 anyway).
+	rhs := x.RHS
+	if x.Op != "=" {
+		rhs = &BinExpr{Op: x.Op[:len(x.Op)-1], L: x.LHS, R: x.RHS}
+	}
+	switch lhs := x.LHS.(type) {
+	case *IdentExpr:
+		r, err := g.eval(rhs, 0)
+		if err != nil {
+			return err
+		}
+		return g.storeLocalReg(lhs.Name, r)
+	case *IndexExpr:
+		rv, err := g.eval(rhs, 0)
+		if err != nil {
+			return err
+		}
+		base, err := g.eval(lhs.Base, 1)
+		if err != nil {
+			return err
+		}
+		idx, err := g.eval(lhs.Idx, 2)
+		if err != nil {
+			return err
+		}
+		g.b.I(mx.Inst{Op: mx.STOREIDX64, Dst: rv, Base: base, Idx: idx, Scale: 8})
+		return nil
+	case *UnaryExpr: // *p = v
+		rv, err := g.eval(rhs, 0)
+		if err != nil {
+			return err
+		}
+		addr, err := g.eval(lhs.X, 1)
+		if err != nil {
+			return err
+		}
+		g.b.I(mx.Inst{Op: mx.STORE64, Dst: rv, Base: addr})
+		return nil
+	}
+	return fmt.Errorf("cc: bad assignment target %T", x.LHS)
+}
+
+// storeLocal stores the result of fill(reg) into the named local or global.
+func (g *codegen) storeLocal(name string, fill func(mx.Reg)) error {
+	r := g.scratch(0)
+	fill(r)
+	return g.storeLocalReg(name, r)
+}
+
+// storeLocalReg stores register r into the named local or global scalar.
+func (g *codegen) storeLocalReg(name string, r mx.Reg) error {
+	if g.arrays[name] || g.globalArr[name] {
+		return fmt.Errorf("cc: func %s: assignment to array %q", g.fn.Name, name)
+	}
+	if reg, ok := g.regLocals[name]; ok {
+		if reg != r {
+			g.b.MovRR(reg, r)
+		}
+		return nil
+	}
+	if off, ok := g.slots[name]; ok {
+		g.b.I(mx.Inst{Op: mx.STORE64, Dst: r, Base: mx.RBP, Disp: off})
+		return nil
+	}
+	if g.globals[name] {
+		g.b.MovSym(mx.R11, "g_"+name)
+		g.b.I(mx.Inst{Op: mx.STORE64, Dst: r, Base: mx.R11})
+		return nil
+	}
+	return fmt.Errorf("cc: func %s: assignment to undeclared %q", g.fn.Name, name)
+}

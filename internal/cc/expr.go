@@ -1,0 +1,460 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/mx"
+)
+
+// This file implements expression code generation.
+//
+// The evaluator keeps intermediate results in a scratch register pool indexed
+// by expression depth. At -O2 subexpressions occupy adjacent pool registers;
+// at -O0 every binary operation spills its left operand to the machine stack
+// and every variable access goes through its frame slot, modelling the
+// memory-heavy code gcc -O0 emits (this is what gives the recompiler's
+// optimizer something to win back in Table 2's O0 column).
+
+// scratch returns the pool register for a depth, clamping at the pool edge
+// (the overflow path spills through the stack instead).
+func (g *codegen) scratch(depth int) mx.Reg {
+	if depth >= len(scratchPool) {
+		depth = len(scratchPool) - 1
+	}
+	return scratchPool[depth]
+}
+
+// foldConst folds constant expressions (used for array-length classification
+// in both modes, and for general folding at -O2).
+func foldConst(e Expr) Expr {
+	switch x := e.(type) {
+	case *BinExpr:
+		l, r := foldConst(x.L), foldConst(x.R)
+		ln, lok := l.(*NumExpr)
+		rn, rok := r.(*NumExpr)
+		if lok && rok {
+			if v, ok := foldBin(x.Op, ln.V, rn.V); ok {
+				return &NumExpr{V: v}
+			}
+		}
+		return &BinExpr{Op: x.Op, L: l, R: r}
+	case *UnaryExpr:
+		sub := foldConst(x.X)
+		if n, ok := sub.(*NumExpr); ok {
+			switch x.Op {
+			case "-":
+				return &NumExpr{V: -n.V}
+			case "~":
+				return &NumExpr{V: ^n.V}
+			case "!":
+				if n.V == 0 {
+					return &NumExpr{V: 1}
+				}
+				return &NumExpr{V: 0}
+			}
+		}
+		return &UnaryExpr{Op: x.Op, X: sub}
+	}
+	return e
+}
+
+func foldBin(op string, a, b int64) (int64, bool) {
+	switch op {
+	case "+":
+		return a + b, true
+	case "-":
+		return a - b, true
+	case "*":
+		return a * b, true
+	case "/":
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case "%":
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case "&":
+		return a & b, true
+	case "|":
+		return a | b, true
+	case "^":
+		return a ^ b, true
+	case "<<":
+		return a << (uint64(b) & 63), true
+	case ">>":
+		return int64(uint64(a) >> (uint64(b) & 63)), true
+	case "==":
+		return b2i(a == b), true
+	case "!=":
+		return b2i(a != b), true
+	case "<":
+		return b2i(a < b), true
+	case "<=":
+		return b2i(a <= b), true
+	case ">":
+		return b2i(a > b), true
+	case ">=":
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fold applies constant folding only at -O2 (O0 keeps the junk).
+func (g *codegen) fold(e Expr) Expr {
+	if g.opt >= 2 {
+		return foldConst(e)
+	}
+	return e
+}
+
+var cmpToCond = map[string]mx.Cond{
+	"==": mx.CondE, "!=": mx.CondNE,
+	"<": mx.CondL, "<=": mx.CondLE, ">": mx.CondG, ">=": mx.CondGE,
+}
+
+var binToOpRR = map[string]mx.Op{
+	"+": mx.ADDRR, "-": mx.SUBRR, "*": mx.IMULRR, "/": mx.DIVRR,
+	"%": mx.MODRR, "&": mx.ANDRR, "|": mx.ORRR, "^": mx.XORRR,
+	"<<": mx.SHLRR, ">>": mx.SARRR, // >> is arithmetic (values are signed)
+}
+
+var binToOpRI = map[string]mx.Op{
+	"+": mx.ADDRI, "-": mx.SUBRI, "*": mx.IMULRI,
+	"&": mx.ANDRI, "|": mx.ORRI, "^": mx.XORRI,
+	"<<": mx.SHLRI, ">>": mx.SARRI,
+}
+
+// eval generates code computing e into the pool register for depth, which it
+// returns.
+func (g *codegen) eval(e Expr, depth int) (mx.Reg, error) {
+	e = g.fold(e)
+	dst := g.scratch(depth)
+	switch x := e.(type) {
+	case *NumExpr:
+		g.b.MovRI(dst, x.V)
+		return dst, nil
+	case *StrExpr:
+		g.b.MovSym(dst, g.strLabel(x.S))
+		return dst, nil
+	case *IdentExpr:
+		return dst, g.loadIdent(x.Name, dst)
+	case *UnaryExpr:
+		return g.evalUnary(x, depth)
+	case *BinExpr:
+		return g.evalBin(x, depth)
+	case *CondExpr:
+		return g.evalCond(x, depth)
+	case *IndexExpr:
+		base, err := g.eval(x.Base, depth)
+		if err != nil {
+			return 0, err
+		}
+		// Evaluate the index one depth up; protect base if we are at the
+		// pool edge.
+		if depth+1 >= len(scratchPool) {
+			g.b.I(mx.Inst{Op: mx.PUSH, Dst: base})
+			idx, err := g.eval(x.Idx, depth)
+			if err != nil {
+				return 0, err
+			}
+			g.b.I(mx.Inst{Op: mx.POP, Dst: mx.R11})
+			g.b.I(mx.Inst{Op: mx.LOADIDX64, Dst: dst, Base: mx.R11, Idx: idx, Scale: 8})
+			return dst, nil
+		}
+		idx, err := g.eval(x.Idx, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.LOADIDX64, Dst: dst, Base: base, Idx: idx, Scale: 8})
+		return dst, nil
+	case *CallExpr:
+		return g.evalCall(x, depth)
+	}
+	return 0, fmt.Errorf("cc: unknown expression %T", e)
+}
+
+func (g *codegen) loadIdent(name string, dst mx.Reg) error {
+	if r, ok := g.regLocals[name]; ok {
+		g.b.MovRR(dst, r)
+		return nil
+	}
+	if off, ok := g.slots[name]; ok {
+		switch {
+		case g.arrays[name]:
+			g.b.I(mx.Inst{Op: mx.LEA, Dst: dst, Base: mx.RBP, Disp: off})
+		default: // scalar or VLA pointer slot
+			g.b.I(mx.Inst{Op: mx.LOAD64, Dst: dst, Base: mx.RBP, Disp: off})
+		}
+		return nil
+	}
+	if g.globals[name] {
+		if g.globalArr[name] {
+			g.b.MovSym(dst, "g_"+name)
+		} else {
+			g.b.MovSym(dst, "g_"+name)
+			g.b.I(mx.Inst{Op: mx.LOAD64, Dst: dst, Base: dst})
+		}
+		return nil
+	}
+	if g.funcs[name] {
+		g.b.MovSym(dst, "fn_"+name)
+		return nil
+	}
+	return fmt.Errorf("cc: func %s: undefined identifier %q", g.fn.Name, name)
+}
+
+func (g *codegen) evalUnary(x *UnaryExpr, depth int) (mx.Reg, error) {
+	dst := g.scratch(depth)
+	switch x.Op {
+	case "&":
+		id, ok := x.X.(*IdentExpr)
+		if !ok {
+			return 0, fmt.Errorf("cc: func %s: & of non-variable", g.fn.Name)
+		}
+		if _, inReg := g.regLocals[id.Name]; inReg {
+			return 0, fmt.Errorf("cc: internal: address-taken local %q in register", id.Name)
+		}
+		if off, ok := g.slots[id.Name]; ok {
+			g.b.I(mx.Inst{Op: mx.LEA, Dst: dst, Base: mx.RBP, Disp: off})
+			return dst, nil
+		}
+		if g.globals[id.Name] {
+			g.b.MovSym(dst, "g_"+id.Name)
+			return dst, nil
+		}
+		return 0, fmt.Errorf("cc: func %s: & of undefined %q", g.fn.Name, id.Name)
+	case "*":
+		r, err := g.eval(x.X, depth)
+		if err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.LOAD64, Dst: dst, Base: r})
+		return dst, nil
+	case "-":
+		r, err := g.eval(x.X, depth)
+		if err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.NEG, Dst: r})
+		return r, nil
+	case "~":
+		r, err := g.eval(x.X, depth)
+		if err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.NOT, Dst: r})
+		return r, nil
+	case "!":
+		r, err := g.eval(x.X, depth)
+		if err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.TESTRR, Dst: r, Src: r})
+		g.b.I(mx.Inst{Op: mx.SETCC, Dst: r, Cc: mx.CondE})
+		return r, nil
+	}
+	return 0, fmt.Errorf("cc: unknown unary %q", x.Op)
+}
+
+func (g *codegen) evalBin(x *BinExpr, depth int) (mx.Reg, error) {
+	dst := g.scratch(depth)
+
+	// Comparison: compute both sides, CMP, SETcc.
+	if cc, isCmp := cmpToCond[x.Op]; isCmp {
+		l, r, err := g.evalPair(x.L, x.R, depth)
+		if err != nil {
+			return 0, err
+		}
+		g.b.I(mx.Inst{Op: mx.CMPRR, Dst: l, Src: r})
+		g.b.I(mx.Inst{Op: mx.SETCC, Dst: dst, Cc: cc})
+		return dst, nil
+	}
+
+	// Register-immediate form at -O2 when RHS is a small constant.
+	if g.opt >= 2 {
+		if n, ok := foldConst(x.R).(*NumExpr); ok && int64(int32(n.V)) == n.V {
+			if opri, ok := binToOpRI[x.Op]; ok {
+				l, err := g.eval(x.L, depth)
+				if err != nil {
+					return 0, err
+				}
+				g.b.I(mx.Inst{Op: opri, Dst: l, Imm: n.V})
+				return l, nil
+			}
+		}
+	}
+
+	op, ok := binToOpRR[x.Op]
+	if !ok {
+		return 0, fmt.Errorf("cc: unknown binary operator %q", x.Op)
+	}
+	l, r, err := g.evalPair(x.L, x.R, depth)
+	if err != nil {
+		return 0, err
+	}
+	g.b.I(mx.Inst{Op: op, Dst: l, Src: r})
+	if l != dst {
+		g.b.MovRR(dst, l)
+	}
+	return dst, nil
+}
+
+// evalPair evaluates two operands, returning the registers holding them.
+// The left result lands in the depth register. At -O0 (or at the pool edge)
+// the left value is spilled to the stack while the right is computed,
+// modelling -O0 stack-machine code.
+func (g *codegen) evalPair(le, re Expr, depth int) (mx.Reg, mx.Reg, error) {
+	spill := g.opt < 2 || depth+1 >= len(scratchPool)
+	if !spill {
+		l, err := g.eval(le, depth)
+		if err != nil {
+			return 0, 0, err
+		}
+		r, err := g.eval(re, depth+1)
+		if err != nil {
+			return 0, 0, err
+		}
+		return l, r, nil
+	}
+	l, err := g.eval(le, depth)
+	if err != nil {
+		return 0, 0, err
+	}
+	g.b.I(mx.Inst{Op: mx.PUSH, Dst: l})
+	rtmp, err := g.eval(re, depth)
+	if err != nil {
+		return 0, 0, err
+	}
+	g.b.MovRR(mx.R11, rtmp)
+	g.b.I(mx.Inst{Op: mx.POP, Dst: l})
+	return l, mx.R11, nil
+}
+
+// evalCond computes a short-circuit && / || as a value.
+func (g *codegen) evalCond(x *CondExpr, depth int) (mx.Reg, error) {
+	dst := g.scratch(depth)
+	end := g.label()
+	l, err := g.eval(x.L, depth)
+	if err != nil {
+		return 0, err
+	}
+	g.b.I(mx.Inst{Op: mx.TESTRR, Dst: l, Src: l})
+	g.b.I(mx.Inst{Op: mx.SETCC, Dst: dst, Cc: mx.CondNE})
+	if x.Op == "&&" {
+		g.b.Jcc(mx.CondE, end) // L false: result 0
+	} else {
+		g.b.Jcc(mx.CondNE, end) // L true: result 1
+	}
+	r, err := g.eval(x.R, depth)
+	if err != nil {
+		return 0, err
+	}
+	g.b.I(mx.Inst{Op: mx.TESTRR, Dst: r, Src: r})
+	g.b.I(mx.Inst{Op: mx.SETCC, Dst: dst, Cc: mx.CondNE})
+	g.b.Label(end)
+	return dst, nil
+}
+
+// branchIfFalse branches to target when cond evaluates to zero.
+func (g *codegen) branchIfFalse(cond Expr, target string) error {
+	return g.branchCond(cond, target, false)
+}
+
+// branchCond branches to target when cond's truth equals want.
+func (g *codegen) branchCond(cond Expr, target string, want bool) error {
+	cond = g.fold(cond)
+	if g.opt >= 2 {
+		switch x := cond.(type) {
+		case *NumExpr:
+			if (x.V != 0) == want {
+				g.b.Jmp(target)
+			}
+			return nil
+		case *BinExpr:
+			if cc, isCmp := cmpToCond[x.Op]; isCmp {
+				if !want {
+					cc = cc.Negate()
+				}
+				// CMP reg, imm form when possible.
+				if n, ok := foldConst(x.R).(*NumExpr); ok && int64(int32(n.V)) == n.V {
+					l, err := g.eval(x.L, 0)
+					if err != nil {
+						return err
+					}
+					g.b.I(mx.Inst{Op: mx.CMPRI, Dst: l, Imm: n.V})
+					g.b.Jcc(cc, target)
+					return nil
+				}
+				l, r, err := g.evalPair(x.L, x.R, 0)
+				if err != nil {
+					return err
+				}
+				g.b.I(mx.Inst{Op: mx.CMPRR, Dst: l, Src: r})
+				g.b.Jcc(cc, target)
+				return nil
+			}
+		case *UnaryExpr:
+			if x.Op == "!" {
+				return g.branchCond(x.X, target, !want)
+			}
+		case *CondExpr:
+			if x.Op == "&&" && !want {
+				// jump if either is false
+				if err := g.branchCond(x.L, target, false); err != nil {
+					return err
+				}
+				return g.branchCond(x.R, target, false)
+			}
+			if x.Op == "||" && want {
+				if err := g.branchCond(x.L, target, true); err != nil {
+					return err
+				}
+				return g.branchCond(x.R, target, true)
+			}
+			if x.Op == "&&" && want {
+				skip := g.label()
+				if err := g.branchCond(x.L, skip, false); err != nil {
+					return err
+				}
+				if err := g.branchCond(x.R, target, true); err != nil {
+					return err
+				}
+				g.b.Label(skip)
+				return nil
+			}
+			if x.Op == "||" && !want {
+				skip := g.label()
+				if err := g.branchCond(x.L, skip, true); err != nil {
+					return err
+				}
+				if err := g.branchCond(x.R, target, false); err != nil {
+					return err
+				}
+				g.b.Label(skip)
+				return nil
+			}
+		}
+	}
+	// Generic (and -O0) path: materialize the condition, TEST, branch.
+	r, err := g.eval(cond, 0)
+	if err != nil {
+		return err
+	}
+	g.b.I(mx.Inst{Op: mx.TESTRR, Dst: r, Src: r})
+	cc := mx.CondNE
+	if !want {
+		cc = mx.CondE
+	}
+	g.b.Jcc(cc, target)
+	return nil
+}

@@ -1,0 +1,235 @@
+// Package cc implements mcc, a mini-C compiler targeting MX64.
+//
+// mcc stands in for gcc-8 in the reproduction: every input binary in the
+// evaluation is compiled from mcc source at -O0 (all locals in stack slots,
+// stack-machine expression evaluation — the memory-heavy code Polynima can
+// speed up after recompilation) or -O2 (register-allocated locals, folded
+// constants, direct conditional branches — the tight code whose recompilation
+// costs show up as slowdowns).
+//
+// The language is untyped mini-C: every value is a 64-bit integer; pointers
+// are integers; memory of other widths is accessed through load8/store8/
+// load32/store32 builtins. It has functions (usable as values — function
+// pointers), globals, arrays, variable-length arrays (the construct that
+// defeats static stack-frame-bound recovery, §2.2.1), strings, the usual
+// statements, hardware-atomic builtins that compile to lock-prefixed
+// instructions, and packed-SIMD builtins.
+package cc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNum
+	tStr
+	tPunct
+	tKeyword
+)
+
+type token struct {
+	kind tokKind
+	s    string // ident, punct, keyword text
+	n    int64  // number value
+	str  string // string literal value (decoded)
+	line int
+}
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "break": true, "continue": true,
+	"extern": true, "switch": true, "case": true, "default": true,
+	"goto": true, "label": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("cc: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	src := l.src
+	for l.pos < len(src) {
+		c := src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(src) && src[l.pos+1] == '/':
+			for l.pos < len(src) && src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(src) && src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(src) && !(src[l.pos] == '*' && src[l.pos+1] == '/') {
+				if src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(src) {
+				return token{}, l.errf("unterminated block comment")
+			}
+			l.pos += 2
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tEOF, line: l.line}, nil
+
+scan:
+	c := src[l.pos]
+	start := l.pos
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(src) && isIdentCont(src[l.pos]) {
+			l.pos++
+		}
+		s := src[start:l.pos]
+		if keywords[s] {
+			return token{kind: tKeyword, s: s, line: l.line}, nil
+		}
+		return token{kind: tIdent, s: s, line: l.line}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(src) && (isIdentCont(src[l.pos])) {
+			l.pos++
+		}
+		s := src[start:l.pos]
+		v, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			// allow full-range hex like 0xffffffffffffffff
+			u, uerr := strconv.ParseUint(s, 0, 64)
+			if uerr != nil {
+				return token{}, l.errf("bad number %q", s)
+			}
+			v = int64(u)
+		}
+		return token{kind: tNum, n: v, line: l.line}, nil
+	case c == '\'':
+		l.pos++
+		if l.pos >= len(src) {
+			return token{}, l.errf("unterminated char literal")
+		}
+		var v int64
+		if src[l.pos] == '\\' {
+			l.pos++
+			if l.pos >= len(src) {
+				return token{}, l.errf("unterminated char literal")
+			}
+			e, err := unescape(src[l.pos])
+			if err != nil {
+				return token{}, l.errf("%v", err)
+			}
+			v = int64(e)
+		} else {
+			v = int64(src[l.pos])
+		}
+		l.pos++
+		if l.pos >= len(src) || src[l.pos] != '\'' {
+			return token{}, l.errf("unterminated char literal")
+		}
+		l.pos++
+		return token{kind: tNum, n: v, line: l.line}, nil
+	case c == '"':
+		l.pos++
+		var out []byte
+		for l.pos < len(src) && src[l.pos] != '"' {
+			ch := src[l.pos]
+			if ch == '\n' {
+				return token{}, l.errf("newline in string literal")
+			}
+			if ch == '\\' {
+				l.pos++
+				if l.pos >= len(src) {
+					return token{}, l.errf("unterminated string")
+				}
+				e, err := unescape(src[l.pos])
+				if err != nil {
+					return token{}, l.errf("%v", err)
+				}
+				out = append(out, e)
+			} else {
+				out = append(out, ch)
+			}
+			l.pos++
+		}
+		if l.pos >= len(src) {
+			return token{}, l.errf("unterminated string")
+		}
+		l.pos++
+		return token{kind: tStr, str: string(out), line: l.line}, nil
+	default:
+		two := ""
+		if l.pos+1 < len(src) {
+			two = src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+			"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=":
+			l.pos += 2
+			return token{kind: tPunct, s: two, line: l.line}, nil
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>',
+			'=', '(', ')', '{', '}', '[', ']', ',', ';', ':':
+			l.pos++
+			return token{kind: tPunct, s: string(c), line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+func unescape(c byte) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	}
+	return 0, fmt.Errorf("bad escape \\%c", c)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == 'x' || c == 'X'
+}

@@ -1,0 +1,470 @@
+package cc
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+	err  error
+}
+
+// Parse parses an mcc source file.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tEOF, "") {
+		switch {
+		case p.at(tKeyword, "extern"):
+			p.pos++
+			name := p.expectIdent()
+			p.expect(";")
+			prog.Externs = append(prog.Externs, name)
+		case p.at(tKeyword, "var"):
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case p.at(tKeyword, "func"):
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, p.errf("expected top-level declaration, got %q", p.cur().s)
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+	}
+	return prog, p.err
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokKind, s string) bool {
+	t := p.cur()
+	return t.kind == kind && (s == "" || t.s == s)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	if p.err == nil {
+		p.err = fmt.Errorf("cc: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+	}
+	return p.err
+}
+
+func (p *parser) expect(punct string) {
+	if p.cur().kind == tPunct && p.cur().s == punct {
+		p.pos++
+		return
+	}
+	p.errf("expected %q, got %q", punct, p.cur().s)
+}
+
+func (p *parser) expectIdent() string {
+	if p.cur().kind == tIdent {
+		s := p.cur().s
+		p.pos++
+		return s
+	}
+	p.errf("expected identifier, got %q", p.cur().s)
+	return "_error_"
+}
+
+// err sticks: once set, parsing unwinds quickly because expect() no-ops.
+// A stuck parser still terminates because statement loops check p.err.
+
+func (p *parser) globalDecl() (*GlobalDecl, error) {
+	p.pos++ // var
+	g := &GlobalDecl{Name: p.expectIdent()}
+	switch {
+	case p.at(tPunct, "["):
+		p.pos++
+		if p.cur().kind != tNum {
+			return nil, p.errf("global array length must be a constant")
+		}
+		g.ArrayLen = p.cur().n
+		g.IsArray = true
+		p.pos++
+		p.expect("]")
+		if p.at(tPunct, "=") {
+			p.pos++
+			p.expect("{")
+			for !p.at(tPunct, "}") {
+				if p.cur().kind != tNum {
+					neg := false
+					if p.at(tPunct, "-") {
+						p.pos++
+						neg = true
+					}
+					if p.cur().kind != tNum {
+						return nil, p.errf("global array initializer must be constant")
+					}
+					v := p.cur().n
+					if neg {
+						v = -v
+					}
+					g.ArrayInit = append(g.ArrayInit, v)
+					p.pos++
+				} else {
+					g.ArrayInit = append(g.ArrayInit, p.cur().n)
+					p.pos++
+				}
+				if p.at(tPunct, ",") {
+					p.pos++
+				}
+			}
+			p.expect("}")
+		}
+	case p.at(tPunct, "="):
+		p.pos++
+		neg := false
+		if p.at(tPunct, "-") {
+			p.pos++
+			neg = true
+		}
+		if p.cur().kind != tNum {
+			return nil, p.errf("global initializer must be a constant")
+		}
+		g.Init = p.cur().n
+		if neg {
+			g.Init = -g.Init
+		}
+		p.pos++
+	}
+	p.expect(";")
+	return g, p.err
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	line := p.cur().line
+	p.pos++ // func
+	f := &FuncDecl{Name: p.expectIdent(), Line: line}
+	p.expect("(")
+	for !p.at(tPunct, ")") {
+		f.Params = append(f.Params, p.expectIdent())
+		if p.at(tPunct, ",") {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	p.expect(")")
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	if len(f.Params) > 6 {
+		return nil, p.errf("func %s: more than 6 parameters", f.Name)
+	}
+	return f, p.err
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	p.expect("{")
+	var out []Stmt
+	for !p.at(tPunct, "}") && !p.at(tEOF, "") && p.err == nil {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.expect("}")
+	return out, p.err
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.at(tKeyword, "var"):
+		p.pos++
+		name := p.expectIdent()
+		if p.at(tPunct, "[") {
+			p.pos++
+			ln, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			p.expect("]")
+			p.expect(";")
+			return &ArrStmt{Name: name, Len: ln}, p.err
+		}
+		var init Expr
+		if p.at(tPunct, "=") {
+			p.pos++
+			var err error
+			init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.expect(";")
+		return &VarStmt{Name: name, Init: init}, p.err
+	case p.at(tKeyword, "if"):
+		p.pos++
+		p.expect("(")
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		p.expect(")")
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.at(tKeyword, "else") {
+			p.pos++
+			if p.at(tKeyword, "if") {
+				s, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{s}
+			} else {
+				els, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, p.err
+	case p.at(tKeyword, "while"):
+		p.pos++
+		p.expect("(")
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		p.expect(")")
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, p.err
+	case p.at(tKeyword, "for"):
+		p.pos++
+		p.expect("(")
+		var init, post Stmt
+		var cond Expr
+		var err error
+		if !p.at(tPunct, ";") {
+			init, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.expect(";")
+		if !p.at(tPunct, ";") {
+			cond, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.expect(";")
+		if !p.at(tPunct, ")") {
+			post, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.expect(")")
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: init, Cond: cond, Post: post, Body: body}, p.err
+	case p.at(tKeyword, "return"):
+		p.pos++
+		if p.at(tPunct, ";") {
+			p.pos++
+			return &ReturnStmt{}, p.err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		p.expect(";")
+		return &ReturnStmt{X: x}, p.err
+	case p.at(tKeyword, "break"):
+		p.pos++
+		p.expect(";")
+		return &BreakStmt{}, p.err
+	case p.at(tKeyword, "continue"):
+		p.pos++
+		p.expect(";")
+		return &ContinueStmt{}, p.err
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		p.expect(";")
+		return s, p.err
+	}
+}
+
+// simpleStmt is an assignment or expression statement (no trailing ';').
+func (p *parser) simpleStmt() (Stmt, error) {
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tPunct {
+		op := p.cur().s
+		switch op {
+		case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=":
+			p.pos++
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			switch lhs.(type) {
+			case *IdentExpr, *IndexExpr:
+			case *UnaryExpr:
+				if lhs.(*UnaryExpr).Op != "*" {
+					return nil, p.errf("invalid assignment target")
+				}
+			default:
+				return nil, p.errf("invalid assignment target")
+			}
+			return &AssignStmt{LHS: lhs, Op: op, RHS: rhs}, nil
+		}
+	}
+	return &ExprStmt{X: lhs}, nil
+}
+
+// Expression grammar, precedence climbing.
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(0) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.s]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		if t.s == "&&" || t.s == "||" {
+			lhs = &CondExpr{Op: t.s, L: lhs, R: rhs}
+		} else {
+			lhs = &BinExpr{Op: t.s, L: lhs, R: rhs}
+		}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tPunct {
+		switch t.s {
+		case "-", "~", "!", "*", "&":
+			p.pos++
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: t.s, X: x}, nil
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tPunct, "["):
+			p.pos++
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			p.expect("]")
+			x = &IndexExpr{Base: x, Idx: idx}
+		case p.at(tPunct, "("):
+			id, ok := x.(*IdentExpr)
+			if !ok {
+				return nil, p.errf("call of non-identifier")
+			}
+			p.pos++
+			var args []Expr
+			for !p.at(tPunct, ")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.at(tPunct, ",") {
+					p.pos++
+				} else {
+					break
+				}
+			}
+			p.expect(")")
+			if len(args) > 6 {
+				return nil, p.errf("call %s: more than 6 arguments", id.Name)
+			}
+			if want, isB := builtins[id.Name]; isB && want != len(args) {
+				return nil, p.errf("builtin %s expects %d args, got %d", id.Name, want, len(args))
+			}
+			x = &CallExpr{Name: id.Name, Args: args}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tNum:
+		p.pos++
+		return &NumExpr{V: t.n}, nil
+	case t.kind == tStr:
+		p.pos++
+		return &StrExpr{S: t.str}, nil
+	case t.kind == tIdent:
+		p.pos++
+		return &IdentExpr{Name: t.s}, nil
+	case t.kind == tPunct && t.s == "(":
+		p.pos++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		p.expect(")")
+		return x, p.err
+	}
+	return nil, p.errf("unexpected token %q", t.s)
+}

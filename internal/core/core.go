@@ -1,0 +1,423 @@
+// Package core is the Polynima driver: it assembles the full hybrid
+// recompilation pipeline (Figure 2) around the substrate packages.
+//
+//	disassemble (static CFG) -> [ICFT trace] -> lift -> [dynamic analyses]
+//	  -> optimize -> lower -> standalone recompiled binary
+//
+// plus the additive-lifting loop (§3.2): run the recompiled output natively;
+// when it reports a control-flow miss, integrate the newly discovered target
+// into the on-disk CFG with a static recursive descent and re-run the
+// pipeline.
+//
+// The optional dynamic analyses are callback-wrapper pruning (§3.3.3) and
+// spinloop detection driving fence removal (§3.4); both consume concrete
+// inputs and leave the output a fully functional replacement binary whether
+// or not they run.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/disasm"
+	"repro/internal/image"
+	"repro/internal/ir"
+	"repro/internal/lifter"
+	"repro/internal/lower"
+	"repro/internal/opt"
+	"repro/internal/spindet"
+	"repro/internal/tracer"
+	"repro/internal/vm"
+)
+
+// Options configures a recompilation project.
+type Options struct {
+	// InsertFences applies Lasagne-style fence insertion (default true via
+	// DefaultOptions; disable only for the unsound ablation).
+	InsertFences bool
+	// NaiveAtomics selects the Listing 1 global-lock atomic translation.
+	NaiveAtomics bool
+	// Optimize runs the refinement pass pipeline.
+	Optimize bool
+	// VerifyIR re-verifies the IR after every pass (slow; tests).
+	VerifyIR bool
+	// Fuel bounds every VM execution (instructions).
+	Fuel uint64
+	// Seed drives VM scheduling for pipeline-internal runs.
+	Seed int64
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{InsertFences: true, Optimize: true, Fuel: 2_000_000_000, Seed: 1}
+}
+
+// Input is one concrete execution used by the dynamic analyses.
+type Input struct {
+	Data []byte
+	Seed int64
+	Exts map[string]vm.ExtFunc
+}
+
+// Stats records pipeline timing and counters (Table 4's metrics).
+type Stats struct {
+	DisasmTime  time.Duration
+	TraceTime   time.Duration
+	LiftTime    time.Duration
+	OptTime     time.Duration
+	LowerTime   time.Duration
+	ICFTs       int
+	Recompiles  int
+	Funcs       int
+	Blocks      int
+	CodeSize    int
+	TraceInsts  uint64
+	FencesGone  bool
+	NumExternal int
+}
+
+// Total returns the total pipeline time.
+func (s *Stats) Total() time.Duration {
+	return s.DisasmTime + s.TraceTime + s.LiftTime + s.OptTime + s.LowerTime
+}
+
+// Project is one recompilation effort over an input binary.
+type Project struct {
+	Img   *image.Image
+	Graph *cfg.Graph
+	Opts  Options
+	Stats Stats
+
+	// dynamic-analysis state
+	removeFences  bool
+	callbackSet   map[uint64]bool // observed external entries; nil = not pruned
+	spinReport    *spindet.Report
+	lastRecording *spindet.Recording
+}
+
+// NewProject disassembles the binary and prepares a project.
+func NewProject(img *image.Image, opts Options) (*Project, error) {
+	p := &Project{Img: img, Opts: opts}
+	t0 := time.Now()
+	g, err := disasm.Disassemble(img)
+	if err != nil {
+		return nil, err
+	}
+	p.Stats.DisasmTime = time.Since(t0)
+	p.Graph = g
+	p.Stats.Funcs = len(g.Funcs)
+	p.Stats.Blocks = g.NumBlocks()
+	return p, nil
+}
+
+// Trace augments the CFG with dynamically observed indirect targets (§3.2
+// "Dynamic": the ICFT tracer, run upfront over concrete inputs).
+func (p *Project) Trace(inputs []Input) (*tracer.Result, error) {
+	runs := make([]tracer.Run, len(inputs))
+	for i, in := range inputs {
+		runs[i] = tracer.Run{Input: in.Data, Seed: in.Seed, Exts: in.Exts}
+	}
+	if len(runs) == 0 {
+		runs = []tracer.Run{{Seed: p.Opts.Seed}}
+	}
+	t0 := time.Now()
+	res, err := tracer.Trace(p.Img, p.Graph, runs, p.Opts.Fuel)
+	p.Stats.TraceTime += time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	p.Stats.ICFTs += res.ICFTs
+	p.Stats.TraceInsts += res.Insts
+	return res, nil
+}
+
+// lift runs the lifter with the project's options over the current CFG.
+func (p *Project) lift() (*lifter.Lifted, error) {
+	t0 := time.Now()
+	lf, err := lifter.Lift(p.Img, p.Graph, lifter.Options{
+		InsertFences: p.Opts.InsertFences,
+		NaiveAtomics: p.Opts.NaiveAtomics,
+	})
+	p.Stats.LiftTime += time.Since(t0)
+	return lf, err
+}
+
+// applyDynamicResults marks pruned callbacks and removes fences per the
+// dynamic analyses that have run.
+func (p *Project) applyDynamicResults(lf *lifter.Lifted) {
+	if p.callbackSet != nil {
+		for addr, f := range lf.FuncByAddr {
+			if addr == p.Img.Entry {
+				continue // the program entry always needs its wrapper
+			}
+			if !p.callbackSet[addr] {
+				f.External = false
+			}
+		}
+	}
+	if p.removeFences {
+		for _, f := range lf.Mod.Funcs {
+			opt.RemoveFences(f)
+		}
+	}
+	n := 0
+	for _, f := range lf.Mod.Funcs {
+		if f.External {
+			n++
+		}
+	}
+	p.Stats.NumExternal = n
+	p.Stats.FencesGone = p.removeFences
+}
+
+// Recompile runs lift -> optimize -> lower over the current CFG and returns
+// the standalone recompiled binary.
+func (p *Project) Recompile() (*image.Image, error) {
+	lf, err := p.lift()
+	if err != nil {
+		return nil, err
+	}
+	p.applyDynamicResults(lf)
+	if p.Opts.Optimize {
+		t0 := time.Now()
+		if p.callbackSet != nil {
+			// Callback pruning unlocked inlining of the de-externalized
+			// functions (§3.3.3).
+			opt.Inline(lf.Mod, 300)
+		}
+		oo := opt.Options{Verify: p.Opts.VerifyIR, NoCallbacks: p.noCallbacks()}
+		if err := opt.Run(lf.Mod, oo); err != nil {
+			return nil, err
+		}
+		p.Stats.OptTime += time.Since(t0)
+	}
+	t0 := time.Now()
+	res, err := lower.Lower(lf)
+	p.Stats.LowerTime += time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	p.Stats.CodeSize = res.CodeSize
+	p.Stats.Recompiles++
+	return res.Img, nil
+}
+
+// noCallbacks reports whether the callback analysis proved that no guest
+// function other than the entry point is ever entered from the host.
+func (p *Project) noCallbacks() bool {
+	if p.callbackSet == nil {
+		return false
+	}
+	for addr := range p.callbackSet {
+		if addr != p.Img.Entry {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes a binary with this project's fuel and the given input.
+func (p *Project) Run(img *image.Image, in Input) (vm.Result, error) {
+	m, err := vm.NewWithExts(img, in.Seed, in.Exts)
+	if err != nil {
+		return vm.Result{}, err
+	}
+	if in.Data != nil {
+		m.SetInput(in.Data)
+	}
+	return m.Run(p.Opts.Fuel), nil
+}
+
+// AdditiveResult describes an additive-lifting session.
+type AdditiveResult struct {
+	Result     vm.Result
+	Recompiles int // recompilation loops triggered by misses
+	Misses     []Miss
+	Img        *image.Image // the final recompiled binary
+}
+
+// Miss is one recorded control-flow miss.
+type Miss struct {
+	Site, Target uint64
+}
+
+// RunAdditive executes the recompiled binary on the input; on every
+// control-flow miss it integrates the discovered target into the CFG
+// (recursive descent from the new block, §3.2), re-runs the recompilation
+// pipeline, and restarts the program — the additive-lifting loop.
+func (p *Project) RunAdditive(in Input, maxLoops int) (*AdditiveResult, error) {
+	if maxLoops <= 0 {
+		maxLoops = 64
+	}
+	out := &AdditiveResult{}
+	img, err := p.Recompile()
+	if err != nil {
+		return nil, err
+	}
+	for loop := 0; ; loop++ {
+		m, err := vm.NewWithExts(img, in.Seed, in.Exts)
+		if err != nil {
+			return nil, err
+		}
+		if in.Data != nil {
+			m.SetInput(in.Data)
+		}
+		var miss *Miss
+		m.MissHook = func(t *vm.Thread, site, target uint64) {
+			miss = &Miss{Site: site, Target: target}
+		}
+		res := m.Run(p.Opts.Fuel)
+		if res.Fault != nil {
+			return nil, fmt.Errorf("core: additive run faulted: %w", res.Fault)
+		}
+		if res.ExitCode != vm.MissExitCode || miss == nil {
+			out.Result = res
+			out.Img = img
+			return out, nil
+		}
+		if loop >= maxLoops {
+			return nil, fmt.Errorf("core: additive lifting did not converge after %d loops", maxLoops)
+		}
+		out.Misses = append(out.Misses, *miss)
+		// Integrate the discovered path and re-run the pipeline.
+		blk := p.Graph.BlockContaining(miss.Site)
+		if blk == nil {
+			return nil, fmt.Errorf("core: miss site %#x not in CFG", miss.Site)
+		}
+		if _, known := p.Graph.Blocks[miss.Target]; known {
+			blk.AddTarget(miss.Target)
+		} else if err := disasm.ExploreFrom(p.Img, p.Graph, blk.Addr, miss.Target); err != nil {
+			return nil, fmt.Errorf("core: integrating miss %#x->%#x: %w", miss.Site, miss.Target, err)
+		}
+		img, err = p.Recompile()
+		if err != nil {
+			return nil, err
+		}
+		out.Recompiles++
+	}
+}
+
+// PruneCallbacks runs the callback-usage analysis (§3.3.3): it observes
+// which functions are used as external entry points across the inputs and
+// unmarks all others, shrinking the output and unlocking optimization.
+func (p *Project) PruneCallbacks(inputs []Input) error {
+	set := map[uint64]bool{}
+	if len(inputs) == 0 {
+		inputs = []Input{{Seed: p.Opts.Seed}}
+	}
+	for _, in := range inputs {
+		m, err := vm.NewWithExts(p.Img, in.Seed, in.Exts)
+		if err != nil {
+			return err
+		}
+		if in.Data != nil {
+			m.SetInput(in.Data)
+		}
+		m.OnGuestEntry = func(fn uint64) { set[fn] = true }
+		res := m.Run(p.Opts.Fuel)
+		if res.Fault != nil {
+			return fmt.Errorf("core: callback analysis run faulted: %w", res.Fault)
+		}
+	}
+	p.callbackSet = set
+	return nil
+}
+
+// FenceOptimize runs the spinloop-detection pipeline (§3.4): instrument the
+// lifted module, run the instrumented recompiled binary over the inputs,
+// analyze every loop, and — only if the whole program is proven free of
+// implicit synchronization — enable fence removal for subsequent
+// recompilations. It returns the analysis report.
+func (p *Project) FenceOptimize(inputs []Input) (*spindet.Report, error) {
+	// Build the instrumented binary from a fresh lift (no optimization:
+	// instrumentation must see every site).
+	lf, err := p.lift()
+	if err != nil {
+		return nil, err
+	}
+	spindet.Instrument(lf.Mod)
+	res, err := lower.Lower(lf)
+	if err != nil {
+		return nil, err
+	}
+	recorder := spindet.NewRecorder()
+	if len(inputs) == 0 {
+		inputs = []Input{{Seed: p.Opts.Seed}}
+	}
+	for _, in := range inputs {
+		exts := map[string]vm.ExtFunc{}
+		for k, v := range in.Exts {
+			exts[k] = v
+		}
+		for k, v := range recorder.Exts() {
+			exts[k] = v
+		}
+		m, err := vm.NewWithExts(res.Img, in.Seed, exts)
+		if err != nil {
+			return nil, err
+		}
+		if in.Data != nil {
+			m.SetInput(in.Data)
+		}
+		r := m.Run(p.Opts.Fuel)
+		if r.Fault != nil {
+			return nil, fmt.Errorf("core: instrumented run faulted: %w", r.Fault)
+		}
+	}
+
+	// Analyze a fresh, optimized module (site IDs are deterministic across
+	// lifts of the same graph).
+	lf2, err := p.lift()
+	if err != nil {
+		return nil, err
+	}
+	if err := opt.Run(lf2.Mod, opt.Options{Verify: p.Opts.VerifyIR}); err != nil {
+		return nil, err
+	}
+	p.lastRecording = recorder.Recording()
+	report := spindet.Analyze(lf2.Mod, p.lastRecording)
+	p.spinReport = report
+	if report.FencesRemovable {
+		p.removeFences = true
+	}
+	return report, nil
+}
+
+// SpinReport returns the last fence-optimization report, or nil.
+func (p *Project) SpinReport() *spindet.Report { return p.spinReport }
+
+// ForceFenceRemoval enables fence removal unconditionally (the unsound
+// ablation used to quantify the fence cost).
+func (p *Project) ForceFenceRemoval() { p.removeFences = true }
+
+// DebugSpin runs the fence-optimization recording and returns the influence
+// trace for one loop (diagnostics).
+func (p *Project) DebugSpin(fn string, header uint64, inputs []Input) (bool, bool, []string, error) {
+	if _, err := p.FenceOptimize(inputs); err != nil {
+		return false, false, nil, err
+	}
+	lf, err := p.lift()
+	if err != nil {
+		return false, false, nil, err
+	}
+	if err := opt.Run(lf.Mod, opt.Options{}); err != nil {
+		return false, false, nil, err
+	}
+	v, e, notes := spindet.DebugInfluence(lf.Mod, fn, header, p.lastRecording)
+	return v, e, notes, nil
+}
+
+// LastRecording exposes the last fence-optimization recording (diagnostics).
+func (p *Project) LastRecording() *spindet.Recording { return p.lastRecording }
+
+// LiftForDebug lifts with the project's dynamic results applied and returns
+// the lifted handle and its module (diagnostics; skips optimization).
+func (p *Project) LiftForDebug() (*lifter.Lifted, *ir.Module, error) {
+	lf, err := p.lift()
+	if err != nil {
+		return nil, nil, err
+	}
+	p.applyDynamicResults(lf)
+	return lf, lf.Mod, nil
+}

@@ -1,0 +1,403 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/vm"
+)
+
+func compile(t *testing.T, src string, opt int) *image.Image {
+	t.Helper()
+	img, _, err := cc.Compile(src, cc.Config{Name: "t", Opt: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func options() core.Options {
+	o := core.DefaultOptions()
+	o.VerifyIR = true
+	return o
+}
+
+func runImg(t *testing.T, img *image.Image, in core.Input) vm.Result {
+	t.Helper()
+	m, err := vm.NewWithExts(img, in.Seed, in.Exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Data != nil {
+		m.SetInput(in.Data)
+	}
+	res := m.Run(2_000_000_000)
+	if res.Fault != nil {
+		t.Fatalf("fault: %v (out %q)", res.Fault, res.Output)
+	}
+	return res
+}
+
+const threadedSrc = `
+extern thread_create;
+extern thread_join;
+extern print_i64;
+var total = 0;
+func worker(arg) {
+	var i;
+	for (i = 0; i < 200; i = i + 1) { atomic_add(&total, arg); }
+	return 0;
+}
+func main() {
+	var t1 = thread_create(worker, 1);
+	var t2 = thread_create(worker, 3);
+	thread_join(t1);
+	thread_join(t2);
+	print_i64(total);
+	return total / 100;
+}`
+
+func TestProjectRecompileThreaded(t *testing.T) {
+	for _, ccOpt := range []int{0, 2} {
+		img := compile(t, threadedSrc, ccOpt)
+		p, err := core.NewProject(img, options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := p.Recompile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runImg(t, img, core.Input{Seed: 5})
+		got := runImg(t, rec, core.Input{Seed: 5})
+		if want.ExitCode != got.ExitCode || want.Output != got.Output {
+			t.Fatalf("O%d divergence: %d/%q vs %d/%q", ccOpt,
+				want.ExitCode, want.Output, got.ExitCode, got.Output)
+		}
+		if p.Stats.Funcs == 0 || p.Stats.CodeSize == 0 {
+			t.Fatalf("stats not recorded: %+v", p.Stats)
+		}
+	}
+}
+
+const fptrSrc = `
+extern input_byte;
+func h_add(x) { return x + 10; }
+func h_mul(x) { return x * 10; }
+func h_neg(x) { return -x; }
+var table[3];
+func main() {
+	store64(table, h_add);
+	store64(table + 8, h_mul);
+	store64(table + 16, h_neg);
+	var sum = 0;
+	var c = input_byte();
+	while (c != -1) {
+		var f = load64(table + (c - '0') * 8);
+		sum = sum + f(7);
+		c = input_byte();
+	}
+	return sum;
+}`
+
+func TestAdditiveLiftingConverges(t *testing.T) {
+	img := compile(t, fptrSrc, 2)
+	p, err := core.NewProject(img, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.Input{Data: []byte("012"), Seed: 3}
+	want := runImg(t, img, in)
+
+	res, err := p.RunAdditive(in, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.ExitCode != want.ExitCode {
+		t.Fatalf("exit %d, want %d", res.Result.ExitCode, want.ExitCode)
+	}
+	// Three distinct indirect targets were unknown statically: the loop
+	// must have gone through at least one recompile (likely three).
+	if res.Recompiles == 0 {
+		t.Fatal("no recompilation loops despite unknown indirect targets")
+	}
+	if len(res.Misses) != res.Recompiles {
+		t.Fatalf("misses %d != recompiles %d", len(res.Misses), res.Recompiles)
+	}
+
+	// A second additive run with different input exercising a previously
+	// seen path must need no further recompiles.
+	res2, err := p.RunAdditive(core.Input{Data: []byte("0"), Seed: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Recompiles != 0 {
+		t.Fatalf("unexpected recompiles on known path: %d", res2.Recompiles)
+	}
+	if res2.Result.ExitCode != 17 {
+		t.Fatalf("exit %d, want 17", res2.Result.ExitCode)
+	}
+}
+
+func TestTracerAvoidsAdditiveLoops(t *testing.T) {
+	img := compile(t, fptrSrc, 2)
+	p, err := core.NewProject(img, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Trace([]core.Input{{Data: []byte("012"), Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ICFTs < 3 {
+		t.Fatalf("ICFTs = %d, want >= 3", tr.ICFTs)
+	}
+	res, err := p.RunAdditive(core.Input{Data: []byte("210"), Seed: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recompiles != 0 {
+		t.Fatalf("tracing should have resolved all targets; %d recompiles", res.Recompiles)
+	}
+}
+
+func TestPruneCallbacks(t *testing.T) {
+	// h_unused is address-taken (conservatively external) but never called.
+	src := `
+extern thread_create;
+extern thread_join;
+var fp = 0;
+func h_unused(x) { return x; }
+func worker(a) { return a * 2; }
+func main() {
+	store64(&fp, h_unused);
+	var t1 = thread_create(worker, 21);
+	return thread_join(t1);
+}`
+	img := compile(t, src, 2)
+
+	p1, err := core.NewProject(img, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Recompile(); err != nil {
+		t.Fatal(err)
+	}
+	conservative := p1.Stats.NumExternal
+	sizeBefore := p1.Stats.CodeSize
+
+	p2, err := core.NewProject(img, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.PruneCallbacks([]core.Input{{Seed: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p2.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Stats.NumExternal >= conservative {
+		t.Fatalf("pruning did not reduce external functions: %d -> %d",
+			conservative, p2.Stats.NumExternal)
+	}
+	if p2.Stats.CodeSize >= sizeBefore {
+		t.Fatalf("pruning did not reduce code size: %d -> %d", sizeBefore, p2.Stats.CodeSize)
+	}
+	// The pruned binary still runs correctly (worker is still a callback).
+	got := runImg(t, rec, core.Input{Seed: 2})
+	if got.ExitCode != 42 {
+		t.Fatalf("exit %d, want 42", got.ExitCode)
+	}
+}
+
+func TestFenceOptimizeOnSyncFreeProgram(t *testing.T) {
+	// Pure data-parallel program synchronized only through thread_join:
+	// every loop is non-spinning; fences must be removable.
+	src := `
+extern thread_create;
+extern thread_join;
+var out[2];
+func worker(arg) {
+	var s = 0;
+	var i;
+	for (i = 0; i < 50; i = i + 1) { s = s + i * arg; }
+	store64(out + arg * 8, s);
+	return 0;
+}
+func main() {
+	var t1 = thread_create(worker, 0);
+	var t2 = thread_create(worker, 1);
+	thread_join(t1);
+	thread_join(t2);
+	return (load64(out) + load64(out + 8)) % 256;
+}`
+	img := compile(t, src, 2)
+	p, err := core.NewProject(img, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.FenceOptimize([]core.Input{{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FencesRemovable {
+		for _, l := range rep.Loops {
+			t.Logf("loop %s@%#x spin=%v covered=%v: %s", l.Func, l.Header, l.Spinning, l.Covered, l.Reason)
+		}
+		t.Fatal("sync-free program not proven fence-removable")
+	}
+	rec, err := p.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stats.FencesGone {
+		t.Fatal("fences not removed after positive verdict")
+	}
+	want := runImg(t, img, core.Input{Seed: 7})
+	got := runImg(t, rec, core.Input{Seed: 7})
+	if want.ExitCode != got.ExitCode {
+		t.Fatalf("divergence after fence removal: %d vs %d", want.ExitCode, got.ExitCode)
+	}
+}
+
+func TestFenceOptimizeDetectsSpinlock(t *testing.T) {
+	src := `
+extern thread_create;
+extern thread_join;
+var lock = 0;
+var count = 0;
+func worker(arg) {
+	var i;
+	for (i = 0; i < 50; i = i + 1) {
+		while (load64(&lock) != 0) { }
+		store64(&lock, 1);
+		count = count + 1;
+		store64(&lock, 0);
+	}
+	return 0;
+}
+func main() {
+	var t1 = thread_create(worker, 0);
+	thread_join(t1);
+	return count;
+}`
+	img := compile(t, src, 2)
+	p, err := core.NewProject(img, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.FenceOptimize([]core.Input{{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FencesRemovable {
+		t.Fatal("spinlock program wrongly proven free of implicit synchronization")
+	}
+	if rep.Spinning == 0 {
+		t.Fatal("no spinning loop reported")
+	}
+	found := false
+	for _, l := range rep.Loops {
+		if l.Spinning && strings.Contains(l.Reason, "no exit condition") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no spin verdict with explanation: %+v", rep.Loops)
+	}
+	// Conservative path: recompile keeps fences, output stays correct.
+	rec, err := p.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.FencesGone {
+		t.Fatal("fences removed despite spin verdict")
+	}
+	want := runImg(t, img, core.Input{Seed: 3})
+	got := runImg(t, rec, core.Input{Seed: 3})
+	if want.ExitCode != got.ExitCode {
+		t.Fatalf("divergence: %d vs %d", want.ExitCode, got.ExitCode)
+	}
+}
+
+func TestFenceOptimizeUncoveredLoopIsConservative(t *testing.T) {
+	// The endianness-swap-style loop is never executed with these inputs
+	// (the histogram false-negative case, §4.3).
+	src := `
+extern input_byte;
+var buf[8];
+func main() {
+	var c = input_byte();
+	var i;
+	if (c == 'X') {
+		for (i = 0; i < 8; i = i + 1) { buf[i] = load64(buf + (7-i)*8); }
+	}
+	var s = 0;
+	for (i = 0; i < 8; i = i + 1) { s = s + buf[i]; }
+	return s;
+}`
+	img := compile(t, src, 2)
+	p, err := core.NewProject(img, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.FenceOptimize([]core.Input{{Data: []byte("y"), Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FencesRemovable {
+		t.Fatal("uncovered loop must keep the verdict conservative")
+	}
+	if rep.Uncovered == 0 {
+		t.Fatalf("expected an uncovered loop: %+v", rep.Loops)
+	}
+}
+
+func TestNaiveVsOptimizedAtomics(t *testing.T) {
+	src := `
+extern thread_create;
+extern thread_join;
+var c = 0;
+func w(a) {
+	var i;
+	for (i = 0; i < 300; i = i + 1) { atomic_add(&c, 1); }
+	return 0;
+}
+func main() {
+	var t1 = thread_create(w, 0);
+	var t2 = thread_create(w, 0);
+	thread_join(t1);
+	thread_join(t2);
+	return c / 3;
+}`
+	img := compile(t, src, 2)
+
+	run := func(naive bool) vm.Result {
+		o := options()
+		o.NaiveAtomics = naive
+		p, err := core.NewProject(img, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := p.Recompile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runImg(t, rec, core.Input{Seed: 9})
+	}
+	naive := run(true)
+	optimized := run(false)
+	if naive.ExitCode != 200 || optimized.ExitCode != 200 {
+		t.Fatalf("wrong results: naive=%d optimized=%d", naive.ExitCode, optimized.ExitCode)
+	}
+	// Listing 1 serializes every atomic on a global lock; Listing 2 must
+	// be cheaper.
+	if optimized.Cycles >= naive.Cycles {
+		t.Fatalf("optimized atomics (%d cycles) not faster than naive (%d)",
+			optimized.Cycles, naive.Cycles)
+	}
+}

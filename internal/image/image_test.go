@@ -1,0 +1,106 @@
+package image_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/image"
+)
+
+func TestSectionLookupAndOverlap(t *testing.T) {
+	im := &image.Image{Name: "t"}
+	if err := im.AddSection(image.Section{Name: ".text", Addr: 0x1000, Data: make([]byte, 16), Exec: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.AddSection(image.Section{Name: ".data", Addr: 0x2000, Size: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.AddSection(image.Section{Name: ".bad", Addr: 0x1008, Size: 16}); err == nil ||
+		!strings.Contains(err.Error(), "overlaps") {
+		t.Fatalf("overlap not rejected: %v", err)
+	}
+	if s := im.FindSection(0x100f); s == nil || s.Name != ".text" {
+		t.Fatal("FindSection inside .text failed")
+	}
+	if s := im.FindSection(0x1010); s != nil {
+		t.Fatal("FindSection past end matched")
+	}
+	if !im.InText(0x1000) || im.InText(0x2000) {
+		t.Fatal("InText wrong")
+	}
+	if im.Text() == nil || im.Section(".data") == nil || im.Section(".nope") != nil {
+		t.Fatal("named lookup wrong")
+	}
+}
+
+func TestImportIndexStable(t *testing.T) {
+	im := &image.Image{}
+	a := im.ImportIndex("malloc")
+	b := im.ImportIndex("free")
+	if a == b || im.ImportIndex("malloc") != a || im.ImportIndex("free") != b {
+		t.Fatal("import indices unstable")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	im := &image.Image{Name: "prog", Entry: 0x400000, TLSSize: 128,
+		Imports: []string{"exit", "malloc"}}
+	if err := im.AddSection(image.Section{Name: ".text", Addr: 0x400000,
+		Data: []byte{1, 2, 3}, Exec: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := im.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := image.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != im.Name || got.Entry != im.Entry || got.TLSSize != im.TLSSize ||
+		len(got.Sections) != 1 || len(got.Imports) != 2 {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	im := &image.Image{Name: "a", Imports: []string{"x"}}
+	if err := im.AddSection(image.Section{Name: ".text", Addr: 0x1000,
+		Data: []byte{9}, Exec: true}); err != nil {
+		t.Fatal(err)
+	}
+	cl := im.Clone()
+	cl.Sections[0].Data[0] = 42
+	cl.Imports[0] = "y"
+	if im.Sections[0].Data[0] != 9 || im.Imports[0] != "x" {
+		t.Fatal("clone shares backing storage")
+	}
+}
+
+func TestFindSectionProperty(t *testing.T) {
+	im := &image.Image{}
+	if err := im.AddSection(image.Section{Name: ".a", Addr: 100, Size: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.AddSection(image.Section{Name: ".b", Addr: 200, Size: 50}); err != nil {
+		t.Fatal(err)
+	}
+	f := func(addr uint16) bool {
+		a := uint64(addr)
+		s := im.FindSection(a)
+		inA := a >= 100 && a < 150
+		inB := a >= 200 && a < 250
+		switch {
+		case inA:
+			return s != nil && s.Name == ".a"
+		case inB:
+			return s != nil && s.Name == ".b"
+		default:
+			return s == nil
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in a textual, LLVM-flavoured syntax for
+// debugging and golden tests.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, g := range m.Globals {
+		tl := ""
+		if g.ThreadLocal {
+			tl = " thread_local"
+		}
+		at := ""
+		if g.Addr != 0 {
+			at = fmt.Sprintf(" @%#x", g.Addr)
+		}
+		fmt.Fprintf(&sb, "global%s @%s [%d]%s\n", tl, g.Name, g.Size, at)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	attrs := ""
+	if f.External {
+		attrs += " external"
+	}
+	if f.IsWrapper {
+		attrs += " wrapper"
+	}
+	fmt.Fprintf(&sb, "\nfunc @%s()%s {\n", f.Name, attrs)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:", b.Name)
+		if b.OrigAddr != 0 {
+			fmt.Fprintf(&sb, " ; orig %#x", b.OrigAddr)
+		}
+		sb.WriteByte('\n')
+		for _, v := range b.Insts {
+			fmt.Fprintf(&sb, "  %s\n", v.String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func (v *Value) ref() string {
+	switch v.Op {
+	case OpConst:
+		return fmt.Sprintf("%d", v.Const)
+	case OpGlobalAddr:
+		return "@" + v.Global.Name
+	case OpFuncAddr:
+		return "@" + v.Fn.Name
+	case OpUndef:
+		return "undef"
+	}
+	return fmt.Sprintf("%%%d", v.ID)
+}
+
+func (v *Value) argRefs() string {
+	parts := make([]string, len(v.Args))
+	for i, a := range v.Args {
+		parts[i] = a.ref()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String renders one instruction.
+func (v *Value) String() string {
+	res := ""
+	if v.HasResult() {
+		res = fmt.Sprintf("%%%d = ", v.ID)
+	}
+	sl := ""
+	if v.StackLocal {
+		sl = " !stack"
+	}
+	switch v.Op {
+	case OpConst:
+		return fmt.Sprintf("%sconst %d", res, v.Const)
+	case OpGlobalAddr:
+		return fmt.Sprintf("%sgaddr @%s", res, v.Global.Name)
+	case OpFuncAddr:
+		return fmt.Sprintf("%sfaddr @%s", res, v.Fn.Name)
+	case OpICmp:
+		return fmt.Sprintf("%sicmp %s %s", res, v.Pred, v.argRefs())
+	case OpLoad:
+		return fmt.Sprintf("%sload i%d %s%s", res, v.Width*8, v.argRefs(), sl)
+	case OpStore:
+		return fmt.Sprintf("store i%d %s, %s%s", v.Width*8, v.Args[1].ref(), v.Args[0].ref(), sl)
+	case OpVRegLoad:
+		return fmt.Sprintf("%svreg.load @%s", res, v.Global.Name)
+	case OpVRegStore:
+		return fmt.Sprintf("vreg.store @%s, %s", v.Global.Name, v.Args[0].ref())
+	case OpAtomicRMW:
+		return fmt.Sprintf("%satomicrmw %s %s seq_cst", res, v.RMW, v.argRefs())
+	case OpCmpXchg:
+		return fmt.Sprintf("%scmpxchg %s seq_cst", res, v.argRefs())
+	case OpFence:
+		return fmt.Sprintf("fence %s", v.Order)
+	case OpCall:
+		return fmt.Sprintf("%scall @%s(%s)", res, v.Fn.Name, v.argRefs())
+	case OpCallExt:
+		return fmt.Sprintf("%scallext %q(%s)", res, v.ExtName, v.argRefs())
+	case OpPhi:
+		parts := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			parts[i] = fmt.Sprintf("[%s, %s]", a.ref(), v.PhiPreds[i].Name)
+		}
+		return fmt.Sprintf("%sphi %s", res, strings.Join(parts, ", "))
+	case OpBr:
+		return fmt.Sprintf("br %s", v.Targets[0].Name)
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s, %s, %s", v.Args[0].ref(), v.Targets[0].Name, v.Targets[1].Name)
+	case OpSwitch:
+		parts := make([]string, len(v.SwitchVals))
+		for i, c := range v.SwitchVals {
+			parts[i] = fmt.Sprintf("%#x: %s", uint64(c), v.Targets[i+1].Name)
+		}
+		return fmt.Sprintf("switch %s, default %s [%s]", v.Args[0].ref(), v.Targets[0].Name, strings.Join(parts, ", "))
+	case OpRet:
+		if len(v.Args) > 0 {
+			return fmt.Sprintf("ret %s", v.Args[0].ref())
+		}
+		return "ret"
+	default:
+		return fmt.Sprintf("%s%s %s", res, v.Op, v.argRefs())
+	}
+}

@@ -1,0 +1,149 @@
+package lifter
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/disasm"
+	"repro/internal/image"
+	"repro/internal/mx"
+)
+
+// Stack-derivation analysis (§3.3.4): a register is stack-derived at a
+// program point if its value was produced from the emulated stack pointer by
+// a chain of register moves and constant additions/subtractions (LEA with
+// displacement counts; indexed addressing does not). Loads and stores whose
+// base register is stack-derived are marked stack-local: they get no fences
+// and are known thread-exclusive to the spinloop analysis.
+//
+// The analysis is a forward dataflow over each function's blocks: the meet
+// is intersection (derived only if derived along every path), so it is
+// conservative in exactly the direction the paper requires — imprecision can
+// only cause extra fences, never missing ones.
+
+type regMask uint16
+
+func (m regMask) has(r mx.Reg) bool    { return m&(1<<r) != 0 }
+func (m regMask) set(r mx.Reg) regMask { return m | (1 << r) }
+func (m regMask) clear(r mx.Reg) regMask {
+	return (m &^ (1 << r)) | (1 << mx.RSP) // rsp is derived by definition
+}
+
+// onlyRSP is the state at function entry and after calls.
+const onlyRSP = regMask(1 << mx.RSP)
+
+// stackTaint computes, for every block of f, the register mask that is
+// stack-derived at block entry.
+func stackTaint(img *image.Image, g *cfg.Graph, f *cfg.Func) (map[uint64]regMask, error) {
+	const all = regMask(0xffff)
+	in := map[uint64]regMask{}
+	decoded := map[uint64][]mx.Inst{}
+	for _, ba := range f.Blocks {
+		in[ba] = all // top; refined by the fixpoint
+		insts, _, err := disasm.DecodeBlock(img, g.Blocks[ba])
+		if err != nil {
+			return nil, err
+		}
+		decoded[ba] = insts
+	}
+	in[f.Entry] = onlyRSP
+
+	preds := map[uint64][]uint64{}
+	for _, ba := range f.Blocks {
+		for _, s := range blockSuccs(g.Blocks[ba]) {
+			preds[s] = append(preds[s], ba)
+		}
+	}
+
+	transferBlock := func(ba uint64) regMask {
+		cur := in[ba]
+		for _, inst := range decoded[ba] {
+			cur = taintTransfer(inst, cur)
+		}
+		return cur
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, ba := range f.Blocks {
+			if ba == f.Entry {
+				continue
+			}
+			meet := all
+			havePred := false
+			for _, p := range preds[ba] {
+				meet &= transferBlock(p)
+				havePred = true
+			}
+			if !havePred {
+				// Reached only through indirect transfers or an external
+				// entry: assume only RSP, the safe default.
+				meet = onlyRSP
+			}
+			meet = meet.set(mx.RSP)
+			if meet != in[ba] {
+				in[ba] = meet
+				changed = true
+			}
+		}
+	}
+	return in, nil
+}
+
+// blockSuccs returns intraprocedural successor addresses used by the taint
+// propagation (direct targets, indirect jump targets — blocks of the same
+// function — and fallthroughs).
+func blockSuccs(b *cfg.Block) []uint64 {
+	var out []uint64
+	switch b.Term {
+	case cfg.TermJmp, cfg.TermJcc, cfg.TermJmpInd:
+		out = append(out, b.Targets...)
+	}
+	if b.Fall != 0 {
+		out = append(out, b.Fall)
+	}
+	return out
+}
+
+// taintTransfer applies one instruction's effect on the derived set.
+func taintTransfer(inst mx.Inst, cur regMask) regMask {
+	switch inst.Op {
+	case mx.MOVRR:
+		if cur.has(inst.Src) {
+			return cur.set(inst.Dst)
+		}
+		return cur.clear(inst.Dst)
+	case mx.LEA: // dst = base + disp: direct derivation
+		if cur.has(inst.Base) {
+			return cur.set(inst.Dst)
+		}
+		return cur.clear(inst.Dst)
+	case mx.ADDRI, mx.SUBRI: // dst += const: preserves derivation
+		return cur
+	case mx.PUSH: // rsp -= 8: rsp stays derived
+		return cur
+	case mx.POP: // dst <- mem: not derived (rsp stays)
+		return cur.clear(inst.Dst)
+	case mx.CALL, mx.CALLR, mx.CALLX:
+		// Unknown callee effects on registers; rsp is restored by the
+		// calling convention.
+		return onlyRSP
+	case mx.CMPRR, mx.CMPRI, mx.TESTRR, mx.TESTRI,
+		mx.STORE8, mx.STORE32, mx.STORE64, mx.STOREI8, mx.STOREI32,
+		mx.STOREI64, mx.STOREIDX8, mx.STOREIDX32, mx.STOREIDX64,
+		mx.MFENCE, mx.NOP, mx.VSTORE, mx.VADD, mx.VMUL, mx.VBCAST,
+		mx.LOCKINC, mx.LOCKDEC,
+		mx.JMP, mx.JCC, mx.JMPR, mx.JMPM, mx.RET, mx.HLT, mx.UD2, mx.SYSCALL:
+		// No GPR writes.
+		return cur
+	case mx.LOCKADD, mx.LOCKSUB, mx.LOCKAND, mx.LOCKOR, mx.LOCKXOR:
+		return cur // memory destination; Dst register is a source here
+	default:
+		// Every other instruction writes Dst with a non-derived value.
+		// (SUBRR/ADDRR with a register operand are not "direct" derivation
+		// per the paper, so a VLA's rsp -= n would clear rsp — clear()
+		// keeps rsp set unconditionally, since rsp is the stack pointer.)
+		if mx.LayoutOf(inst.Op) == mx.LayoutNone {
+			return cur
+		}
+		return cur.clear(inst.Dst)
+	}
+}

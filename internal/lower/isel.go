@@ -1,0 +1,685 @@
+package lower
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/mx"
+)
+
+// Instruction selection.
+//
+// Register plan:
+//
+//	RAX        — external-call results, atomic cmpxchg protocol, scratch
+//	RBX, R12, R13, R14 — allocatable pool (function-scoped assignment)
+//	RBP        — frame pointer (value slots at [rbp - off])
+//	RSP        — native stack
+//	RSI        — third scratch (atomic RMW loops)
+//	RDI, RDX, RCX, R8, R9 — free until external-call marshaling
+//	R10, R11   — expression scratch
+//	R15        — TLS base (virtual CPU state)
+//
+// Every lifted function saves/restores the pool registers it uses, so values
+// held in pool registers survive calls to other lifted functions; callback
+// wrappers save the full register file, so they also survive external calls
+// that re-enter guest code (§3.3.3).
+//
+// Values are materialized at their program point into a pool register or a
+// frame slot, except pure single-use values, which are folded into their
+// consumer as an expression tree (Sethi-Ullman-style with two scratch
+// registers and a push/pop overflow path).
+
+// poolRegs are allocatable, in preference order. The first four never need
+// preservation; the rest double as external-call argument registers and are
+// pushed/popped around CALLX sites when assigned (the host may clobber them
+// when invoking callbacks).
+var poolRegs = []mx.Reg{mx.RBX, mx.R12, mx.R13, mx.R14, mx.RDI, mx.RDX, mx.RCX, mx.R8, mx.R9}
+
+// marshalRegs need preservation around external calls when pool-assigned.
+var marshalRegs = map[mx.Reg]bool{mx.RDI: true, mx.RDX: true, mx.RCX: true, mx.R8: true, mx.R9: true}
+
+type locKind uint8
+
+const (
+	locNone locKind = iota
+	locReg
+	locSlot
+)
+
+type location struct {
+	kind locKind
+	reg  mx.Reg
+	off  int32 // slot offset: value at [rbp - off]
+}
+
+// funcLower lowers one PIR function.
+type funcLower struct {
+	env   *env
+	e     *emitter
+	f     *ir.Func
+	loc   map[*ir.Value]location
+	inl   map[*ir.Value]bool // tree-inlined (lowered at use site)
+	uses  map[*ir.Value]int
+	moves map[*ir.Block][]phiMove
+	frame int32           // spill-slot bytes (below the saved registers)
+	base  int32           // bytes of saved pool registers between rbp and the slots
+	used  map[mx.Reg]bool // pool registers in use
+	order map[*ir.Block]int
+}
+
+// env carries module-level lowering context.
+type env struct {
+	tlsOff    map[*ir.Global]int32
+	importIdx func(string) uint16
+	fnLabel   func(*ir.Func) string
+	// stateBase, when nonzero, replaces per-thread TLS with a shared state
+	// block at this address: R15 is loaded with the constant base instead
+	// of TLSBASE (single-thread-state baselines).
+	stateBase uint64
+}
+
+// emitStateBase loads the virtual-state base register.
+func (env *env) emitStateBase(e *emitter) {
+	if env.stateBase != 0 {
+		e.emit(mx.Inst{Op: mx.MOVRI, Dst: mx.R15, Imm: int64(env.stateBase)})
+		return
+	}
+	e.emit(mx.Inst{Op: mx.TLSBASE, Dst: mx.R15})
+}
+
+func isPure(v *ir.Value) bool {
+	switch v.Op {
+	case ir.OpConst, ir.OpGlobalAddr, ir.OpFuncAddr, ir.OpUndef,
+		ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLshr, ir.OpAshr,
+		ir.OpNeg, ir.OpNot, ir.OpICmp:
+		return true
+	}
+	return false
+}
+
+// lowerFunc generates code for f into e.
+func lowerFunc(env *env, e *emitter, f *ir.Func) error {
+	splitCriticalEdges(f)
+	moves, err := collectPhiMoves(f)
+	if err != nil {
+		return err
+	}
+	fl := &funcLower{
+		env: env, e: e, f: f,
+		loc:   map[*ir.Value]location{},
+		inl:   map[*ir.Value]bool{},
+		moves: moves,
+		used:  map[mx.Reg]bool{},
+		order: map[*ir.Block]int{},
+	}
+	for i, b := range f.Blocks {
+		fl.order[b] = i
+	}
+	fl.uses = map[*ir.Value]int{}
+	sameBlockSingleUse := map[*ir.Value]bool{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			for _, a := range v.Args {
+				if v.Op == ir.OpPhi {
+					// Phi operands are consumed by the corresponding phi
+					// move, which is counted below; counting here too
+					// would double-count.
+					sameBlockSingleUse[a] = false // used across an edge
+					continue
+				}
+				fl.uses[a]++
+				if _, seen := sameBlockSingleUse[a]; !seen {
+					sameBlockSingleUse[a] = a.Block == b
+				} else {
+					sameBlockSingleUse[a] = false
+				}
+			}
+		}
+	}
+	// Phi moves count as uses (the arg is consumed at the pred's end).
+	for _, ms := range moves {
+		for _, m := range ms {
+			fl.uses[m.arg]++
+			sameBlockSingleUse[m.arg] = false
+		}
+	}
+
+	// Decide tree inlining.
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if isPure(v) && fl.uses[v] == 1 && sameBlockSingleUse[v] {
+				fl.inl[v] = true
+			}
+		}
+	}
+	// A pure value whose only consumer is a phi move at the end of its own
+	// block is computed at the move site (keeps loop-carried updates out of
+	// slots).
+	for pred, ms := range moves {
+		for _, m := range ms {
+			if isPure(m.arg) && fl.uses[m.arg] == 1 && m.arg.Block == pred {
+				fl.inl[m.arg] = true
+			}
+		}
+	}
+	// An add-of-constant used exclusively as load/store addresses folds into
+	// the displacement of every access (even multi-use): emulated-stack slot
+	// addresses never need a register of their own.
+	addrOnly := map[*ir.Value]bool{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			for ai, a := range v.Args {
+				if a.Op != ir.OpAdd {
+					continue
+				}
+				if _, isC := smallConst(a.Args[1]); !isC {
+					continue
+				}
+				isAddr := ai == 0 && (v.Op == ir.OpLoad || v.Op == ir.OpStore)
+				if prev, seen := addrOnly[a]; !seen {
+					addrOnly[a] = isAddr
+				} else {
+					addrOnly[a] = prev && isAddr
+				}
+			}
+		}
+	}
+	for _, ms := range moves {
+		for _, m := range ms {
+			delete(addrOnly, m.arg) // consumed by a phi move too
+		}
+	}
+	for v, ok := range addrOnly {
+		if ok && !fl.inl[v] {
+			fl.inl[v] = true
+		}
+	}
+
+	// Register assignment: phis first (loop-carried state), then the most
+	// used materialized values.
+	type cand struct {
+		v     *ir.Value
+		score int
+	}
+	var cands []cand
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if !v.HasResult() || fl.inl[v] || fl.uses[v] == 0 {
+				continue
+			}
+			if v.Op == ir.OpConst || v.Op == ir.OpUndef {
+				continue // rematerialized
+			}
+			score := fl.uses[v]
+			if v.Op == ir.OpPhi {
+				score += 100
+			}
+			cands = append(cands, cand{v, score})
+		}
+	}
+	for len(fl.used) < len(poolRegs) && len(cands) > 0 {
+		best := 0
+		for i := range cands {
+			if cands[i].score > cands[best].score {
+				best = i
+			}
+		}
+		r := poolRegs[len(fl.used)]
+		fl.loc[cands[best].v] = location{kind: locReg, reg: r}
+		fl.used[r] = true
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	// Everything else materialized gets a slot. Slots live BELOW the saved
+	// pool registers (which the prologue pushes right under rbp), so their
+	// rbp-relative offsets are shifted by the save area.
+	fl.base = int32(8 * len(fl.used))
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if !v.HasResult() || fl.inl[v] || fl.uses[v] == 0 {
+				continue
+			}
+			if v.Op == ir.OpConst || v.Op == ir.OpUndef {
+				continue
+			}
+			if _, ok := fl.loc[v]; ok {
+				continue
+			}
+			fl.frame += 8
+			fl.loc[v] = location{kind: locSlot, off: fl.base + fl.frame}
+		}
+	}
+
+	// Prologue.
+	e.label(env.fnLabel(f))
+	e.emit(mx.Inst{Op: mx.PUSH, Dst: mx.RBP})
+	e.emit(mx.Inst{Op: mx.MOVRR, Dst: mx.RBP, Src: mx.RSP})
+	for _, r := range poolRegs {
+		if fl.used[r] {
+			e.emit(mx.Inst{Op: mx.PUSH, Dst: r})
+		}
+	}
+	if fl.frame > 0 {
+		e.emit(mx.Inst{Op: mx.SUBRI, Dst: mx.RSP, Imm: int64(fl.frame)})
+	}
+	env.emitStateBase(e)
+
+	for bi, b := range f.Blocks {
+		e.label(fl.blockLabel(b))
+		for ii, v := range b.Insts {
+			if fl.inl[v] || v.Op == ir.OpPhi {
+				continue
+			}
+			if err := fl.lowerInst(v, b, bi, ii); err != nil {
+				return fmt.Errorf("@%s/%s: %s: %w", f.Name, b.Name, v, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (fl *funcLower) blockLabel(b *ir.Block) string {
+	return fmt.Sprintf("B_%s_%d", fl.f.Name, fl.order[b])
+}
+
+// --- operand evaluation ------------------------------------------------------
+
+func scratch(depth int) mx.Reg {
+	if depth == 0 {
+		return mx.R10
+	}
+	return mx.R11
+}
+
+// treeEval materializes v into a register at a USE site: located values
+// return their pool register (callers must not clobber it) or are loaded
+// from their slot; unlocated values are computed as expression trees.
+// Invariant: evaluation at depth >= 1 preserves R10.
+func (fl *funcLower) treeEval(v *ir.Value, depth int) (mx.Reg, error) {
+	e := fl.e
+	if l, ok := fl.loc[v]; ok {
+		switch l.kind {
+		case locReg:
+			return l.reg, nil
+		case locSlot:
+			dst := scratch(depth)
+			e.emit(mx.Inst{Op: mx.LOAD64, Dst: dst, Base: mx.RBP, Disp: -l.off})
+			return dst, nil
+		}
+	}
+	return fl.evalOp(v, depth)
+}
+
+// evalOp computes v (a pure operation) into scratch(depth); used both for
+// inlined trees at use sites and at the def site of multi-use pure values.
+func (fl *funcLower) evalOp(v *ir.Value, depth int) (mx.Reg, error) {
+	e := fl.e
+	dst := scratch(depth)
+	switch v.Op {
+	case ir.OpConst:
+		e.emit(mx.Inst{Op: mx.MOVRI, Dst: dst, Imm: v.Const})
+		return dst, nil
+	case ir.OpUndef:
+		e.emit(mx.Inst{Op: mx.MOVRI, Dst: dst, Imm: 0})
+		return dst, nil
+	case ir.OpGlobalAddr:
+		return dst, fl.globalAddr(v.Global, dst)
+	case ir.OpFuncAddr:
+		e.movSym(dst, fl.env.fnLabel(v.Fn))
+		return dst, nil
+	case ir.OpNeg, ir.OpNot:
+		ra, err := fl.treeEval(v.Args[0], depth)
+		if err != nil {
+			return 0, err
+		}
+		if ra != dst {
+			e.emit(mx.Inst{Op: mx.MOVRR, Dst: dst, Src: ra})
+		}
+		op := mx.NEG
+		if v.Op == ir.OpNot {
+			op = mx.NOT
+		}
+		e.emit(mx.Inst{Op: op, Dst: dst})
+		return dst, nil
+	case ir.OpICmp:
+		if err := fl.evalCompare(v, depth); err != nil {
+			return 0, err
+		}
+		e.emit(mx.Inst{Op: mx.SETCC, Dst: dst, Cc: predCond(v.Pred)})
+		return dst, nil
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLshr, ir.OpAshr:
+		return fl.evalBinary(v, depth)
+	}
+	return 0, fmt.Errorf("cannot tree-evaluate %s (value %%%d)", v.Op, v.ID)
+}
+
+var binOpsRR = map[ir.Op]mx.Op{
+	ir.OpAdd: mx.ADDRR, ir.OpSub: mx.SUBRR, ir.OpMul: mx.IMULRR,
+	ir.OpSDiv: mx.DIVRR, ir.OpSRem: mx.MODRR,
+	ir.OpAnd: mx.ANDRR, ir.OpOr: mx.ORRR, ir.OpXor: mx.XORRR,
+	ir.OpShl: mx.SHLRR, ir.OpLshr: mx.SHRRR, ir.OpAshr: mx.SARRR,
+}
+
+var binOpsRI = map[ir.Op]mx.Op{
+	ir.OpAdd: mx.ADDRI, ir.OpSub: mx.SUBRI, ir.OpMul: mx.IMULRI,
+	ir.OpAnd: mx.ANDRI, ir.OpOr: mx.ORRI, ir.OpXor: mx.XORRI,
+	ir.OpShl: mx.SHLRI, ir.OpLshr: mx.SHRRI, ir.OpAshr: mx.SARRI,
+}
+
+// smallConst reports a constant operand representable as imm32.
+func smallConst(v *ir.Value) (int64, bool) {
+	if v.Op == ir.OpConst && int64(int32(v.Const)) == v.Const {
+		return v.Const, true
+	}
+	return 0, false
+}
+
+// isLeaf reports whether v can be produced without touching scratch state
+// beyond one register (located values, constants).
+func (fl *funcLower) isLeaf(v *ir.Value) bool {
+	if _, ok := fl.loc[v]; ok {
+		return true
+	}
+	switch v.Op {
+	case ir.OpConst, ir.OpUndef, ir.OpFuncAddr, ir.OpGlobalAddr:
+		return true
+	}
+	return false
+}
+
+// leafReg produces a leaf value in a register, preferring the given scratch.
+func (fl *funcLower) leafReg(v *ir.Value, s mx.Reg) (mx.Reg, error) {
+	e := fl.e
+	if l, ok := fl.loc[v]; ok {
+		switch l.kind {
+		case locReg:
+			return l.reg, nil
+		case locSlot:
+			e.emit(mx.Inst{Op: mx.LOAD64, Dst: s, Base: mx.RBP, Disp: -l.off})
+			return s, nil
+		}
+	}
+	switch v.Op {
+	case ir.OpConst:
+		e.emit(mx.Inst{Op: mx.MOVRI, Dst: s, Imm: v.Const})
+		return s, nil
+	case ir.OpUndef:
+		e.emit(mx.Inst{Op: mx.MOVRI, Dst: s, Imm: 0})
+		return s, nil
+	case ir.OpFuncAddr:
+		e.movSym(s, fl.env.fnLabel(v.Fn))
+		return s, nil
+	case ir.OpGlobalAddr:
+		return s, fl.globalAddr(v.Global, s)
+	}
+	return 0, fmt.Errorf("not a leaf: %s", v.Op)
+}
+
+// evalBinary computes a binary operation into scratch(depth).
+func (fl *funcLower) evalBinary(v *ir.Value, depth int) (mx.Reg, error) {
+	e := fl.e
+	dst := scratch(depth)
+	a, b := v.Args[0], v.Args[1]
+
+	// Fast path: register-immediate form.
+	if c, ok := smallConst(b); ok {
+		if opri, has := binOpsRI[v.Op]; has {
+			ra, err := fl.treeEval(a, depth)
+			if err != nil {
+				return 0, err
+			}
+			if ra != dst {
+				e.emit(mx.Inst{Op: mx.MOVRR, Dst: dst, Src: ra})
+			}
+			e.emit(mx.Inst{Op: opri, Dst: dst, Imm: c})
+			return dst, nil
+		}
+	}
+	oprr := binOpsRR[v.Op]
+
+	if fl.isLeaf(b) {
+		ra, err := fl.treeEval(a, depth)
+		if err != nil {
+			return 0, err
+		}
+		// Pick a register for b that does not collide with dst/ra.
+		other := mx.R11
+		if dst == mx.R11 || ra == mx.R11 {
+			other = mx.RSI
+		}
+		rb, err := fl.leafReg(b, other)
+		if err != nil {
+			return 0, err
+		}
+		if ra != dst {
+			e.emit(mx.Inst{Op: mx.MOVRR, Dst: dst, Src: ra})
+		}
+		e.emit(mx.Inst{Op: oprr, Dst: dst, Src: rb})
+		return dst, nil
+	}
+
+	if depth == 0 {
+		// Two-scratch path: a lands in R10 (or a pool register), and
+		// evaluating b at depth 1 preserves R10 by invariant.
+		ra, err := fl.treeEval(a, 0)
+		if err != nil {
+			return 0, err
+		}
+		rb, err := fl.treeEval(b, 1)
+		if err != nil {
+			return 0, err
+		}
+		if ra != dst {
+			e.emit(mx.Inst{Op: mx.MOVRR, Dst: dst, Src: ra})
+		}
+		e.emit(mx.Inst{Op: oprr, Dst: dst, Src: rb})
+		return dst, nil
+	}
+
+	// General path: evaluate a, protect it on the stack, evaluate b.
+	ra, err := fl.treeEval(a, depth)
+	if err != nil {
+		return 0, err
+	}
+	e.emit(mx.Inst{Op: mx.PUSH, Dst: ra})
+	rb, err := fl.treeEval(b, depth)
+	if err != nil {
+		return 0, err
+	}
+	if rb != mx.RSI {
+		e.emit(mx.Inst{Op: mx.MOVRR, Dst: mx.RSI, Src: rb})
+	}
+	e.emit(mx.Inst{Op: mx.POP, Dst: dst})
+	e.emit(mx.Inst{Op: oprr, Dst: dst, Src: mx.RSI})
+	return dst, nil
+}
+
+// evalCompare emits a CMP setting flags for an icmp's operands.
+func (fl *funcLower) evalCompare(v *ir.Value, depth int) error {
+	e := fl.e
+	a, b := v.Args[0], v.Args[1]
+	if c, ok := smallConst(b); ok {
+		ra, err := fl.treeEval(a, depth)
+		if err != nil {
+			return err
+		}
+		e.emit(mx.Inst{Op: mx.CMPRI, Dst: ra, Imm: c})
+		return nil
+	}
+	if fl.isLeaf(b) {
+		ra, err := fl.treeEval(a, depth)
+		if err != nil {
+			return err
+		}
+		other := mx.R11
+		if ra == mx.R11 {
+			other = mx.RSI
+		}
+		rb, err := fl.leafReg(b, other)
+		if err != nil {
+			return err
+		}
+		e.emit(mx.Inst{Op: mx.CMPRR, Dst: ra, Src: rb})
+		return nil
+	}
+	if depth == 0 {
+		ra, err := fl.treeEval(a, 0)
+		if err != nil {
+			return err
+		}
+		rb, err := fl.treeEval(b, 1) // preserves R10
+		if err != nil {
+			return err
+		}
+		e.emit(mx.Inst{Op: mx.CMPRR, Dst: ra, Src: rb})
+		return nil
+	}
+	ra, err := fl.treeEval(a, depth)
+	if err != nil {
+		return err
+	}
+	e.emit(mx.Inst{Op: mx.PUSH, Dst: ra})
+	rb, err := fl.treeEval(b, depth)
+	if err != nil {
+		return err
+	}
+	if rb != mx.RSI {
+		e.emit(mx.Inst{Op: mx.MOVRR, Dst: mx.RSI, Src: rb})
+	}
+	pop := scratch(depth) // preserve R10 at depth >= 1
+	e.emit(mx.Inst{Op: mx.POP, Dst: pop})
+	e.emit(mx.Inst{Op: mx.CMPRR, Dst: pop, Src: mx.RSI})
+	return nil
+}
+
+func predCond(p ir.Pred) mx.Cond {
+	switch p {
+	case ir.PredEQ:
+		return mx.CondE
+	case ir.PredNE:
+		return mx.CondNE
+	case ir.PredSLT:
+		return mx.CondL
+	case ir.PredSLE:
+		return mx.CondLE
+	case ir.PredSGT:
+		return mx.CondG
+	case ir.PredSGE:
+		return mx.CondGE
+	case ir.PredULT:
+		return mx.CondB
+	case ir.PredULE:
+		return mx.CondBE
+	case ir.PredUGT:
+		return mx.CondA
+	default:
+		return mx.CondAE
+	}
+}
+
+// globalAddr loads the address of g into dst.
+func (fl *funcLower) globalAddr(g *ir.Global, dst mx.Reg) error {
+	e := fl.e
+	if g.Addr != 0 {
+		e.emit(mx.Inst{Op: mx.MOVRI, Dst: dst, Imm: int64(g.Addr)})
+		return nil
+	}
+	if g.ThreadLocal {
+		off, ok := fl.env.tlsOff[g]
+		if !ok {
+			return fmt.Errorf("global %s has no TLS offset", g.Name)
+		}
+		e.emit(mx.Inst{Op: mx.LEA, Dst: dst, Base: mx.R15, Disp: off})
+		return nil
+	}
+	return fmt.Errorf("global %s has no storage", g.Name)
+}
+
+// storeResult places a computed value into its home location.
+func (fl *funcLower) storeResult(v *ir.Value, r mx.Reg) {
+	l, ok := fl.loc[v]
+	if !ok {
+		return // unused result
+	}
+	switch l.kind {
+	case locReg:
+		if l.reg != r {
+			fl.e.emit(mx.Inst{Op: mx.MOVRR, Dst: l.reg, Src: r})
+		}
+	case locSlot:
+		fl.e.emit(mx.Inst{Op: mx.STORE64, Dst: r, Base: mx.RBP, Disp: -l.off})
+	}
+}
+
+// memOperand resolves a load/store address to base+disp, folding an inlined
+// add-of-constant.
+func (fl *funcLower) memOperand(addr *ir.Value, depth int) (mx.Reg, int32, error) {
+	if fl.inl[addr] && addr.Op == ir.OpAdd {
+		if c, ok := smallConst(addr.Args[1]); ok {
+			base, err := fl.treeEval(addr.Args[0], depth)
+			if err != nil {
+				return 0, 0, err
+			}
+			return base, int32(c), nil
+		}
+	}
+	base, err := fl.treeEval(addr, depth)
+	return base, 0, err
+}
+
+// memAddress is a decomposed addressing mode: [base + idx*scale + disp]
+// (hasIdx false means plain base+disp).
+type memAddress struct {
+	base, idx mx.Reg
+	scale     uint8
+	disp      int32
+	hasIdx    bool
+}
+
+// memOperandIdx resolves a load/store address, additionally fusing the
+// base + (idx << k) [+ disp] chains the lifter produces for indexed
+// accesses into the ISA's scaled addressing mode. Must be called at
+// depth 0 (it uses both scratch registers).
+func (fl *funcLower) memOperandIdx(addr *ir.Value) (memAddress, error) {
+	a := addr
+	disp := int32(0)
+	// Peel an outer inlined add-of-constant.
+	if fl.inl[a] && a.Op == ir.OpAdd {
+		if c, ok := smallConst(a.Args[1]); ok {
+			disp = int32(c)
+			a = a.Args[0]
+		}
+	}
+	// base + (idx << k) or base + idx, with the shift inlined.
+	if fl.inl[a] && a.Op == ir.OpAdd {
+		bx, ix := a.Args[0], a.Args[1]
+		scale := uint8(0)
+		switch {
+		case fl.inl[ix] && ix.Op == ir.OpShl:
+			if c, ok := smallConst(ix.Args[1]); ok && c >= 0 && c <= 3 {
+				scale = 1 << uint(c)
+				ix = ix.Args[0]
+			}
+		default:
+			scale = 1
+		}
+		if scale != 0 {
+			base, err := fl.treeEval(bx, 0)
+			if err != nil {
+				return memAddress{}, err
+			}
+			idx, err := fl.treeEval(ix, 1) // preserves R10
+			if err != nil {
+				return memAddress{}, err
+			}
+			return memAddress{base: base, idx: idx, scale: scale, disp: disp, hasIdx: true}, nil
+		}
+	}
+	base, err := fl.treeEval(a, 0)
+	if err != nil {
+		return memAddress{}, err
+	}
+	return memAddress{base: base, disp: disp}, nil
+}

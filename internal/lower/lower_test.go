@@ -1,0 +1,216 @@
+package lower_test
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/disasm"
+	"repro/internal/image"
+	"repro/internal/lifter"
+	"repro/internal/lower"
+	"repro/internal/opt"
+	"repro/internal/tracer"
+	"repro/internal/vm"
+)
+
+// recompile runs the full static pipeline: disassemble, lift, optimize,
+// lower.
+func recompile(t *testing.T, img *image.Image, optimize bool) *image.Image {
+	t.Helper()
+	g, err := disasm.Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := lifter.Lift(img, g, lifter.Options{InsertFences: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimize {
+		if err := opt.Run(lf.Mod, opt.Options{Verify: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := lower.Lower(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Img
+}
+
+// diffRun executes both binaries and requires identical exit codes and
+// output.
+func diffRun(t *testing.T, orig, rec *image.Image, input []byte, seed int64) (vm.Result, vm.Result) {
+	t.Helper()
+	run := func(img *image.Image) vm.Result {
+		m, err := vm.New(img, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if input != nil {
+			m.SetInput(input)
+		}
+		return m.Run(200_000_000)
+	}
+	ro := run(orig)
+	rr := run(rec)
+	if ro.Fault != nil {
+		t.Fatalf("original faulted: %v (out=%q)", ro.Fault, ro.Output)
+	}
+	if rr.Fault != nil {
+		t.Fatalf("recompiled faulted: %v (out=%q)", rr.Fault, rr.Output)
+	}
+	if ro.ExitCode != rr.ExitCode || ro.Output != rr.Output {
+		t.Fatalf("divergence: exit %d/%d, output %q vs %q",
+			ro.ExitCode, rr.ExitCode, ro.Output, rr.Output)
+	}
+	return ro, rr
+}
+
+// diffSource compiles src at both -O0 and -O2, recompiles each with and
+// without IR optimization, and checks behavioural equivalence everywhere.
+func diffSource(t *testing.T, src string, input []byte) {
+	t.Helper()
+	for _, ccOpt := range []int{0, 2} {
+		img, _, err := cc.Compile(src, cc.Config{Name: "t", Opt: ccOpt})
+		if err != nil {
+			t.Fatalf("cc O%d: %v", ccOpt, err)
+		}
+		for _, irOpt := range []bool{false, true} {
+			rec := recompile(t, img, irOpt)
+			diffRun(t, img, rec, input, 11)
+		}
+	}
+}
+
+func TestRecompileReturn(t *testing.T) {
+	diffSource(t, `func main() { return 42; }`, nil)
+}
+
+func TestRecompileArithLoop(t *testing.T) {
+	diffSource(t, `
+extern print_i64;
+func main() {
+	var s = 0;
+	var i;
+	for (i = 0; i < 50; i = i + 1) { s = s + i * 3 - (i & 5); }
+	print_i64(s);
+	return s % 200;
+}`, nil)
+}
+
+func TestRecompileCallsAndRecursion(t *testing.T) {
+	diffSource(t, `
+extern print_i64;
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+func main() { print_i64(fib(15)); return 0; }`, nil)
+}
+
+func TestRecompileGlobalsArraysStrings(t *testing.T) {
+	diffSource(t, `
+extern print_str;
+extern print_i64;
+var g = 3;
+var tbl[4] = {10, 20, 30, 40};
+func main() {
+	var buf[8];
+	var i;
+	for (i = 0; i < 4; i = i + 1) { buf[i] = tbl[i] + g; }
+	print_str("vals:");
+	for (i = 0; i < 4; i = i + 1) { print_i64(buf[i]); }
+	return 0;
+}`, nil)
+}
+
+func TestRecompileVLA(t *testing.T) {
+	diffSource(t, `
+func sumn(n) {
+	var a[n];
+	var i;
+	for (i = 0; i < n; i = i + 1) { a[i] = i * 2; }
+	var s = 0;
+	for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+	return s;
+}
+func main() { return sumn(9) + sumn(17); }`, nil)
+}
+
+func TestRecompilePointersWidths(t *testing.T) {
+	diffSource(t, `
+var buf[4];
+func main() {
+	var x = 1000;
+	var p = &x;
+	*p = *p + 24;
+	store8(buf, 200);
+	store32(buf + 8, -7);
+	return load8(buf) + load32(buf + 8) + x / 100;
+}`, nil)
+}
+
+func TestRecompileFunctionPointerWithTracing(t *testing.T) {
+	// Function pointers need dynamic targets; without tracing the
+	// recompiled binary must stop with a controlled miss, and with traced
+	// targets it must run to completion.
+	src := `
+func f1(x) { return x + 1; }
+func f2(x) { return x * 2; }
+func pick(sel) { if (sel) { return f1; } return f2; }
+func main() {
+	var fp = pick(1);
+	var a = fp(10);
+	fp = pick(0);
+	return a + fp(10);
+}`
+	img, _, err := cc.Compile(src, cc.Config{Name: "t", Opt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := disasm.Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Static only: must exit with the miss code, not crash wildly.
+	lf, err := lifter.Lift(img, g, lifter.Options{InsertFences: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lower.Lower(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(res.Img, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missed := false
+	m.MissHook = func(th *vm.Thread, site, target uint64) { missed = true }
+	out := m.Run(100_000_000)
+	if out.Fault != nil {
+		t.Fatalf("static recompile fault: %v", out.Fault)
+	}
+	if out.ExitCode != vm.MissExitCode || !missed {
+		t.Fatalf("expected control-flow miss, got exit %d (missed=%v)", out.ExitCode, missed)
+	}
+
+	// With traced targets the program runs to completion.
+	gt := g.Clone()
+	if _, err := tracer.Trace(img, gt, []tracer.Run{{Seed: 1}}, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	lf2, err := lifter.Lift(img, gt, lifter.Options{InsertFences: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Run(lf2.Mod, opt.Options{Verify: true}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := lower.Lower(lf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffRun(t, img, res2.Img, nil, 3)
+}

@@ -1,0 +1,204 @@
+package lower_test
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/vm"
+)
+
+// Multithreaded end-to-end differential tests: the paper's core claim is
+// that the recompiled binary preserves the semantics of multithreaded
+// programs — per-thread emulated stacks (§3.3.2), callback entry points
+// (§3.3.3), and hardware atomics (§3.3.1).
+
+func TestRecompileThreadsAtomicCounter(t *testing.T) {
+	diffSource(t, `
+extern thread_create;
+extern thread_join;
+var counter = 0;
+func worker(arg) {
+	var i;
+	for (i = 0; i < 500; i = i + 1) { atomic_add(&counter, arg); }
+	return 0;
+}
+func main() {
+	var t1 = thread_create(worker, 1);
+	var t2 = thread_create(worker, 2);
+	var t3 = thread_create(worker, 3);
+	thread_join(t1);
+	thread_join(t2);
+	thread_join(t3);
+	return counter / 20;
+}`, nil)
+}
+
+func TestRecompileSpinlock(t *testing.T) {
+	diffSource(t, `
+extern thread_create;
+extern thread_join;
+var lock = 0;
+var count = 0;
+func worker(arg) {
+	var i;
+	for (i = 0; i < 200; i = i + 1) {
+		while (atomic_cas(&lock, 0, 1) == 0) { }
+		count = count + 1;
+		fence();
+		store64(&lock, 0);
+	}
+	return 0;
+}
+func main() {
+	var t1 = thread_create(worker, 0);
+	var t2 = thread_create(worker, 0);
+	thread_join(t1);
+	thread_join(t2);
+	return count / 4;
+}`, nil)
+}
+
+func TestRecompilePerThreadStacks(t *testing.T) {
+	// Each worker uses a deep recursive computation on its own emulated
+	// stack; results are combined atomically.
+	diffSource(t, `
+extern thread_create;
+extern thread_join;
+var total = 0;
+func sum(n) {
+	if (n == 0) { return 0; }
+	return n + sum(n - 1);
+}
+func worker(arg) {
+	var local[32];
+	var i;
+	for (i = 0; i < 32; i = i + 1) { local[i] = arg + i; }
+	var s = sum(arg * 10);
+	for (i = 0; i < 32; i = i + 1) { s = s + local[i]; }
+	atomic_xadd(&total, s);
+	return 0;
+}
+func main() {
+	var t1 = thread_create(worker, 3);
+	var t2 = thread_create(worker, 5);
+	thread_join(t1);
+	thread_join(t2);
+	return total % 251;
+}`, nil)
+}
+
+func TestRecompileQsortCallback(t *testing.T) {
+	diffSource(t, `
+extern qsort;
+extern print_i64;
+var arr[8] = {9, 1, 8, 2, 7, 3, 6, 4};
+func cmp(pa, pb) { return load64(pa) - load64(pb); }
+func main() {
+	qsort(arr, 8, 8, cmp);
+	var i;
+	for (i = 0; i < 8; i = i + 1) { print_i64(arr[i]); }
+	return arr[0] + arr[7] * 10;
+}`, nil)
+}
+
+func TestRecompileOmpParallelFor(t *testing.T) {
+	diffSource(t, `
+extern omp_parallel_for;
+var acc = 0;
+func body(lo, hi, arg) {
+	var s = 0;
+	var i;
+	for (i = lo; i < hi; i = i + 1) { s = s + i * arg; }
+	atomic_add(&acc, s);
+	return 0;
+}
+func main() {
+	omp_parallel_for(body, 0, 200, 3, 4);
+	return acc % 509;
+}`, nil)
+}
+
+func TestRecompileMutexCondVar(t *testing.T) {
+	diffSource(t, `
+extern thread_create;
+extern thread_join;
+extern mutex_lock;
+extern mutex_unlock;
+var mu = 0;
+var n = 0;
+func worker(arg) {
+	var i;
+	for (i = 0; i < 100; i = i + 1) {
+		mutex_lock(&mu);
+		n = n + 1;
+		mutex_unlock(&mu);
+	}
+	return 0;
+}
+func main() {
+	var t1 = thread_create(worker, 0);
+	var t2 = thread_create(worker, 0);
+	thread_join(t1);
+	thread_join(t2);
+	return n / 2;
+}`, nil)
+}
+
+func TestRecompileXchgTicketLock(t *testing.T) {
+	diffSource(t, `
+extern thread_create;
+extern thread_join;
+var next_ticket = 0;
+var now_serving = 0;
+var guarded = 0;
+func worker(arg) {
+	var i;
+	for (i = 0; i < 150; i = i + 1) {
+		var my = atomic_xadd(&next_ticket, 1);
+		while (load64(&now_serving) != my) { }
+		guarded = guarded + 1;
+		atomic_add(&now_serving, 1);
+	}
+	return 0;
+}
+func main() {
+	var t1 = thread_create(worker, 0);
+	var t2 = thread_create(worker, 0);
+	thread_join(t1);
+	thread_join(t2);
+	return guarded / 3;
+}`, nil)
+}
+
+func TestRecompiledIsDeterministic(t *testing.T) {
+	src := `
+extern thread_create;
+extern thread_join;
+var c = 0;
+func w(a) { atomic_add(&c, a); return 0; }
+func main() {
+	var t1 = thread_create(w, 7);
+	thread_join(t1);
+	return c;
+}`
+	img, _, err := cc.Compile(src, cc.Config{Name: "t", Opt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recompile(t, img, true)
+	var prev *vm.Result
+	for i := 0; i < 3; i++ {
+		m, err := vm.New(rec, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := m.Run(100_000_000)
+		if r.Fault != nil {
+			t.Fatal(r.Fault)
+		}
+		if prev != nil && (prev.Cycles != r.Cycles || prev.ExitCode != r.ExitCode) {
+			t.Fatalf("nondeterministic recompiled run: %v vs %v", prev, r)
+		}
+		prev = &r
+	}
+}

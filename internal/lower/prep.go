@@ -1,0 +1,93 @@
+package lower
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// splitCriticalEdges inserts empty forwarding blocks on every edge whose
+// source has multiple successors and whose destination has multiple
+// predecessors and carries phis. Phi moves can then be placed at the end of
+// the (now unique-purpose) predecessor block.
+func splitCriticalEdges(f *ir.Func) {
+	preds := ir.Preds(f)
+	// Snapshot: we mutate the block list while iterating.
+	blocks := append([]*ir.Block(nil), f.Blocks...)
+	n := 0
+	for _, b := range blocks {
+		t := b.Term()
+		if t == nil || len(t.Targets) < 2 {
+			continue
+		}
+		for ti, succ := range t.Targets {
+			if len(preds[succ]) < 2 {
+				continue
+			}
+			if len(succ.Insts) == 0 || succ.Insts[0].Op != ir.OpPhi {
+				continue
+			}
+			n++
+			eb := f.NewBlock(fmt.Sprintf("edge_%s_%d_%d", b.Name, ti, n))
+			br := eb.Append(ir.OpBr)
+			br.Targets = []*ir.Block{succ}
+			t.Targets[ti] = eb
+			// Retarget the phi predecessor entries for THIS edge only: a
+			// block may reach succ through several switch cases; each
+			// target slot owns one phi entry. Rewrite one matching entry.
+			for _, v := range succ.Insts {
+				if v.Op != ir.OpPhi {
+					break
+				}
+				for pi, p := range v.PhiPreds {
+					if p == b {
+						v.PhiPreds[pi] = eb
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// phiMove is one destination <- source copy at the end of a block.
+type phiMove struct {
+	phi *ir.Value
+	arg *ir.Value
+}
+
+// collectPhiMoves destroys SSA phis into per-edge parallel copies. After
+// splitCriticalEdges, every phi-carrying edge ends in a block whose only
+// exit is that edge, so the copies attach to the predecessor block.
+// The phis themselves remain as location-carrying markers (the register
+// allocator assigns them a home like any long-lived value); they emit no
+// code.
+func collectPhiMoves(f *ir.Func) (map[*ir.Block][]phiMove, error) {
+	moves := map[*ir.Block][]phiMove{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if v.Op != ir.OpPhi {
+				break
+			}
+			for i, p := range v.PhiPreds {
+				arg := v.Args[i]
+				if arg == v {
+					continue // self-loop: no copy needed
+				}
+				moves[p] = append(moves[p], phiMove{phi: v, arg: arg})
+			}
+		}
+	}
+	// Sanity: a block feeding phis of two different successors would break
+	// the parallel-copy placement; edge splitting must have prevented it.
+	for p, ms := range moves {
+		seen := map[*ir.Block]bool{}
+		for _, m := range ms {
+			seen[m.phi.Block] = true
+		}
+		if len(seen) > 1 {
+			return nil, fmt.Errorf("lower: block %s feeds phis in %d successors (missed critical edge)", p.Name, len(seen))
+		}
+	}
+	return moves, nil
+}

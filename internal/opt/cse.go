@@ -1,0 +1,63 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// LocalCSE performs block-local value numbering over pure operations, so
+// that syntactically identical expressions (in particular, recomputed
+// emulated-stack addresses like rbp-8) become the same SSA value. This is
+// what allows GuestMemForward's identity-based address matching to fire on
+// O0-origin code, where every instruction rematerializes its frame-slot
+// address.
+func LocalCSE(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		table := map[string]*ir.Value{}
+		for i := 0; i < len(b.Insts); i++ {
+			v := b.Insts[i]
+			if !isPureOp(v) {
+				continue
+			}
+			key := cseKey(v)
+			if prev, ok := table[key]; ok {
+				ir.ReplaceAllUses(f, v, prev)
+				b.RemoveAt(i)
+				i--
+				changed = true
+				continue
+			}
+			table[key] = v
+		}
+	}
+	return changed
+}
+
+func isPureOp(v *ir.Value) bool {
+	switch v.Op {
+	case ir.OpConst, ir.OpGlobalAddr, ir.OpFuncAddr,
+		ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLshr, ir.OpAshr,
+		ir.OpNeg, ir.OpNot, ir.OpICmp, ir.OpSelect:
+		return true
+	}
+	return false
+}
+
+func cseKey(v *ir.Value) string {
+	switch v.Op {
+	case ir.OpConst:
+		return fmt.Sprintf("c%d", v.Const)
+	case ir.OpGlobalAddr:
+		return "g" + v.Global.Name
+	case ir.OpFuncAddr:
+		return "f" + v.Fn.Name
+	}
+	key := fmt.Sprintf("%d/%d:", v.Op, v.Pred)
+	for _, a := range v.Args {
+		key += fmt.Sprintf("%d,", a.ID)
+	}
+	return key
+}

@@ -1,0 +1,136 @@
+// Package opt implements the PIR optimization passes that refine the
+// verbose lifted IR (§2.2.1) — the reproduction's stand-in for the LLVM
+// pass pipeline the paper relies on.
+//
+// All passes are fence-aware: acquire/release fences and compiler barriers
+// emit no machine code on same-ISA lowering, but they pin the order of
+// original-program memory accesses. The guest-memory forwarding pass in
+// particular can eliminate nothing across a fence, which is exactly why the
+// fence-removal optimization (§3.4, internal/spindet) unlocks further
+// off-the-shelf optimization and shows up as the FO speedups of Table 2.
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Pass is one transformation over a function.
+type Pass struct {
+	Name string
+	Run  func(f *ir.Func) bool // reports whether anything changed
+}
+
+// StandardPasses returns the default refinement pipeline, in order.
+func StandardPasses() []Pass { return passesWith(false) }
+
+func passesWith(noCallbacks bool) []Pass {
+	return []Pass{
+		{"vreg-forward", func(f *ir.Func) bool { return localVRegForward(f, noCallbacks) }},
+		{"vreg-promote", func(f *ir.Func) bool { return promoteVRegs(f, noCallbacks) }},
+		{"vreg-dse", func(f *ir.Func) bool { return vregDeadStoreElim(f, noCallbacks) }},
+		{"constfold", ConstFold},
+		{"cse", LocalCSE},
+		{"mem-forward", GuestMemForward},
+		{"dce", DCE},
+		{"simplifycfg", SimplifyCFG},
+	}
+}
+
+// Options controls pipeline execution.
+type Options struct {
+	// Verify re-checks IR invariants after every pass (slow; for tests).
+	Verify bool
+	// MaxIters bounds fixpoint iteration of the whole pipeline.
+	MaxIters int
+	// Disable lists pass names to skip (ablation benchmarks).
+	Disable []string
+	// NoCallbacks asserts that the dynamic callback analysis (§3.3.3)
+	// proved no guest function is entered from the host: external calls
+	// then clobber/preserve nothing of the virtual state, unlocking
+	// aggressive elimination around them.
+	NoCallbacks bool
+}
+
+// Run applies the standard pipeline to every function of m until fixpoint
+// (or MaxIters, default 4).
+func Run(m *ir.Module, opts Options) error {
+	max := opts.MaxIters
+	if max <= 0 {
+		max = 4
+	}
+	skip := map[string]bool{}
+	for _, n := range opts.Disable {
+		skip[n] = true
+	}
+	passes := passesWith(opts.NoCallbacks)
+	for _, f := range m.Funcs {
+		for iter := 0; iter < max; iter++ {
+			changed := false
+			for _, p := range passes {
+				if skip[p.Name] {
+					continue
+				}
+				if p.Run(f) {
+					changed = true
+					if opts.Verify {
+						if err := ir.VerifyFunc(f); err != nil {
+							return fmt.Errorf("opt: after %s on @%s: %w", p.Name, f.Name, err)
+						}
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	if opts.Verify {
+		return ir.Verify(m)
+	}
+	return nil
+}
+
+// RemoveFences deletes all fence instructions from f (NOT compiler
+// barriers). Applied only when the spinloop analysis proves the program
+// implements no implicit synchronization (§3.4), or in unsound-ablation
+// benchmarks.
+func RemoveFences(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		out := b.Insts[:0]
+		for _, v := range b.Insts {
+			if v.Op == ir.OpFence {
+				changed = true
+				continue
+			}
+			out = append(out, v)
+		}
+		b.Insts = out
+	}
+	return changed
+}
+
+// CountOps returns the number of instructions with the given op in f
+// (test/bench helper).
+func CountOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if v.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// FuncSize returns the total instruction count of f.
+func FuncSize(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Insts)
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+// Package tracer implements the Indirect Control Flow Target (ICFT) tracer:
+// the optional, low-overhead dynamic stage of hybrid control-flow recovery
+// (§3.2 "Dynamic"). The paper implements it as a Pin tool over native
+// execution; here it attaches to the emulator's indirect-transfer hook and
+// observes concrete executions of the *original* binary, recording every
+// dynamic target of JMPR/JMPM/CALLR instructions. Results from multiple runs
+// (different inputs, different scheduler seeds) are merged into the static
+// CFG, giving the recompiler the precision of a dynamic lifter without the
+// full-emulation cost of BinRec-style tracing.
+package tracer
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/disasm"
+	"repro/internal/image"
+	"repro/internal/vm"
+)
+
+// Run describes one concrete execution used for tracing.
+type Run struct {
+	Input []byte
+	Seed  int64
+	Exts  map[string]vm.ExtFunc // extra host functions (app-specific)
+}
+
+// Result summarizes a tracing session.
+type Result struct {
+	// ICFTs is the number of unique (site, target) indirect control
+	// transfers recorded across all runs (the Table 4 metric).
+	ICFTs int
+	// NewTargets is how many recorded targets were not already known to the
+	// static CFG.
+	NewTargets int
+	// Runs is the number of executions performed.
+	Runs int
+	// Insts is the total number of instructions executed while tracing.
+	Insts uint64
+}
+
+// Trace runs the original binary under the ICFT tracer for each run and
+// merges all recorded indirect targets into g. Unknown targets are
+// integrated with a static recursive descent from the discovery point, the
+// same integration step additive lifting uses.
+func Trace(img *image.Image, g *cfg.Graph, runs []Run, fuel uint64) (*Result, error) {
+	res := &Result{}
+	type siteTarget struct{ site, target uint64 }
+	seen := map[siteTarget]bool{}
+	for _, r := range runs {
+		m, err := vm.NewWithExts(img, r.Seed, r.Exts)
+		if err != nil {
+			return nil, err
+		}
+		if r.Input != nil {
+			m.SetInput(r.Input)
+		}
+		type rec struct{ site, target uint64 }
+		var recs []rec
+		m.OnIndirect = func(t *vm.Thread, from, target uint64, kind vm.ControlKind) {
+			if kind == vm.KindRet {
+				return // returns are not ICFT sites
+			}
+			st := siteTarget{from, target}
+			if !seen[st] {
+				seen[st] = true
+				recs = append(recs, rec{from, target})
+			}
+		}
+		out := m.Run(fuel)
+		res.Runs++
+		res.Insts += out.Insts
+		if out.Fault != nil {
+			return nil, fmt.Errorf("tracer: run %d faulted: %v", res.Runs, out.Fault)
+		}
+		// Merge this run's records into the graph.
+		for _, rc := range recs {
+			blk := g.BlockContaining(rc.site)
+			if blk == nil {
+				// The site itself was unknown statically (e.g. code reached
+				// only through an unresolved indirect transfer). Skip — the
+				// target merge below may still discover it on a later pass.
+				continue
+			}
+			if blk.HasTarget(rc.target) {
+				continue
+			}
+			res.NewTargets++
+			if _, known := g.Blocks[rc.target]; known {
+				blk.AddTarget(rc.target)
+			} else if err := disasm.ExploreFrom(img, g, blk.Addr, rc.target); err != nil {
+				return nil, fmt.Errorf("tracer: integrating %#x -> %#x: %w", rc.site, rc.target, err)
+			}
+		}
+	}
+	res.ICFTs = len(seen)
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package tracer_test
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/cfg"
+	"repro/internal/disasm"
+	"repro/internal/tracer"
+	"repro/internal/vm"
+)
+
+func TestTracerResolvesIndirectCalls(t *testing.T) {
+	img, syms, err := cc.Compile(`
+extern input_byte;
+func f1(x) { return x + 1; }
+func f2(x) { return x + 2; }
+func main() {
+	var fp = f1;
+	if (input_byte() == 'b') { fp = f2; }
+	return fp(10);
+}`, cc.Config{Name: "p", Opt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := disasm.Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ind *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Term == cfg.TermCallInd {
+			ind = b
+		}
+	}
+	if ind == nil {
+		t.Fatal("no indirect call block")
+	}
+	if len(ind.Targets) != 0 {
+		t.Fatalf("unexpected static targets %v", ind.Targets)
+	}
+
+	res, err := tracer.Trace(img, g, []tracer.Run{
+		{Input: []byte("a"), Seed: 1},
+		{Input: []byte("b"), Seed: 2},
+	}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 2 {
+		t.Fatalf("runs = %d", res.Runs)
+	}
+	if res.ICFTs < 2 {
+		t.Fatalf("ICFTs = %d, want >= 2 (both callees)", res.ICFTs)
+	}
+	for _, fn := range []string{"fn_f1", "fn_f2"} {
+		if !ind.HasTarget(syms[fn]) {
+			t.Fatalf("traced target %s missing; have %v", fn, ind.Targets)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerMergesAcrossRunsIdempotently(t *testing.T) {
+	img, _, err := cc.Compile(`
+func f1(x) { return x + 1; }
+func main() {
+	var fp = f1;
+	return fp(1);
+}`, cc.Config{Name: "p", Opt: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := disasm.Disassemble(img)
+	runs := []tracer.Run{{Seed: 1}, {Seed: 2}, {Seed: 3}}
+	res, err := tracer.Trace(img, g, runs, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same site+target in every run: counted once.
+	if res.ICFTs != 1 {
+		t.Fatalf("ICFTs = %d, want 1", res.ICFTs)
+	}
+	// A second session adds nothing new.
+	res2, err := tracer.Trace(img, g, runs, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.NewTargets != 0 {
+		t.Fatalf("second session added %d targets", res2.NewTargets)
+	}
+}
+
+func TestTracerFaultPropagates(t *testing.T) {
+	img, _, err := cc.Compile(`
+func main() {
+	var p = 0;
+	return *p;
+}`, cc.Config{Name: "p", Opt: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := disasm.Disassemble(img)
+	if _, err := tracer.Trace(img, g, []tracer.Run{{Seed: 1}}, 1_000_000); err == nil {
+		t.Fatal("expected fault to propagate")
+	}
+	_ = vm.Result{}
+}

@@ -1,0 +1,57 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/mx"
+)
+
+// TestEvalNegateOpposite pins that for every flag combination, a condition
+// and its negation evaluate oppositely (this caught a real bug in an early
+// Cond.Negate implementation).
+func TestEvalNegateOpposite(t *testing.T) {
+	var th Thread
+	for bits := 0; bits < 16; bits++ {
+		th.ZF = bits&1 != 0
+		th.SF = bits&2 != 0
+		th.CF = bits&4 != 0
+		th.OF = bits&8 != 0
+		for c := mx.Cond(0); c < mx.NumConds; c++ {
+			if th.Eval(c) == th.Eval(c.Negate()) {
+				t.Fatalf("flags %04b: Eval(%v)=%v == Eval(%v)", bits, c, th.Eval(c), c.Negate())
+			}
+		}
+	}
+}
+
+// TestSubFlagsMatchComparisons pins the flag-setting rules against direct
+// integer comparisons for a grid of interesting values.
+func TestSubFlagsMatchComparisons(t *testing.T) {
+	vals := []uint64{0, 1, 2, ^uint64(0), 1 << 63, (1 << 63) - 1, 42, ^uint64(41)}
+	var th Thread
+	for _, a := range vals {
+		for _, b := range vals {
+			th.setSubFlags(a, b, a-b)
+			checks := []struct {
+				cc   mx.Cond
+				want bool
+			}{
+				{mx.CondE, a == b},
+				{mx.CondNE, a != b},
+				{mx.CondL, int64(a) < int64(b)},
+				{mx.CondLE, int64(a) <= int64(b)},
+				{mx.CondG, int64(a) > int64(b)},
+				{mx.CondGE, int64(a) >= int64(b)},
+				{mx.CondB, a < b},
+				{mx.CondBE, a <= b},
+				{mx.CondA, a > b},
+				{mx.CondAE, a >= b},
+			}
+			for _, c := range checks {
+				if th.Eval(c.cc) != c.want {
+					t.Fatalf("cmp %d,%d: cond %v = %v, want %v", int64(a), int64(b), c.cc, th.Eval(c.cc), c.want)
+				}
+			}
+		}
+	}
+}

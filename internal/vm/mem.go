@@ -1,0 +1,149 @@
+package vm
+
+import "encoding/binary"
+
+// pageSize is the granularity of the sparse guest address space.
+const pageSize = 1 << 12
+
+// Memory is a sparse, paged, flat 64-bit guest address space. All threads of
+// a machine share one Memory; per-thread stacks are just disjoint regions of
+// it, which is what makes stack-escape and false-sharing hazards expressible.
+type Memory struct {
+	pages map[uint64][]byte
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory { return &Memory{pages: map[uint64][]byte{}} }
+
+func (m *Memory) page(addr uint64, create bool) ([]byte, uint64) {
+	base := addr &^ (pageSize - 1)
+	p, ok := m.pages[base]
+	if !ok {
+		if !create {
+			return nil, 0
+		}
+		p = make([]byte, pageSize)
+		m.pages[base] = p
+	}
+	return p, addr - base
+}
+
+// Mapped reports whether every byte of [addr, addr+n) is mapped.
+func (m *Memory) Mapped(addr, n uint64) bool {
+	for a := addr &^ (pageSize - 1); a < addr+n; a += pageSize {
+		if _, ok := m.pages[a]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Map ensures [addr, addr+n) is mapped (zero-filled where new).
+func (m *Memory) Map(addr, n uint64) {
+	for a := addr &^ (pageSize - 1); a < addr+n; a += pageSize {
+		m.page(a, true)
+	}
+}
+
+// WriteBytes copies p into guest memory at addr, mapping as needed.
+func (m *Memory) WriteBytes(addr uint64, p []byte) {
+	for len(p) > 0 {
+		pg, off := m.page(addr, true)
+		n := copy(pg[off:], p)
+		p = p[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadBytes copies n bytes of guest memory at addr into a new slice. It
+// returns false if any byte is unmapped.
+func (m *Memory) ReadBytes(addr, n uint64) ([]byte, bool) {
+	out := make([]byte, n)
+	got := out
+	for n > 0 {
+		pg, off := m.page(addr, false)
+		if pg == nil {
+			return nil, false
+		}
+		c := copy(got, pg[off:])
+		if uint64(c) > n {
+			c = int(n)
+		}
+		got = got[c:]
+		n -= uint64(c)
+		addr += uint64(c)
+	}
+	return out, true
+}
+
+// fast single-page accessors; fall back to byte-wise for page straddles.
+
+// Load reads a little-endian value of the given width (1, 4, or 8 bytes).
+func (m *Memory) Load(addr uint64, width int) (uint64, bool) {
+	pg, off := m.page(addr, false)
+	if pg != nil && off+uint64(width) <= pageSize {
+		switch width {
+		case 1:
+			return uint64(pg[off]), true
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(pg[off:])), true
+		case 8:
+			return binary.LittleEndian.Uint64(pg[off:]), true
+		}
+	}
+	// Slow path: straddling or unmapped.
+	b, ok := m.ReadBytes(addr, uint64(width))
+	if !ok {
+		return 0, false
+	}
+	switch width {
+	case 1:
+		return uint64(b[0]), true
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b)), true
+	case 8:
+		return binary.LittleEndian.Uint64(b), true
+	}
+	return 0, false
+}
+
+// Store writes a little-endian value of the given width. It returns false if
+// the destination is unmapped (stores never implicitly map memory; only the
+// loader, heap and stacks map pages — wild stores fault, as on hardware).
+func (m *Memory) Store(addr uint64, v uint64, width int) bool {
+	pg, off := m.page(addr, false)
+	if pg != nil && off+uint64(width) <= pageSize {
+		switch width {
+		case 1:
+			pg[off] = byte(v)
+		case 4:
+			binary.LittleEndian.PutUint32(pg[off:], uint32(v))
+		case 8:
+			binary.LittleEndian.PutUint64(pg[off:], v)
+		}
+		return true
+	}
+	if !m.Mapped(addr, uint64(width)) {
+		return false
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.WriteBytes(addr, b[:width])
+	return true
+}
+
+// CString reads a NUL-terminated string at addr (capped at 1<<16 bytes).
+func (m *Memory) CString(addr uint64) (string, bool) {
+	var out []byte
+	for i := 0; i < 1<<16; i++ {
+		v, ok := m.Load(addr+uint64(i), 1)
+		if !ok {
+			return "", false
+		}
+		if v == 0 {
+			return string(out), true
+		}
+		out = append(out, byte(v))
+	}
+	return "", false
+}

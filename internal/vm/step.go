@@ -1,0 +1,558 @@
+package vm
+
+import (
+	"repro/internal/mx"
+)
+
+// costs is the cycle cost model. Values are chosen so that relative costs
+// resemble a modern OoO core at the granularity that matters for the paper's
+// ratios: memory ops cost more than ALU ops, locked ops and fences are
+// expensive, vector ops amortize over four lanes, external (library) calls
+// carry a fixed dispatch cost plus per-function work.
+var costs = func() [mx.NumOps]uint64 {
+	var c [mx.NumOps]uint64
+	for i := range c {
+		c[i] = 1
+	}
+	mem := []mx.Op{mx.LOAD8, mx.LOAD32, mx.LOAD64, mx.STORE8, mx.STORE32,
+		mx.STORE64, mx.STOREI8, mx.STOREI32, mx.STOREI64}
+	for _, op := range mem {
+		c[op] = 2
+	}
+	memIdx := []mx.Op{mx.LOADIDX8, mx.LOADIDX32, mx.LOADIDX64,
+		mx.STOREIDX8, mx.STOREIDX32, mx.STOREIDX64}
+	for _, op := range memIdx {
+		c[op] = 2
+	}
+	c[mx.IMULRR], c[mx.IMULRI] = 3, 3
+	c[mx.DIVRR], c[mx.MODRR] = 20, 20
+	c[mx.CALL], c[mx.CALLR], c[mx.RET] = 2, 3, 2
+	c[mx.PUSH], c[mx.POP] = 2, 2
+	c[mx.JMPR] = 2
+	c[mx.JMPM] = 4
+	locked := []mx.Op{mx.LOCKADD, mx.LOCKSUB, mx.LOCKAND, mx.LOCKOR,
+		mx.LOCKXOR, mx.LOCKXADD, mx.LOCKINC, mx.LOCKDEC, mx.XCHG, mx.CMPXCHG}
+	for _, op := range locked {
+		c[op] = 8
+	}
+	c[mx.MFENCE] = 12
+	c[mx.CALLX] = 10 // dispatch cost; per-function work added by the ext
+	c[mx.VLOAD], c[mx.VSTORE] = 4, 4
+	c[mx.VADD], c[mx.VMUL] = 2, 3
+	c[mx.VBCAST], c[mx.VHADD] = 2, 3
+	c[mx.TLSBASE] = 1
+	return c
+}()
+
+// CostOf exposes the cycle cost of an opcode (used by lifting-time models).
+func CostOf(op mx.Op) uint64 { return costs[op] }
+
+func (t *Thread) setZS(v uint64) {
+	t.ZF = v == 0
+	t.SF = int64(v) < 0
+}
+
+func (t *Thread) setAddFlags(a, b, r uint64) {
+	t.setZS(r)
+	t.CF = r < a
+	t.OF = (int64(a) >= 0) == (int64(b) >= 0) && (int64(r) >= 0) != (int64(a) >= 0)
+}
+
+func (t *Thread) setSubFlags(a, b, r uint64) {
+	t.setZS(r)
+	t.CF = a < b
+	t.OF = (int64(a) >= 0) != (int64(b) >= 0) && (int64(r) >= 0) != (int64(a) >= 0)
+}
+
+// Eval evaluates a condition against the thread's flags.
+func (t *Thread) Eval(cc mx.Cond) bool {
+	switch cc {
+	case mx.CondE:
+		return t.ZF
+	case mx.CondNE:
+		return !t.ZF
+	case mx.CondL:
+		return t.SF != t.OF
+	case mx.CondLE:
+		return t.ZF || t.SF != t.OF
+	case mx.CondG:
+		return !t.ZF && t.SF == t.OF
+	case mx.CondGE:
+		return t.SF == t.OF
+	case mx.CondB:
+		return t.CF
+	case mx.CondBE:
+		return t.CF || t.ZF
+	case mx.CondA:
+		return !t.CF && !t.ZF
+	case mx.CondAE:
+		return !t.CF
+	case mx.CondS:
+		return t.SF
+	case mx.CondNS:
+		return !t.SF
+	}
+	return false
+}
+
+func sx8(v uint64) uint64  { return uint64(int64(int8(v))) }
+func sx32(v uint64) uint64 { return uint64(int64(int32(v))) }
+
+// stepThread executes one instruction on t.
+func (m *Machine) stepThread(t *Thread) {
+	pc := t.PC
+	code, ok := m.fetch(pc)
+	if !ok {
+		m.faultf(t, pc, "instruction fetch from unmapped or non-executable memory")
+		return
+	}
+	inst, n := mx.Decode(code)
+	if inst.Op == mx.BAD {
+		m.faultf(t, pc, "illegal instruction")
+		return
+	}
+	m.insts++
+	m.charge(t, costs[inst.Op])
+	next := pc + uint64(n)
+	t.PC = next // default; control flow overrides
+
+	ea := func() uint64 { return t.Regs[inst.Base] + uint64(int64(inst.Disp)) }
+	eaIdx := func() uint64 {
+		return t.Regs[inst.Base] + t.Regs[inst.Idx]*uint64(inst.Scale) + uint64(int64(inst.Disp))
+	}
+	load := func(addr uint64, w int, sext bool) (uint64, bool) {
+		v, ok := m.Mem.Load(addr, w)
+		if !ok {
+			m.faultf(t, pc, "load from unmapped address %#x", addr)
+			return 0, false
+		}
+		if sext && w == 4 {
+			v = sx32(v)
+		}
+		return v, true
+	}
+	store := func(addr, v uint64, w int) bool {
+		if !m.Mem.Store(addr, v, w) {
+			m.faultf(t, pc, "store to unmapped address %#x", addr)
+			return false
+		}
+		return true
+	}
+
+	switch inst.Op {
+	case mx.NOP:
+	case mx.MOVRR:
+		t.Regs[inst.Dst] = t.Regs[inst.Src]
+	case mx.MOVRI:
+		t.Regs[inst.Dst] = uint64(inst.Imm)
+	case mx.LEA:
+		t.Regs[inst.Dst] = ea()
+	case mx.LEAIDX:
+		t.Regs[inst.Dst] = eaIdx()
+	case mx.LOAD8:
+		if v, ok := load(ea(), 1, false); ok {
+			t.Regs[inst.Dst] = v
+		}
+	case mx.LOAD32:
+		if v, ok := load(ea(), 4, true); ok {
+			t.Regs[inst.Dst] = v
+		}
+	case mx.LOAD64:
+		if v, ok := load(ea(), 8, false); ok {
+			t.Regs[inst.Dst] = v
+		}
+	case mx.STORE8:
+		store(ea(), t.Regs[inst.Dst], 1)
+	case mx.STORE32:
+		store(ea(), t.Regs[inst.Dst], 4)
+	case mx.STORE64:
+		store(ea(), t.Regs[inst.Dst], 8)
+	case mx.STOREI8:
+		store(ea(), uint64(inst.Imm), 1)
+	case mx.STOREI32:
+		store(ea(), uint64(inst.Imm), 4)
+	case mx.STOREI64:
+		store(ea(), uint64(inst.Imm), 8)
+	case mx.LOADIDX8:
+		if v, ok := load(eaIdx(), 1, false); ok {
+			t.Regs[inst.Dst] = v
+		}
+	case mx.LOADIDX32:
+		if v, ok := load(eaIdx(), 4, true); ok {
+			t.Regs[inst.Dst] = v
+		}
+	case mx.LOADIDX64:
+		if v, ok := load(eaIdx(), 8, false); ok {
+			t.Regs[inst.Dst] = v
+		}
+	case mx.STOREIDX8:
+		store(eaIdx(), t.Regs[inst.Dst], 1)
+	case mx.STOREIDX32:
+		store(eaIdx(), t.Regs[inst.Dst], 4)
+	case mx.STOREIDX64:
+		store(eaIdx(), t.Regs[inst.Dst], 8)
+
+	case mx.ADDRR, mx.ADDRI:
+		a := t.Regs[inst.Dst]
+		b := m.aluSrc(t, inst)
+		r := a + b
+		t.setAddFlags(a, b, r)
+		t.Regs[inst.Dst] = r
+	case mx.SUBRR, mx.SUBRI:
+		a := t.Regs[inst.Dst]
+		b := m.aluSrc(t, inst)
+		r := a - b
+		t.setSubFlags(a, b, r)
+		t.Regs[inst.Dst] = r
+	case mx.CMPRR, mx.CMPRI:
+		a := t.Regs[inst.Dst]
+		b := m.aluSrc(t, inst)
+		t.setSubFlags(a, b, a-b)
+	case mx.ANDRR, mx.ANDRI:
+		r := t.Regs[inst.Dst] & m.aluSrc(t, inst)
+		t.setZS(r)
+		t.CF, t.OF = false, false
+		t.Regs[inst.Dst] = r
+	case mx.ORRR, mx.ORRI:
+		r := t.Regs[inst.Dst] | m.aluSrc(t, inst)
+		t.setZS(r)
+		t.CF, t.OF = false, false
+		t.Regs[inst.Dst] = r
+	case mx.XORRR, mx.XORRI:
+		r := t.Regs[inst.Dst] ^ m.aluSrc(t, inst)
+		t.setZS(r)
+		t.CF, t.OF = false, false
+		t.Regs[inst.Dst] = r
+	case mx.TESTRR, mx.TESTRI:
+		r := t.Regs[inst.Dst] & m.aluSrc(t, inst)
+		t.setZS(r)
+		t.CF, t.OF = false, false
+	case mx.SHLRR, mx.SHLRI:
+		r := t.Regs[inst.Dst] << (m.aluSrc(t, inst) & 63)
+		t.setZS(r)
+		t.Regs[inst.Dst] = r
+	case mx.SHRRR, mx.SHRRI:
+		r := t.Regs[inst.Dst] >> (m.aluSrc(t, inst) & 63)
+		t.setZS(r)
+		t.Regs[inst.Dst] = r
+	case mx.SARRR, mx.SARRI:
+		r := uint64(int64(t.Regs[inst.Dst]) >> (m.aluSrc(t, inst) & 63))
+		t.setZS(r)
+		t.Regs[inst.Dst] = r
+	case mx.IMULRR, mx.IMULRI:
+		r := uint64(int64(t.Regs[inst.Dst]) * int64(m.aluSrc(t, inst)))
+		t.setZS(r)
+		t.Regs[inst.Dst] = r
+	case mx.DIVRR:
+		d := int64(t.Regs[inst.Src])
+		if d == 0 {
+			m.faultf(t, pc, "integer divide by zero")
+			return
+		}
+		r := uint64(int64(t.Regs[inst.Dst]) / d)
+		t.setZS(r)
+		t.Regs[inst.Dst] = r
+	case mx.MODRR:
+		d := int64(t.Regs[inst.Src])
+		if d == 0 {
+			m.faultf(t, pc, "integer divide by zero")
+			return
+		}
+		r := uint64(int64(t.Regs[inst.Dst]) % d)
+		t.setZS(r)
+		t.Regs[inst.Dst] = r
+	case mx.NEG:
+		r := -t.Regs[inst.Dst]
+		t.setSubFlags(0, t.Regs[inst.Dst], r)
+		t.Regs[inst.Dst] = r
+	case mx.NOT:
+		t.Regs[inst.Dst] = ^t.Regs[inst.Dst]
+	case mx.SETCC:
+		if t.Eval(inst.Cc) {
+			t.Regs[inst.Dst] = 1
+		} else {
+			t.Regs[inst.Dst] = 0
+		}
+
+	case mx.JMP:
+		t.PC = next + uint64(int64(inst.Disp))
+	case mx.JCC:
+		if t.Eval(inst.Cc) {
+			t.PC = next + uint64(int64(inst.Disp))
+		} else if m.OnBlock != nil {
+			// Block-granularity tracing: the untaken edge also enters a
+			// block (the fallthrough), even though PC advances linearly.
+			m.OnBlock(t, next)
+		}
+	case mx.JMPR:
+		target := t.Regs[inst.Dst]
+		if m.OnIndirect != nil {
+			m.OnIndirect(t, pc, target, KindJump)
+		}
+		t.PC = target
+	case mx.JMPM:
+		slot := t.Regs[inst.Base] + t.Regs[inst.Idx]*8 + uint64(int64(inst.Disp))
+		target, ok := m.Mem.Load(slot, 8)
+		if !ok {
+			m.faultf(t, pc, "jump table load from unmapped %#x", slot)
+			return
+		}
+		if m.OnIndirect != nil {
+			m.OnIndirect(t, pc, target, KindJump)
+		}
+		t.PC = target
+	case mx.CALL:
+		if !m.push(t, next) {
+			return
+		}
+		t.PC = next + uint64(int64(inst.Disp))
+	case mx.CALLR:
+		target := t.Regs[inst.Dst]
+		if m.OnIndirect != nil {
+			m.OnIndirect(t, pc, target, KindCall)
+		}
+		if !m.push(t, next) {
+			return
+		}
+		t.PC = target
+	case mx.RET:
+		retAddr, ok := m.pop(t)
+		if !ok {
+			return
+		}
+		switch retAddr {
+		case magicThreadExit:
+			m.threadReturned(t)
+			return
+		case magicHostFrame:
+			m.resumeHostFrame(t)
+			return
+		}
+		if m.OnIndirect != nil {
+			m.OnIndirect(t, pc, retAddr, KindRet)
+		}
+		t.PC = retAddr
+	case mx.CALLX:
+		if int(inst.Ext) >= len(m.exts) || m.exts[inst.Ext] == nil {
+			m.faultf(t, pc, "call to unbound import #%d", inst.Ext)
+			return
+		}
+		m.charge(t, m.extCost[inst.Ext])
+		if err := m.exts[inst.Ext](m, t); err != nil {
+			m.faultf(t, pc, "external %q: %v", m.Img.Imports[inst.Ext], err)
+			return
+		}
+		if m.OnBlock != nil && t.PC == next && t.State == Runnable {
+			// The instruction after an external call starts a new block.
+			m.OnBlock(t, next)
+		}
+	case mx.SYSCALL:
+		m.faultf(t, pc, "raw syscall executed (unsupported)")
+	case mx.HLT:
+		m.exit(int(int64(t.Regs[mx.RDI])))
+	case mx.UD2:
+		m.faultf(t, pc, "ud2 executed")
+
+	case mx.PUSH:
+		m.push(t, t.Regs[inst.Dst])
+	case mx.POP:
+		if v, ok := m.pop(t); ok {
+			t.Regs[inst.Dst] = v
+		}
+
+	case mx.LOCKADD, mx.LOCKSUB, mx.LOCKAND, mx.LOCKOR, mx.LOCKXOR:
+		addr := ea()
+		old, ok := load(addr, 8, false)
+		if !ok {
+			return
+		}
+		var r uint64
+		s := t.Regs[inst.Dst]
+		switch inst.Op {
+		case mx.LOCKADD:
+			r = old + s
+		case mx.LOCKSUB:
+			r = old - s
+		case mx.LOCKAND:
+			r = old & s
+		case mx.LOCKOR:
+			r = old | s
+		case mx.LOCKXOR:
+			r = old ^ s
+		}
+		if !store(addr, r, 8) {
+			return
+		}
+		t.setZS(r)
+	case mx.LOCKXADD:
+		addr := ea()
+		old, ok := load(addr, 8, false)
+		if !ok {
+			return
+		}
+		if !store(addr, old+t.Regs[inst.Dst], 8) {
+			return
+		}
+		t.Regs[inst.Dst] = old
+	case mx.LOCKINC:
+		addr := ea()
+		old, ok := load(addr, 8, false)
+		if !ok {
+			return
+		}
+		if !store(addr, old+1, 8) {
+			return
+		}
+		t.setZS(old + 1)
+	case mx.LOCKDEC:
+		addr := ea()
+		old, ok := load(addr, 8, false)
+		if !ok {
+			return
+		}
+		if !store(addr, old-1, 8) {
+			return
+		}
+		t.setZS(old - 1)
+	case mx.XCHG:
+		addr := ea()
+		old, ok := load(addr, 8, false)
+		if !ok {
+			return
+		}
+		if !store(addr, t.Regs[inst.Dst], 8) {
+			return
+		}
+		t.Regs[inst.Dst] = old
+	case mx.CMPXCHG:
+		addr := ea()
+		old, ok := load(addr, 8, false)
+		if !ok {
+			return
+		}
+		if old == t.Regs[mx.RAX] {
+			if !store(addr, t.Regs[inst.Dst], 8) {
+				return
+			}
+			t.ZF = true
+		} else {
+			t.Regs[mx.RAX] = old
+			t.ZF = false
+		}
+	case mx.MFENCE:
+		// Interpreter execution is sequentially consistent already.
+
+	case mx.TLSBASE:
+		t.Regs[inst.Dst] = t.TLS
+
+	case mx.VLOAD:
+		addr := ea()
+		for l := 0; l < mx.VectorWidth; l++ {
+			v, ok := load(addr+uint64(l*8), 8, false)
+			if !ok {
+				return
+			}
+			t.VRegs[inst.Dst][l] = v
+		}
+	case mx.VSTORE:
+		addr := ea()
+		for l := 0; l < mx.VectorWidth; l++ {
+			if !store(addr+uint64(l*8), t.VRegs[inst.Dst][l], 8) {
+				return
+			}
+		}
+	case mx.VADD:
+		for l := 0; l < mx.VectorWidth; l++ {
+			t.VRegs[inst.Dst][l] += t.VRegs[inst.Src][l]
+		}
+	case mx.VMUL:
+		for l := 0; l < mx.VectorWidth; l++ {
+			t.VRegs[inst.Dst][l] = uint64(int64(t.VRegs[inst.Dst][l]) * int64(t.VRegs[inst.Src][l]))
+		}
+	case mx.VBCAST:
+		for l := 0; l < mx.VectorWidth; l++ {
+			t.VRegs[inst.Dst][l] = t.Regs[inst.Src]
+		}
+	case mx.VHADD:
+		var s uint64
+		for l := 0; l < mx.VectorWidth; l++ {
+			s += t.VRegs[inst.Src][l]
+		}
+		t.Regs[inst.Dst] = s
+
+	default:
+		m.faultf(t, pc, "unimplemented opcode %v", inst.Op)
+	}
+
+	if m.OnBlock != nil && t.PC != next && t.State == Runnable {
+		m.OnBlock(t, t.PC)
+	}
+}
+
+func (m *Machine) aluSrc(t *Thread, inst mx.Inst) uint64 {
+	if mx.LayoutOf(inst.Op) == mx.LayoutRI {
+		return uint64(inst.Imm)
+	}
+	return t.Regs[inst.Src]
+}
+
+func (m *Machine) push(t *Thread, v uint64) bool {
+	t.Regs[mx.RSP] -= 8
+	if !m.Mem.Store(t.Regs[mx.RSP], v, 8) {
+		m.faultf(t, t.PC, "stack overflow: push to unmapped %#x", t.Regs[mx.RSP])
+		return false
+	}
+	return true
+}
+
+func (m *Machine) pop(t *Thread) (uint64, bool) {
+	v, ok := m.Mem.Load(t.Regs[mx.RSP], 8)
+	if !ok {
+		m.faultf(t, t.PC, "pop from unmapped %#x", t.Regs[mx.RSP])
+		return 0, false
+	}
+	t.Regs[mx.RSP] += 8
+	return v, true
+}
+
+// fetch returns the code bytes at pc, or nil if pc is not executable.
+func (m *Machine) fetch(pc uint64) ([]byte, bool) {
+	s := m.Img.FindSection(pc)
+	if s == nil || !s.Exec {
+		return nil, false
+	}
+	off := pc - s.Addr
+	return s.Data[off:], true
+}
+
+// resumeHostFrame re-enters the topmost suspended host state machine.
+func (m *Machine) resumeHostFrame(t *Thread) {
+	if len(t.hostFrames) == 0 {
+		m.faultf(t, t.PC, "return to host frame with no frame pending")
+		return
+	}
+	fr := t.hostFrames[len(t.hostFrames)-1]
+	done, err := fr.frame.resume(m, t, t.Regs[mx.RAX])
+	if err != nil {
+		m.faultf(t, t.PC, "host frame: %v", err)
+		return
+	}
+	if done {
+		t.PC = fr.cont
+		t.hostFrames = t.hostFrames[:len(t.hostFrames)-1]
+	}
+}
+
+// callGuest arranges for t to call the guest function at fn with the given
+// register arguments, returning control to the host frame when it RETs.
+func (m *Machine) callGuest(t *Thread, fn uint64, args ...uint64) {
+	if m.OnGuestEntry != nil {
+		m.OnGuestEntry(fn)
+	}
+	argRegs := []mx.Reg{mx.RDI, mx.RSI, mx.RDX, mx.RCX, mx.R8, mx.R9}
+	for i, v := range args {
+		t.Regs[argRegs[i]] = v
+	}
+	m.push(t, magicHostFrame)
+	t.PC = fn
+}

@@ -1,0 +1,607 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/mx"
+	"repro/internal/vm"
+)
+
+func build(t *testing.T, f func(b *asm.Builder)) *image.Image {
+	t.Helper()
+	b := asm.NewBuilder("t")
+	f(b)
+	img, _, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func run(t *testing.T, img *image.Image) vm.Result {
+	t.Helper()
+	m, err := vm.New(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run(50_000_000)
+}
+
+func mustExit(t *testing.T, res vm.Result, code int) {
+	t.Helper()
+	if res.Fault != nil {
+		t.Fatalf("fault: %v (output %q)", res.Fault, res.Output)
+	}
+	if res.ExitCode != code {
+		t.Fatalf("exit code %d, want %d (output %q)", res.ExitCode, code, res.Output)
+	}
+}
+
+func TestArithmeticAndExit(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("main")
+		b.Label("main")
+		b.MovRI(mx.RAX, 6)
+		b.I(mx.Inst{Op: mx.IMULRI, Dst: mx.RAX, Imm: 7})
+		b.MovRR(mx.RDI, mx.RAX)
+		b.I(mx.Inst{Op: mx.SUBRI, Dst: mx.RDI, Imm: 2})
+		b.CallExt("exit")
+	})
+	mustExit(t, run(t, img), 40)
+}
+
+func TestMainReturnIsExitCode(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("main")
+		b.Label("main")
+		b.MovRI(mx.RAX, 13)
+		b.Ret()
+	})
+	mustExit(t, run(t, img), 13)
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("main")
+		b.Label("main")
+		b.MovRI(mx.RDI, 20)
+		b.Call("double")
+		b.MovRR(mx.RDI, mx.RAX)
+		b.CallExt("exit")
+		b.Label("double")
+		b.I(mx.Inst{Op: mx.PUSH, Dst: mx.RBX})
+		b.MovRR(mx.RBX, mx.RDI)
+		b.I(mx.Inst{Op: mx.ADDRR, Dst: mx.RBX, Src: mx.RBX})
+		b.MovRR(mx.RAX, mx.RBX)
+		b.I(mx.Inst{Op: mx.POP, Dst: mx.RBX})
+		b.Ret()
+	})
+	mustExit(t, run(t, img), 40)
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// sum 1..10 == 55
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("main")
+		b.Label("main")
+		b.MovRI(mx.RAX, 0)
+		b.MovRI(mx.RCX, 1)
+		b.Label("loop")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.RCX, Imm: 10})
+		b.Jcc(mx.CondG, "done")
+		b.I(mx.Inst{Op: mx.ADDRR, Dst: mx.RAX, Src: mx.RCX})
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RCX, Imm: 1})
+		b.Jmp("loop")
+		b.Label("done")
+		b.MovRR(mx.RDI, mx.RAX)
+		b.CallExt("exit")
+	})
+	mustExit(t, run(t, img), 55)
+}
+
+func TestGlobalDataAndBSS(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.DataLabel("g")
+		b.DataQuad(100)
+		b.BSS("scratch", 64)
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RBX, "g")
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RAX, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RAX, Imm: 1})
+		b.MovSym(mx.RBX, "scratch")
+		b.I(mx.Inst{Op: mx.STORE64, Dst: mx.RAX, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RDI, Base: mx.RBX})
+		b.CallExt("exit")
+	})
+	mustExit(t, run(t, img), 101)
+}
+
+func TestJumpTable(t *testing.T) {
+	// Dispatch on rdi=2 through a jump table in .rodata.
+	img := build(t, func(b *asm.Builder) {
+		b.RodataLabel("table")
+		b.RodataAddr("case0")
+		b.RodataAddr("case1")
+		b.RodataAddr("case2")
+		b.Entry("main")
+		b.Label("main")
+		b.MovRI(mx.RDI, 2)
+		b.MovSym(mx.RBX, "table")
+		b.I(mx.Inst{Op: mx.JMPM, Base: mx.RBX, Idx: mx.RDI})
+		b.Label("case0")
+		b.MovRI(mx.RDI, 10)
+		b.Jmp("out")
+		b.Label("case1")
+		b.MovRI(mx.RDI, 11)
+		b.Jmp("out")
+		b.Label("case2")
+		b.MovRI(mx.RDI, 12)
+		b.Label("out")
+		b.CallExt("exit")
+	})
+	mustExit(t, run(t, img), 12)
+}
+
+func TestIndirectCallThroughRegister(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RBX, "target")
+		b.I(mx.Inst{Op: mx.CALLR, Dst: mx.RBX})
+		b.MovRR(mx.RDI, mx.RAX)
+		b.CallExt("exit")
+		b.Label("target")
+		b.MovRI(mx.RAX, 77)
+		b.Ret()
+	})
+	mustExit(t, run(t, img), 77)
+}
+
+func TestPrintOutput(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.RodataLabel("msg")
+		b.Rodata(append([]byte("hello\n"), 0))
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RDI, "msg")
+		b.CallExt("print_str")
+		b.MovRI(mx.RDI, 42)
+		b.CallExt("print_i64")
+		b.MovRI(mx.RDI, 0)
+		b.CallExt("exit")
+	})
+	res := run(t, img)
+	mustExit(t, res, 0)
+	if res.Output != "hello\n42\n" {
+		t.Fatalf("output %q", res.Output)
+	}
+}
+
+func TestThreadsAtomicCounter(t *testing.T) {
+	// 4 threads each lock-add 1000 to a counter; result must be 4000.
+	img := build(t, func(b *asm.Builder) {
+		b.BSS("counter", 8)
+		b.BSS("tids", 64)
+		b.Entry("main")
+		b.Label("main")
+		// spawn 4 threads
+		b.MovRI(mx.R12, 0)
+		b.Label("spawn")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.R12, Imm: 4})
+		b.Jcc(mx.CondGE, "joinloop")
+		b.MovSym(mx.RDI, "worker")
+		b.MovRI(mx.RSI, 0)
+		b.CallExt("thread_create")
+		b.MovSym(mx.RBX, "tids")
+		b.I(mx.Inst{Op: mx.STOREIDX64, Dst: mx.RAX, Base: mx.RBX, Idx: mx.R12, Scale: 8})
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.R12, Imm: 1})
+		b.Jmp("spawn")
+		b.Label("joinloop")
+		b.MovRI(mx.R12, 0)
+		b.Label("join1")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.R12, Imm: 4})
+		b.Jcc(mx.CondGE, "report")
+		b.MovSym(mx.RBX, "tids")
+		b.I(mx.Inst{Op: mx.LOADIDX64, Dst: mx.RDI, Base: mx.RBX, Idx: mx.R12, Scale: 8})
+		b.CallExt("thread_join")
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.R12, Imm: 1})
+		b.Jmp("join1")
+		b.Label("report")
+		b.MovSym(mx.RBX, "counter")
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RDI, Base: mx.RBX})
+		b.CallExt("exit")
+
+		b.Label("worker")
+		b.MovRI(mx.RCX, 0)
+		b.MovSym(mx.RBX, "counter")
+		b.MovRI(mx.RDX, 1)
+		b.Label("wloop")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.RCX, Imm: 1000})
+		b.Jcc(mx.CondGE, "wdone")
+		b.I(mx.Inst{Op: mx.LOCKADD, Dst: mx.RDX, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RCX, Imm: 1})
+		b.Jmp("wloop")
+		b.Label("wdone")
+		b.MovRI(mx.RAX, 0)
+		b.Ret()
+	})
+	mustExit(t, run(t, img), 4000)
+}
+
+func TestSpinlockWithCmpxchg(t *testing.T) {
+	// Two threads increment a non-atomic counter under a cmpxchg spinlock.
+	img := build(t, func(b *asm.Builder) {
+		b.BSS("lock", 8)
+		b.BSS("count", 8)
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RDI, "worker")
+		b.MovRI(mx.RSI, 0)
+		b.CallExt("thread_create")
+		b.MovRR(mx.R13, mx.RAX)
+		b.MovSym(mx.RDI, "worker")
+		b.CallExt("thread_create")
+		b.MovRR(mx.R14, mx.RAX)
+		b.MovRR(mx.RDI, mx.R13)
+		b.CallExt("thread_join")
+		b.MovRR(mx.RDI, mx.R14)
+		b.CallExt("thread_join")
+		b.MovSym(mx.RBX, "count")
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RDI, Base: mx.RBX})
+		b.CallExt("exit")
+
+		b.Label("worker")
+		b.MovRI(mx.R12, 0)
+		b.Label("iter")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.R12, Imm: 500})
+		b.Jcc(mx.CondGE, "done")
+		// acquire: while (!cas(lock, 0, 1)) spin
+		b.Label("acquire")
+		b.MovRI(mx.RAX, 0)
+		b.MovRI(mx.RCX, 1)
+		b.MovSym(mx.RBX, "lock")
+		b.I(mx.Inst{Op: mx.CMPXCHG, Dst: mx.RCX, Base: mx.RBX})
+		b.Jcc(mx.CondNE, "acquire")
+		// critical section: count++ (plain, racy without the lock)
+		b.MovSym(mx.RBX, "count")
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RDX, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RDX, Imm: 1})
+		b.I(mx.Inst{Op: mx.STORE64, Dst: mx.RDX, Base: mx.RBX})
+		// release
+		b.MovSym(mx.RBX, "lock")
+		b.I(mx.Inst{Op: mx.STOREI64, Base: mx.RBX, Imm: 0})
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.R12, Imm: 1})
+		b.Jmp("iter")
+		b.Label("done")
+		b.MovRI(mx.RAX, 0)
+		b.Ret()
+	})
+	mustExit(t, run(t, img), 1000)
+}
+
+func TestQsortCallback(t *testing.T) {
+	// Sort 8 quads with a guest comparator, then verify ordering in guest.
+	img := build(t, func(b *asm.Builder) {
+		b.DataLabel("arr")
+		for _, v := range []uint64{5, 3, 8, 1, 9, 2, 7, 4} {
+			b.DataQuad(v)
+		}
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RDI, "arr")
+		b.MovRI(mx.RSI, 8)
+		b.MovRI(mx.RDX, 8)
+		b.MovSym(mx.RCX, "cmp")
+		b.CallExt("qsort")
+		// check sorted: fail fast with exit(100+i)
+		b.MovRI(mx.R12, 0)
+		b.Label("chk")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.R12, Imm: 7})
+		b.Jcc(mx.CondGE, "ok")
+		b.MovSym(mx.RBX, "arr")
+		b.I(mx.Inst{Op: mx.LOADIDX64, Dst: mx.RAX, Base: mx.RBX, Idx: mx.R12, Scale: 8})
+		b.MovRR(mx.R13, mx.R12)
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.R13, Imm: 1})
+		b.I(mx.Inst{Op: mx.LOADIDX64, Dst: mx.RCX, Base: mx.RBX, Idx: mx.R13, Scale: 8})
+		b.I(mx.Inst{Op: mx.CMPRR, Dst: mx.RAX, Src: mx.RCX})
+		b.Jcc(mx.CondG, "bad")
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.R12, Imm: 1})
+		b.Jmp("chk")
+		b.Label("bad")
+		b.MovRI(mx.RDI, 100)
+		b.CallExt("exit")
+		b.Label("ok")
+		// exit(first + last) = 1 + 9 = 10
+		b.MovSym(mx.RBX, "arr")
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RDI, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RAX, Base: mx.RBX, Disp: 56})
+		b.I(mx.Inst{Op: mx.ADDRR, Dst: mx.RDI, Src: mx.RAX})
+		b.CallExt("exit")
+
+		b.Label("cmp")
+		// return *(i64*)a - *(i64*)b
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RAX, Base: mx.RDI})
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RCX, Base: mx.RSI})
+		b.I(mx.Inst{Op: mx.SUBRR, Dst: mx.RAX, Src: mx.RCX})
+		b.Ret()
+	})
+	mustExit(t, run(t, img), 10)
+}
+
+func TestOmpParallelFor(t *testing.T) {
+	// Workers atomically add their chunk sums of [0,100); total = 4950.
+	img := build(t, func(b *asm.Builder) {
+		b.BSS("total", 8)
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RDI, "body")
+		b.MovRI(mx.RSI, 0)
+		b.MovRI(mx.RDX, 100)
+		b.MovRI(mx.RCX, 0)
+		b.MovRI(mx.R8, 4)
+		b.CallExt("omp_parallel_for")
+		b.MovSym(mx.RBX, "total")
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RDI, Base: mx.RBX})
+		b.CallExt("exit")
+
+		b.Label("body") // body(lo, hi, arg)
+		b.MovRI(mx.RAX, 0)
+		b.Label("bl")
+		b.I(mx.Inst{Op: mx.CMPRR, Dst: mx.RDI, Src: mx.RSI})
+		b.Jcc(mx.CondGE, "bdone")
+		b.I(mx.Inst{Op: mx.ADDRR, Dst: mx.RAX, Src: mx.RDI})
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RDI, Imm: 1})
+		b.Jmp("bl")
+		b.Label("bdone")
+		b.MovSym(mx.RBX, "total")
+		b.I(mx.Inst{Op: mx.LOCKADD, Dst: mx.RAX, Base: mx.RBX})
+		b.MovRI(mx.RAX, 0)
+		b.Ret()
+	})
+	mustExit(t, run(t, img), 4950)
+}
+
+func TestMutexProtectsCounter(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.BSS("mu", 8)
+		b.BSS("n", 8)
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RDI, "w")
+		b.MovRI(mx.RSI, 0)
+		b.CallExt("thread_create")
+		b.MovRR(mx.R13, mx.RAX)
+		b.MovSym(mx.RDI, "w")
+		b.CallExt("thread_create")
+		b.MovRR(mx.R14, mx.RAX)
+		b.MovRR(mx.RDI, mx.R13)
+		b.CallExt("thread_join")
+		b.MovRR(mx.RDI, mx.R14)
+		b.CallExt("thread_join")
+		b.MovSym(mx.RBX, "n")
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RDI, Base: mx.RBX})
+		b.CallExt("exit")
+
+		b.Label("w")
+		b.MovRI(mx.R12, 0)
+		b.Label("l")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.R12, Imm: 300})
+		b.Jcc(mx.CondGE, "e")
+		b.MovSym(mx.RDI, "mu")
+		b.CallExt("mutex_lock")
+		b.MovSym(mx.RBX, "n")
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RDX, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RDX, Imm: 1})
+		b.I(mx.Inst{Op: mx.STORE64, Dst: mx.RDX, Base: mx.RBX})
+		b.MovSym(mx.RDI, "mu")
+		b.CallExt("mutex_unlock")
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.R12, Imm: 1})
+		b.Jmp("l")
+		b.Label("e")
+		b.MovRI(mx.RAX, 0)
+		b.Ret()
+	})
+	mustExit(t, run(t, img), 600)
+}
+
+func TestTLSIsPerThread(t *testing.T) {
+	// Each thread writes its arg to TLS[0] then reads it back after yielding.
+	img := build(t, func(b *asm.Builder) {
+		b.SetTLSSize(64)
+		b.BSS("sum", 8)
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RDI, "w")
+		b.MovRI(mx.RSI, 5)
+		b.CallExt("thread_create")
+		b.MovRR(mx.R13, mx.RAX)
+		b.MovSym(mx.RDI, "w")
+		b.MovRI(mx.RSI, 9)
+		b.CallExt("thread_create")
+		b.MovRR(mx.R14, mx.RAX)
+		b.MovRR(mx.RDI, mx.R13)
+		b.CallExt("thread_join")
+		b.MovRR(mx.RDI, mx.R14)
+		b.CallExt("thread_join")
+		b.MovSym(mx.RBX, "sum")
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RDI, Base: mx.RBX})
+		b.CallExt("exit")
+
+		b.Label("w") // arg in rdi
+		b.I(mx.Inst{Op: mx.TLSBASE, Dst: mx.RBX})
+		b.I(mx.Inst{Op: mx.STORE64, Dst: mx.RDI, Base: mx.RBX})
+		b.CallExt("sched_yield")
+		b.I(mx.Inst{Op: mx.TLSBASE, Dst: mx.RBX})
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RAX, Base: mx.RBX})
+		b.MovSym(mx.RCX, "sum")
+		b.I(mx.Inst{Op: mx.LOCKADD, Dst: mx.RAX, Base: mx.RCX})
+		b.MovRI(mx.RAX, 0)
+		b.Ret()
+	})
+	mustExit(t, run(t, img), 14)
+}
+
+func TestVectorOps(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.DataLabel("v1")
+		for _, v := range []uint64{1, 2, 3, 4} {
+			b.DataQuad(v)
+		}
+		b.DataLabel("v2")
+		for _, v := range []uint64{10, 20, 30, 40} {
+			b.DataQuad(v)
+		}
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RBX, "v1")
+		b.I(mx.Inst{Op: mx.VLOAD, Dst: 0, Base: mx.RBX})
+		b.MovSym(mx.RBX, "v2")
+		b.I(mx.Inst{Op: mx.VLOAD, Dst: 1, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.VADD, Dst: 0, Src: 1})
+		b.I(mx.Inst{Op: mx.VHADD, Dst: mx.RDI, Src: 0})
+		b.CallExt("exit") // (1+10)+(2+20)+(3+30)+(4+40) = 110
+	})
+	mustExit(t, run(t, img), 110)
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		prog func(b *asm.Builder)
+		want string
+	}{
+		{"unmapped load", func(b *asm.Builder) {
+			b.Entry("main")
+			b.Label("main")
+			b.MovRI(mx.RBX, 0xdead0000)
+			b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RAX, Base: mx.RBX})
+			b.Ret()
+		}, "unmapped"},
+		{"div by zero", func(b *asm.Builder) {
+			b.Entry("main")
+			b.Label("main")
+			b.MovRI(mx.RAX, 7)
+			b.MovRI(mx.RCX, 0)
+			b.I(mx.Inst{Op: mx.DIVRR, Dst: mx.RAX, Src: mx.RCX})
+			b.Ret()
+		}, "divide by zero"},
+		{"syscall", func(b *asm.Builder) {
+			b.Entry("main")
+			b.Label("main")
+			b.I(mx.Inst{Op: mx.SYSCALL})
+			b.Ret()
+		}, "syscall"},
+		{"ud2", func(b *asm.Builder) {
+			b.Entry("main")
+			b.Label("main")
+			b.I(mx.Inst{Op: mx.UD2})
+		}, "ud2"},
+		{"wild jump", func(b *asm.Builder) {
+			b.Entry("main")
+			b.Label("main")
+			b.MovRI(mx.RBX, 0x1234)
+			b.I(mx.Inst{Op: mx.JMPR, Dst: mx.RBX})
+		}, "fetch"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := run(t, build(t, c.prog))
+			if res.Fault == nil {
+				t.Fatalf("no fault; exit=%d", res.ExitCode)
+			}
+			if !strings.Contains(res.Fault.Reason, c.want) {
+				t.Fatalf("fault %q does not mention %q", res.Fault.Reason, c.want)
+			}
+		})
+	}
+}
+
+func TestUnresolvedImport(t *testing.T) {
+	b := asm.NewBuilder("t")
+	b.Entry("main")
+	b.Label("main")
+	b.CallExt("no_such_function")
+	b.Ret()
+	img, _, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.New(img, 1); err == nil {
+		t.Fatal("expected unresolved import error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Same seed, same interleaving-sensitive result; we just require the
+	// cycle counts to be identical across runs.
+	img := build(t, func(b *asm.Builder) {
+		b.BSS("counter", 8)
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RDI, "w")
+		b.MovRI(mx.RSI, 0)
+		b.CallExt("thread_create")
+		b.MovRR(mx.RDI, mx.RAX)
+		b.CallExt("thread_join")
+		b.MovRI(mx.RDI, 0)
+		b.CallExt("exit")
+		b.Label("w")
+		b.MovRI(mx.RCX, 0)
+		b.Label("l")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.RCX, Imm: 100})
+		b.Jcc(mx.CondGE, "d")
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RCX, Imm: 1})
+		b.Jmp("l")
+		b.Label("d")
+		b.Ret()
+	})
+	r1 := run(t, img)
+	r2 := run(t, img)
+	if r1.Cycles != r2.Cycles || r1.Insts != r2.Insts {
+		t.Fatalf("nondeterministic: %v vs %v", r1, r2)
+	}
+}
+
+func TestInputExternals(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.BSS("buf", 16)
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RDI, "buf")
+		b.MovRI(mx.RSI, 16)
+		b.CallExt("input_read")
+		b.MovRR(mx.R12, mx.RAX) // n
+		b.MovSym(mx.RBX, "buf")
+		b.I(mx.Inst{Op: mx.LOAD8, Dst: mx.RDI, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.ADDRR, Dst: mx.RDI, Src: mx.R12})
+		b.CallExt("exit")
+	})
+	m, err := vm.New(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetInput([]byte("AB"))
+	res := m.Run(1_000_000)
+	mustExit(t, res, 'A'+2)
+}
+
+func TestMallocFree(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("main")
+		b.Label("main")
+		b.MovRI(mx.RDI, 64)
+		b.CallExt("malloc")
+		b.MovRR(mx.R12, mx.RAX)
+		b.I(mx.Inst{Op: mx.STOREI64, Base: mx.R12, Imm: 99})
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.R13, Base: mx.R12})
+		b.MovRR(mx.RDI, mx.R12)
+		b.CallExt("free")
+		b.MovRR(mx.RDI, mx.R13)
+		b.CallExt("exit")
+	})
+	mustExit(t, run(t, img), 99)
+}

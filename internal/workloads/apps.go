@@ -1,0 +1,503 @@
+package workloads
+
+import (
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// Real-world-utility analogues (Table 1): a key-value store with worker
+// threads (memcached-like), a parallel block compressor (pigz-like), a
+// threaded request server (mongoose-like), and an FTP-like server carrying
+// the CVE-2023-24042 shared-context race (LightFTP-like, §4.1).
+
+func memcachedLike() *Workload {
+	return &Workload{
+		Name: "memcached_like", Family: "app", Threads: "pthreads+builtins",
+		WantExit: 42,
+		Inputs:   []core.Input{{Seed: 21}},
+		Source: `
+extern thread_create;
+extern thread_join;
+extern mutex_lock;
+extern mutex_unlock;
+extern malloc;
+
+// Open-addressing hash table: key -> value (both i64). Slot layout:
+// [key, value, used] triples.
+var table = 0;
+var cap = 0;
+var tmu = 0;
+var ops = 0;
+
+func ht_init(n) {
+	cap = n;
+	table = malloc(n * 24);
+	var i;
+	for (i = 0; i < n; i = i + 1) { store64(table + i*24 + 16, 0); }
+	return 0;
+}
+
+func ht_set(k, v) {
+	var h = (k * 2654435761) % cap;
+	if (h < 0) { h = -h; }
+	var i;
+	for (i = 0; i < cap; i = i + 1) {
+		var s = table + ((h + i) % cap) * 24;
+		if (load64(s + 16) == 0 || load64(s) == k) {
+			store64(s, k);
+			store64(s + 8, v);
+			store64(s + 16, 1);
+			return 1;
+		}
+	}
+	return 0;
+}
+
+func ht_get(k) {
+	var h = (k * 2654435761) % cap;
+	if (h < 0) { h = -h; }
+	var i;
+	for (i = 0; i < cap; i = i + 1) {
+		var s = table + ((h + i) % cap) * 24;
+		if (load64(s + 16) == 0) { return -1; }
+		if (load64(s) == k) { return load64(s + 8); }
+	}
+	return -1;
+}
+
+// Protocol command handlers, dispatched through a function table (the
+// command-dispatch shape of real protocol servers).
+var cmds[2];
+
+func cmd_set(key) { ht_set(key, key * 3); return -1; }
+func cmd_get(key) { return ht_get(key); }
+
+// Each worker performs a memaslap-style 90/10 get/set mix.
+func worker(arg) {
+	var state = arg * 7919 + 17;
+	var i;
+	var hits = 0;
+	for (i = 0; i < 300; i = i + 1) {
+		var x = load64(&state);
+		x = x ^ (x << 13);
+		x = x ^ (x >> 7);
+		x = x ^ (x << 17);
+		store64(&state, x);
+		if (x < 0) { x = -x; }
+		var key = x % 128;
+		var op = 0;
+		if (x % 10 != 0) { op = 1; }
+		mutex_lock(&tmu);
+		var h = load64(cmds + op * 8);
+		var v = h(key);
+		if (op == 1 && v != -1) { hits = hits + 1; }
+		atomic_add(&ops, 1);
+		mutex_unlock(&tmu);
+	}
+	return hits;
+}
+
+func main() {
+	ht_init(512);
+	store64(cmds, cmd_set);
+	store64(cmds + 8, cmd_get);
+	var i;
+	for (i = 0; i < 128; i = i + 1) { ht_set(i, i * 3); }
+	var tids[4];
+	for (i = 0; i < 4; i = i + 1) { tids[i] = thread_create(worker, i); }
+	var hits = 0;
+	for (i = 0; i < 4; i = i + 1) { hits = hits + thread_join(tids[i]); }
+	if (load64(&ops) != 1200) { return 1; }
+	if (hits == 0) { return 2; }
+	return 42;
+}`,
+	}
+}
+
+func pigzLike() *Workload {
+	return &Workload{
+		Name: "pigz_like", Family: "app", Threads: "pthreads",
+		WantExit: 42,
+		Inputs:   []core.Input{{Seed: 22}},
+		Source: `
+extern thread_create;
+extern thread_join;
+extern malloc;
+extern print_i64;
+
+// Parallel RLE block compressor: the input buffer is split into blocks,
+// each compressed by one thread into its own output region (pigz's
+// per-block parallelism).
+var src = 0;
+var dst = 0;
+var outlen[4];
+var SRCN = 4096;
+
+func fill(seed) {
+	src = malloc(SRCN);
+	dst = malloc(SRCN * 2);
+	var state = seed;
+	var i;
+	var run = 0;
+	var ch = 'a';
+	for (i = 0; i < SRCN; i = i + 1) {
+		if (run == 0) {
+			var x = load64(&state);
+			x = x ^ (x << 13);
+			x = x ^ (x >> 7);
+			x = x ^ (x << 17);
+			store64(&state, x);
+			if (x < 0) { x = -x; }
+			run = 1 + x % 40;
+			ch = 'a' + x % 16;
+		}
+		store8(src + i, ch);
+		run = run - 1;
+	}
+	return 0;
+}
+
+var blocksize = 1024;
+
+func compress_block(arg) {    // block arg: [arg*1024, +1024)
+	var scratch[blocksize];   // dynamically sized staging buffer (VLA)
+	var in = src + arg * 1024;
+	var out = dst + arg * 2048;
+	scratch[0] = arg;
+	var w = 0;
+	var i = 0;
+	while (i < 1024) {
+		var ch = load8(in + i);
+		var run = 1;
+		while (i + run < 1024 && load8(in + i + run) == ch && run < 255) {
+			run = run + 1;
+		}
+		store8(out + w, ch);
+		store8(out + w + 1, run);
+		w = w + 2;
+		i = i + run;
+	}
+	outlen[arg] = w;
+	return 0;
+}
+
+func main() {
+	fill(314159);
+	var tids[4];
+	var i;
+	for (i = 0; i < 4; i = i + 1) { tids[i] = thread_create(compress_block, i); }
+	for (i = 0; i < 4; i = i + 1) { thread_join(tids[i]); }
+	var total = 0;
+	for (i = 0; i < 4; i = i + 1) { total = total + outlen[i]; }
+	if (total == 0 || total >= 4096) { return 1; }
+	// Verify round trip of block 0.
+	var pos = 0;
+	var i2 = 0;
+	while (i2 < outlen[0]) {
+		var ch = load8(dst + i2);
+		var run = load8(dst + i2 + 1);
+		var k;
+		for (k = 0; k < run; k = k + 1) {
+			if (load8(src + pos) != ch) { return 2; }
+			pos = pos + 1;
+		}
+		i2 = i2 + 2;
+	}
+	if (pos != 1024) { return 3; }
+	print_i64(total);
+	return 42;
+}`,
+	}
+}
+
+func mongooseLike() *Workload {
+	return &Workload{
+		Name: "mongoose_like", Family: "app", Threads: "pthreads+cond",
+		WantExit: 42,
+		Inputs:   []core.Input{{Seed: 23}},
+		Source: `
+extern thread_create;
+extern thread_join;
+extern mutex_lock;
+extern mutex_unlock;
+extern cond_wait;
+extern cond_signal;
+extern cond_broadcast;
+
+// Threaded request server: the main thread enqueues requests, a pool of
+// workers dequeues and "handles" them (hashing the request id), results
+// are accumulated. Queue protected by mutex+condvar (mongoose's
+// multi-threaded example server shape).
+var queue[64];
+var qhead = 0;
+var qtail = 0;
+var qmu = 0;
+var qcv = 0;
+var done = 0;
+var handled = 0;
+var checksum = 0;
+
+var handlers[2];
+
+func handle_static(req) {
+	var h = req;
+	var i;
+	for (i = 0; i < 20; i = i + 1) { h = (h * 31 + i) % 1000003; }
+	return h;
+}
+
+func handle_api(req) {
+	var h = req * 7;
+	var i;
+	for (i = 0; i < 12; i = i + 1) { h = (h * 37 + i) % 999983; }
+	return h;
+}
+
+func handle(req) {
+	var f = load64(handlers + (req & 1) * 8);
+	return f(req);
+}
+
+func worker(arg) {
+	while (1) {
+		mutex_lock(&qmu);
+		while (qhead == qtail && load64(&done) == 0) {
+			cond_wait(&qcv, &qmu);
+		}
+		if (qhead == qtail) {
+			mutex_unlock(&qmu);
+			return 0;
+		}
+		var req = queue[qhead & 63];
+		qhead = qhead + 1;
+		mutex_unlock(&qmu);
+		var h = handle(req);
+		atomic_add(&checksum, h);
+		atomic_add(&handled, 1);
+	}
+	return 0;
+}
+
+func main() {
+	store64(handlers, handle_static);
+	store64(handlers + 8, handle_api);
+	var tids[3];
+	var i;
+	for (i = 0; i < 3; i = i + 1) { tids[i] = thread_create(worker, i); }
+	for (i = 0; i < 100; i = i + 1) {
+		mutex_lock(&qmu);
+		queue[qtail & 63] = i + 1;
+		qtail = qtail + 1;
+		cond_signal(&qcv);
+		mutex_unlock(&qmu);
+	}
+	mutex_lock(&qmu);
+	store64(&done, 1);
+	cond_broadcast(&qcv);
+	mutex_unlock(&qmu);
+	for (i = 0; i < 3; i = i + 1) { thread_join(tids[i]); }
+	if (load64(&handled) != 100) { return 1; }
+	if (load64(&checksum) == 0) { return 2; }
+	return 42;
+}`,
+	}
+}
+
+// LightFTPExts returns the filesystem/network host model the FTP-like
+// server uses: a tiny read-only FS and a scripted command stream.
+func LightFTPExts() map[string]vm.ExtFunc {
+	fs := map[string]int{ // path -> 1 file, 2 dir
+		"/pub":         2,
+		"/pub/a.txt":   1,
+		"/pub/b.txt":   1,
+		"/etc/passwd":  1,
+		"/home":        2,
+		"/home/u.conf": 1,
+	}
+	listings := map[string]string{
+		"/pub":  "a.txt b.txt",
+		"/home": "u.conf",
+	}
+	return map[string]vm.ExtFunc{
+		// fs_stat(path) -> 0 missing, 1 file, 2 directory
+		"fs_stat": func(m *vm.Machine, t *vm.Thread) error {
+			p, ok := m.Mem.CString(t.Regs[7]) // rdi
+			if !ok {
+				t.Regs[0] = 0
+				return nil
+			}
+			t.Regs[0] = uint64(fs[p])
+			return nil
+		},
+		// dir_list(path, buf, max) -> bytes written (NUL-terminated)
+		"dir_list": func(m *vm.Machine, t *vm.Thread) error {
+			p, ok := m.Mem.CString(t.Regs[7])
+			if !ok {
+				t.Regs[0] = 0
+				return nil
+			}
+			s := listings[p]
+			if fs[p] == 1 {
+				s = "<file:" + p + ">" // listing a file leaks its content marker
+			}
+			maxn := t.Regs[2] // rdx
+			if uint64(len(s)+1) > maxn {
+				s = s[:maxn-1]
+			}
+			m.Mem.WriteBytes(t.Regs[6], append([]byte(s), 0)) // rsi
+			t.Regs[0] = uint64(len(s))
+			return nil
+		},
+	}
+}
+
+// lightftpSource is shared by the workload and the RQ1 example: an FTP-like
+// server whose session context (FileName) is shared across handler threads,
+// reproducing CVE-2023-24042's race. The scripted input drives it:
+//
+//	U<path>\n   USER command: writes context.FileName unchecked
+//	L<path>\n   LIST command: stats path, stores it, spawns a blocked handler
+//	D\n         data-connect: unblocks the pending LIST handler
+//	Q\n         quit
+const lightftpSource = `
+extern thread_create;
+extern thread_join;
+extern mutex_lock;
+extern mutex_unlock;
+extern cond_wait;
+extern cond_signal;
+extern input_byte;
+extern print_str;
+extern print_char;
+extern fs_stat;
+extern dir_list;
+
+var filename[32];    // context->FileName: shared, reused across threads!
+var datamu = 0;
+var datacv = 0;
+var dataconn = 0;
+var handler_tid = 0;
+var have_handler = 0;
+
+func read_line(buf, max) {
+	var n = 0;
+	while (1) {
+		var c = input_byte();
+		if (c == -1 || c == '\n') {
+			store8(buf + n, 0);
+			return n;
+		}
+		if (n < max - 1) {
+			store8(buf + n, c);
+			n = n + 1;
+		}
+	}
+	return n;
+}
+
+func set_filename(src) {
+	// The CVE: no check, no per-handler copy — raw overwrite of the
+	// shared context field.
+	var i = 0;
+	while (load8(src + i) != 0 && i < 255) {
+		store8(filename + i, load8(src + i));
+		i = i + 1;
+	}
+	store8(filename + i, 0);
+	return 0;
+}
+
+func list_thread(arg) {
+	// Block until the client connects to the data socket.
+	mutex_lock(&datamu);
+	while (load64(&dataconn) == 0) {
+		cond_wait(&datacv, &datamu);
+	}
+	store64(&dataconn, 0);
+	mutex_unlock(&datamu);
+	// Uses context->FileName, which may have been overwritten meanwhile.
+	var out[64];
+	dir_list(filename, out, 512);
+	print_str("LIST:");
+	print_str(out);
+	print_char('\n');
+	return 0;
+}
+
+func ftp_list(path) {
+	if (fs_stat(path) == 0) {
+		print_str("550\n");
+		return 0;
+	}
+	set_filename(path);
+	store64(&handler_tid, thread_create(list_thread, 0));
+	store64(&have_handler, 1);
+	print_str("150\n");
+	return 0;
+}
+
+func ftp_user(name) {
+	set_filename(name);   // the reused context field
+	print_str("331\n");
+	return 0;
+}
+
+func ftp_data(arg) {
+	mutex_lock(&datamu);
+	store64(&dataconn, 1);
+	cond_signal(&datacv);
+	mutex_unlock(&datamu);
+	return 0;
+}
+
+var dispatch[3];   // command handlers: U, L, D
+
+func main() {
+	store64(dispatch, ftp_user);
+	store64(dispatch + 8, ftp_list);
+	store64(dispatch + 16, ftp_data);
+	var line[64];
+	while (1) {
+		var n = read_line(line, 512);
+		if (n == 0) { break; }
+		var cmd = load8(line);
+		if (cmd == 'Q') { break; }
+		var idx = -1;
+		if (cmd == 'U') { idx = 0; }
+		if (cmd == 'L') { idx = 1; }
+		if (cmd == 'D') { idx = 2; }
+		if (idx >= 0) {
+			var h = load64(dispatch + idx * 8);
+			h(line + 1);
+		}
+	}
+	if (load64(&have_handler) != 0) {
+		thread_join(load64(&handler_tid));
+	}
+	print_str("221\n");
+	return 42;
+}
+`
+
+func lightftpLike() *Workload {
+	return &Workload{
+		Name: "lightftp_like", Family: "app", Threads: "pthreads+cond",
+		WantExit: 42,
+		// Benign session: LIST a directory, connect data socket, quit.
+		Inputs: []core.Input{{
+			Data: []byte("L/pub\nD\nQ\n"),
+			Seed: 24,
+		}},
+		WantOutput: "150\nLIST:a.txt b.txt\n221\n",
+		Exts:       LightFTPExts,
+		Source:     lightftpSource,
+	}
+}
+
+// LightFTPSource exposes the server source for the RQ1 example and bench.
+func LightFTPSource() string { return lightftpSource }
+
+// LightFTPExploit is the CVE-2023-24042 attack script: LIST blocks a
+// handler on the data connection, USER overwrites the shared FileName,
+// the data connect then makes the handler list the overwritten path.
+func LightFTPExploit() []byte { return []byte("L/pub\nU/etc/passwd\nD\nQ\n") }

@@ -1,0 +1,300 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ConcurrencyKit-like spinlock implementations (§4.2 ckit, Table 5). Each
+// workload implements one custom synchronization primitive from compiler
+// builtins that lower to hardware atomic instructions, validates it with
+// contending threads, and reports the uncontended lock/unlock latency in
+// cycles (the Table 5 metric) via print_i64.
+//
+// These are the true-negative corpus of the spinloop analysis (§4.3): every
+// lock below contains an implicit synchronization primitive that must be
+// detected, keeping fence removal disabled.
+
+// ckitHarness wraps a lock implementation (lock_init/lock_acquire/
+// lock_release functions over global state) with the validation and latency
+// phases. The contended phase increments a plain counter under the lock
+// from two threads; the latency phase measures ITERS uncontended
+// acquire/release pairs with the clock external.
+const ckitHarness = `
+extern thread_create;
+extern thread_join;
+extern clock;
+extern print_i64;
+
+var guarded = 0;
+
+func contender(arg) {
+	var i;
+	for (i = 0; i < 200; i = i + 1) {
+		lock_acquire(arg);
+		guarded = guarded + 1;
+		fence();
+		lock_release(arg);
+	}
+	return 0;
+}
+
+func main() {
+	lock_init();
+	var t1 = thread_create(contender, 0);
+	var t2 = thread_create(contender, 1);
+	thread_join(t1);
+	thread_join(t2);
+	if (guarded != 400) { return 1; }
+
+	// Uncontended latency (cycles per lock+unlock pair).
+	var start = clock();
+	var i;
+	for (i = 0; i < 200; i = i + 1) {
+		lock_acquire(0);
+		lock_release(0);
+	}
+	var elapsed = clock() - start;
+	print_i64(elapsed / 200);
+	return 42;
+}
+`
+
+func ckitLock(name, impl string) *Workload {
+	return &Workload{
+		Name:                 "ck_" + name,
+		Family:               "ckit",
+		Threads:              "custom-spinlocks",
+		FenceRemovalExpected: false,
+		WantExit:             42,
+		Inputs:               []core.Input{{Seed: 13}},
+		Source:               impl + ckitHarness,
+	}
+}
+
+func ckitLocks() []*Workload {
+	locks := []struct{ name, impl string }{
+		{"cas", `
+var lk = 0;
+func lock_init() { store64(&lk, 0); return 0; }
+func lock_acquire(tid) {
+	while (atomic_cas(&lk, 0, 1) == 0) { }
+	return 0;
+}
+func lock_release(tid) { fence(); store64(&lk, 0); return 0; }
+`},
+		{"fas", `
+var lk = 0;
+func lock_init() { store64(&lk, 0); return 0; }
+func lock_acquire(tid) {
+	while (xchg(&lk, 1) != 0) { }
+	return 0;
+}
+func lock_release(tid) { fence(); store64(&lk, 0); return 0; }
+`},
+		{"ticket", `
+var next = 0;
+var serving = 0;
+func lock_init() { store64(&next, 0); store64(&serving, 0); return 0; }
+func lock_acquire(tid) {
+	var my = atomic_xadd(&next, 1);
+	while (load64(&serving) != my) { }
+	return 0;
+}
+func lock_release(tid) { atomic_add(&serving, 1); return 0; }
+`},
+		{"ticket_pb", `
+// Proportional-backoff ticket lock: the waiter spins on a local counter
+// proportional to its queue distance between probes.
+var next = 0;
+var serving = 0;
+func lock_init() { store64(&next, 0); store64(&serving, 0); return 0; }
+func lock_acquire(tid) {
+	var my = atomic_xadd(&next, 1);
+	while (1) {
+		var cur = load64(&serving);
+		if (cur == my) { return 0; }
+		var back = (my - cur) * 4;
+		var i;
+		for (i = 0; i < back; i = i + 1) { }
+	}
+	return 0;
+}
+func lock_release(tid) { atomic_add(&serving, 1); return 0; }
+`},
+		{"dec", `
+// dec-based lock: 1 = free; an atomic decrement that reaches zero acquires.
+// A failed decrement is undone atomically before waiting, and release is an
+// atomic increment, so the counter never drifts.
+var lk = 1;
+func lock_init() { store64(&lk, 1); return 0; }
+func lock_acquire(tid) {
+	while (1) {
+		if (atomic_dec(&lk)) { return 0; }
+		atomic_add(&lk, 1);
+		while (load64(&lk) < 1) { }
+	}
+	return 0;
+}
+func lock_release(tid) { atomic_add(&lk, 1); return 0; }
+`},
+		{"anderson", `
+// Anderson array lock: each ticket spins on its own slot.
+var slots[8];
+var tail = 0;
+var owner[2];
+func lock_init() {
+	var i;
+	for (i = 0; i < 8; i = i + 1) { slots[i] = 0; }
+	slots[0] = 1;
+	store64(&tail, 0);
+	return 0;
+}
+func lock_acquire(tid) {
+	var my = atomic_xadd(&tail, 1) & 7;
+	while (load64(slots + my*8) == 0) { }
+	store64(slots + my*8, 0);
+	owner[tid] = my;
+	return 0;
+}
+func lock_release(tid) {
+	var my = owner[tid];
+	fence();
+	store64(slots + ((my + 1) & 7) * 8, 1);
+	return 0;
+}
+`},
+		{"clh", `
+// CLH queue lock: swap own node into the tail, spin on the predecessor's
+// flag; on release, recycle the predecessor's node as our next own node
+// (the classic CLH node hand-off).
+var nodes[4];   // node state: 1 = locked
+var tailp = 0;
+var myn[2];
+var mypred[2];
+func lock_init() {
+	nodes[0] = 0; nodes[1] = 0; nodes[2] = 0;
+	store64(&tailp, 2);       // initial dummy node: unlocked
+	myn[0] = 0;
+	myn[1] = 1;
+	return 0;
+}
+func lock_acquire(tid) {
+	var n = myn[tid];
+	store64(nodes + n*8, 1);
+	var pred = xchg(&tailp, n);
+	mypred[tid] = pred;
+	while (load64(nodes + pred*8) != 0) { }
+	return 0;
+}
+func lock_release(tid) {
+	var n = myn[tid];
+	myn[tid] = mypred[tid];
+	fence();
+	store64(nodes + n*8, 0);
+	return 0;
+}
+`},
+		{"hclh", `
+// Hierarchical CLH flavour: a cluster-level CLH queue (with node
+// recycling) in front of a global cas lock.
+var nodes[4];
+var ctail = 0;
+var glk = 0;
+var myn[2];
+var mypred[2];
+func lock_init() {
+	nodes[0] = 0; nodes[1] = 0; nodes[2] = 0;
+	store64(&ctail, 2);
+	store64(&glk, 0);
+	myn[0] = 0;
+	myn[1] = 1;
+	return 0;
+}
+func lock_acquire(tid) {
+	var n = myn[tid];
+	store64(nodes + n*8, 1);
+	var pred = xchg(&ctail, n);
+	mypred[tid] = pred;
+	while (load64(nodes + pred*8) != 0) { }
+	while (atomic_cas(&glk, 0, 1) == 0) { }
+	return 0;
+}
+func lock_release(tid) {
+	var n = myn[tid];
+	myn[tid] = mypred[tid];
+	fence();
+	store64(&glk, 0);
+	store64(nodes + n*8, 0);
+	return 0;
+}
+`},
+		{"mcs", `
+// MCS queue lock (fixed two contexts): swap tail, link, spin on own flag.
+var waiting[2];
+var nextp[2];
+var tailq = 0;   // 0 = empty, else tid+1
+func lock_init() {
+	store64(&tailq, 0);
+	waiting[0] = 0; waiting[1] = 0;
+	nextp[0] = 0; nextp[1] = 0;
+	return 0;
+}
+func lock_acquire(tid) {
+	nextp[tid] = 0;
+	waiting[tid] = 1;
+	var pred = xchg(&tailq, tid + 1);
+	if (pred != 0) {
+		store64(nextp + (pred-1)*8, tid + 1);
+		while (load64(waiting + tid*8) != 0) { }
+	}
+	return 0;
+}
+func lock_release(tid) {
+	if (load64(nextp + tid*8) == 0) {
+		if (atomic_cas(&tailq, tid + 1, 0)) { return 0; }
+		while (load64(nextp + tid*8) == 0) { }
+	}
+	var nxt = load64(nextp + tid*8) - 1;
+	fence();
+	store64(waiting + nxt*8, 0);
+	return 0;
+}
+`},
+		{"spinlock", `
+// ck_spinlock default: cas acquire with spin-on-read before retry.
+var lk = 0;
+func lock_init() { store64(&lk, 0); return 0; }
+func lock_acquire(tid) {
+	while (1) {
+		if (atomic_cas(&lk, 0, 1)) { return 0; }
+		while (load64(&lk) != 0) { }
+	}
+	return 0;
+}
+func lock_release(tid) { fence(); store64(&lk, 0); return 0; }
+`},
+		{"linux_spinlock", `
+// linux-flavoured ticket spinlock: single word, xadd of 1<<16 takes a
+// ticket in the high half, low half serves.
+var word = 0;
+func lock_init() { store64(&word, 0); return 0; }
+func lock_acquire(tid) {
+	var t = atomic_xadd(&word, 65536);
+	var my = t >> 16;
+	while ((load64(&word) & 65535) != my) { }
+	return 0;
+}
+func lock_release(tid) { atomic_add(&word, 1); return 0; }
+`},
+	}
+	out := make([]*Workload, 0, len(locks))
+	for _, l := range locks {
+		out = append(out, ckitLock(l.name, l.impl))
+	}
+	if len(out) != 11 {
+		panic(fmt.Sprintf("expected 11 ckit locks, have %d", len(out)))
+	}
+	return out
+}

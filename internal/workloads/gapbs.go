@@ -1,0 +1,426 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// gapbs-like graph kernels (Table 3). Each program builds a uniform-random
+// graph (xorshift generator, CSR-ish adjacency in the heap), processes it
+// with OpenMP-style parallel loops (omp_parallel_for: one outlined callback
+// function per annotated loop entering a fresh thread context, §4.2), and
+// synchronizes with compiler-builtin atomics (std::atomic-style).
+//
+// The "32-bit" and "64-bit" variants of Table 3 are realized as int32- vs
+// int64-typed graph data: the %LD%/%ST%/%SZ% placeholders select
+// load32/store32 with 4-byte strides or load64/store64 with 8-byte strides.
+
+// gapPrelude is shared graph-construction code.
+const gapPrelude = `
+extern thread_create;
+extern thread_join;
+extern omp_parallel_for;
+extern malloc;
+
+var N = 0;         // vertices
+var D = 0;         // out-degree
+var adj = 0;       // adjacency array: N*D entries of %SZ% bytes
+var vals = 0;      // per-vertex value array (same width)
+var vals2 = 0;
+
+func rnd(state) {
+	var x = load64(state);
+	x = x ^ (x << 13);
+	x = x ^ (x >> 7);
+	x = x ^ (x << 17);
+	store64(state, x);
+	if (x < 0) { x = -x; }
+	return x;
+}
+
+func aget(base, i) { return %LD%(base + i*%SZ%); }
+func aput(base, i, v) { %ST%(base + i*%SZ%, v); return 0; }
+
+// vals2 is always 64-bit: it backs atomic accumulation (lock add operates
+// on 8-byte words) regardless of the graph's element width.
+func a2get(i) { return load64(vals2 + i*8); }
+func a2put(i, v) { store64(vals2 + i*8, v); return 0; }
+
+func build_graph(n, d, seed) {
+	N = n;
+	D = d;
+	adj = malloc(n * d * %SZ%);
+	vals = malloc(n * %SZ%);
+	vals2 = malloc(n * 8);
+	var state = seed;
+	var i;
+	for (i = 0; i < n * d; i = i + 1) {
+		aput(adj, i, rnd(&state) % n);
+	}
+	return 0;
+}
+`
+
+func gapWidth(src string, width int) string {
+	ld, st, sz := "load64", "store64", "8"
+	if width == 32 {
+		ld, st, sz = "load32", "store32", "4"
+	}
+	src = strings.ReplaceAll(src, "%LD%", ld)
+	src = strings.ReplaceAll(src, "%ST%", st)
+	return strings.ReplaceAll(src, "%SZ%", sz)
+}
+
+func gapWorkload(name string, width int, body string, wantExit int) *Workload {
+	return &Workload{
+		Name:                 fmt.Sprintf("%s_%d", name, width),
+		Family:               "gapbs",
+		Threads:              "openmp+atomics",
+		FenceRemovalExpected: false, // gapbs uses implicit atomics freely
+		WantExit:             wantExit,
+		Inputs:               []core.Input{{Seed: 2}},
+		Source:               gapWidth(gapPrelude+body, width),
+	}
+}
+
+// gapBC: Brandes-style betweenness-centrality approximation — per-source
+// BFS contribution accumulated atomically.
+func gapBC(width int) *Workload {
+	return gapWorkload("bc", width, `
+var depth = 0;
+var score[512];
+
+func bfs_level(lo, hi, arg) {
+	var u;
+	for (u = lo; u < hi; u = u + 1) {
+		if (aget(vals, u) == depth) {
+			var e;
+			for (e = 0; e < D; e = e + 1) {
+				var v = aget(adj, u*D + e);
+				if (a2get(v) == -1) {
+					a2put(v, depth + 1);
+					atomic_add(score + (v & 511) * 8, 1);
+				}
+			}
+		}
+	}
+	return 0;
+}
+
+func sync_levels(lo, hi, arg) {
+	var u;
+	for (u = lo; u < hi; u = u + 1) {
+		if (a2get(u) != -1 && aget(vals, u) == -1) {
+			aput(vals, u, a2get(u));
+		}
+	}
+	return 0;
+}
+
+func main() {
+	build_graph(512, 6, 101);
+	var i;
+	for (i = 0; i < N; i = i + 1) { aput(vals, i, -1); a2put(i, -1); }
+	aput(vals, 0, 0);
+	a2put(0, 0);
+	for (depth = 0; depth < 6; depth = depth + 1) {
+		omp_parallel_for(bfs_level, 0, N, 0, 4);
+		omp_parallel_for(sync_levels, 0, N, 0, 4);
+	}
+	var s = 0;
+	for (i = 0; i < 512; i = i + 1) { s = s + score[i]; }
+	if (s == 0) { return 1; }
+	return 42;
+}`, 42)
+}
+
+func gapBFS(width int) *Workload {
+	return gapWorkload("bfs", width, `
+var changed = 0;
+
+func relax(lo, hi, arg) {
+	var u;
+	for (u = lo; u < hi; u = u + 1) {
+		var du = aget(vals, u);
+		if (du >= 0) {
+			var e;
+			for (e = 0; e < D; e = e + 1) {
+				var v = aget(adj, u*D + e);
+				if (aget(vals, v) == -1) {
+					aput(vals, v, du + 1);
+					atomic_add(&changed, 1);
+				}
+			}
+		}
+	}
+	return 0;
+}
+
+func main() {
+	build_graph(1024, 4, 202);
+	var i;
+	for (i = 0; i < N; i = i + 1) { aput(vals, i, -1); }
+	aput(vals, 0, 0);
+	var round;
+	for (round = 0; round < 8; round = round + 1) {
+		store64(&changed, 0);
+		omp_parallel_for(relax, 0, N, 0, 4);
+		if (load64(&changed) == 0) { break; }
+	}
+	var reached = 0;
+	for (i = 0; i < N; i = i + 1) {
+		if (aget(vals, i) >= 0) { reached = reached + 1; }
+	}
+	if (reached < N / 2) { return 1; }
+	return 42;
+}`, 42)
+}
+
+// gapCC: Shiloach-Vishkin-flavoured label propagation.
+func gapCC(width int) *Workload {
+	return gapWorkload("cc", width, `
+var changed = 0;
+
+func propagate(lo, hi, arg) {
+	var u;
+	for (u = lo; u < hi; u = u + 1) {
+		var lu = aget(vals, u);
+		var e;
+		for (e = 0; e < D; e = e + 1) {
+			var v = aget(adj, u*D + e);
+			var lv = aget(vals, v);
+			if (lv < lu) {
+				aput(vals, u, lv);
+				lu = lv;
+				atomic_add(&changed, 1);
+			}
+		}
+	}
+	return 0;
+}
+
+func main() {
+	build_graph(1024, 4, 303);
+	var i;
+	for (i = 0; i < N; i = i + 1) { aput(vals, i, i); }
+	var round;
+	for (round = 0; round < 10; round = round + 1) {
+		store64(&changed, 0);
+		omp_parallel_for(propagate, 0, N, 0, 4);
+		if (load64(&changed) == 0) { break; }
+	}
+	var zeros = 0;
+	for (i = 0; i < N; i = i + 1) {
+		if (aget(vals, i) == 0) { zeros = zeros + 1; }
+	}
+	if (zeros == 0) { return 1; }
+	return 42;
+}`, 42)
+}
+
+// gapCCSV adds the pointer-jumping shortcut phase.
+func gapCCSV(width int) *Workload {
+	return gapWorkload("cc_sv", width, `
+var changed = 0;
+
+func hook(lo, hi, arg) {
+	var u;
+	for (u = lo; u < hi; u = u + 1) {
+		var e;
+		for (e = 0; e < D; e = e + 1) {
+			var v = aget(adj, u*D + e);
+			var pu = aget(vals, u);
+			var pv = aget(vals, v);
+			if (pv < pu) {
+				aput(vals, u, pv);
+				atomic_add(&changed, 1);
+			}
+		}
+	}
+	return 0;
+}
+
+func shortcut(lo, hi, arg) {
+	var u;
+	for (u = lo; u < hi; u = u + 1) {
+		var p = aget(vals, u);
+		aput(vals, u, aget(vals, p));
+	}
+	return 0;
+}
+
+func main() {
+	build_graph(1024, 4, 404);
+	var i;
+	for (i = 0; i < N; i = i + 1) { aput(vals, i, i); }
+	var round;
+	for (round = 0; round < 8; round = round + 1) {
+		store64(&changed, 0);
+		omp_parallel_for(hook, 0, N, 0, 4);
+		omp_parallel_for(shortcut, 0, N, 0, 4);
+		if (load64(&changed) == 0) { break; }
+	}
+	return 42;
+}`, 42)
+}
+
+// gapPR: push-style PageRank with atomic accumulation (fixed-point).
+func gapPR(width int) *Workload {
+	return gapWorkload("pr", width, `
+func push(lo, hi, arg) {
+	var u;
+	for (u = lo; u < hi; u = u + 1) {
+		var share = aget(vals, u) / D;
+		var e;
+		for (e = 0; e < D; e = e + 1) {
+			var v = aget(adj, u*D + e);
+			atomic_add(vals2 + v*8, share);
+		}
+	}
+	return 0;
+}
+
+func apply(lo, hi, arg) {
+	var u;
+	for (u = lo; u < hi; u = u + 1) {
+		aput(vals, u, 150 + (a2get(u) * 85) / 100);
+		a2put(u, 0);
+	}
+	return 0;
+}
+
+func main() {
+	build_graph(512, 8, 505);
+	var i;
+	for (i = 0; i < N; i = i + 1) { aput(vals, i, 1000); a2put(i, 0); }
+	var it;
+	for (it = 0; it < 6; it = it + 1) {
+		omp_parallel_for(push, 0, N, 0, 4);
+		omp_parallel_for(apply, 0, N, 0, 4);
+	}
+	var s = 0;
+	for (i = 0; i < N; i = i + 1) { s = s + aget(vals, i); }
+	if (s == 0) { return 1; }
+	return 42;
+}`, 42)
+}
+
+// gapPRSPMV: pull-style PageRank (sparse-matrix-vector shape, no atomics in
+// the inner loop).
+func gapPRSPMV(width int) *Workload {
+	return gapWorkload("pr_spmv", width, `
+func pull(lo, hi, arg) {
+	var u;
+	for (u = lo; u < hi; u = u + 1) {
+		var s = 0;
+		var e;
+		for (e = 0; e < D; e = e + 1) {
+			var v = aget(adj, u*D + e);
+			s = s + aget(vals, v) / D;
+		}
+		a2put(u, 150 + (s * 85) / 100);
+	}
+	return 0;
+}
+
+func copyback(lo, hi, arg) {
+	var u;
+	for (u = lo; u < hi; u = u + 1) { aput(vals, u, a2get(u)); }
+	return 0;
+}
+
+func main() {
+	build_graph(512, 8, 606);
+	var i;
+	for (i = 0; i < N; i = i + 1) { aput(vals, i, 1000); }
+	var it;
+	for (it = 0; it < 6; it = it + 1) {
+		omp_parallel_for(pull, 0, N, 0, 4);
+		omp_parallel_for(copyback, 0, N, 0, 4);
+	}
+	var s = 0;
+	for (i = 0; i < N; i = i + 1) { s = s + aget(vals, i); }
+	if (s == 0) { return 1; }
+	return 42;
+}`, 42)
+}
+
+// gapSSSP: Bellman-Ford rounds with unit-ish weights.
+func gapSSSP(width int) *Workload {
+	return gapWorkload("sssp", width, `
+var changed = 0;
+
+func relax(lo, hi, arg) {
+	var u;
+	for (u = lo; u < hi; u = u + 1) {
+		var du = aget(vals, u);
+		if (du < 100000) {
+			var e;
+			for (e = 0; e < D; e = e + 1) {
+				var v = aget(adj, u*D + e);
+				var w = 1 + ((u + v) % 4);
+				if (du + w < aget(vals, v)) {
+					aput(vals, v, du + w);
+					atomic_add(&changed, 1);
+				}
+			}
+		}
+	}
+	return 0;
+}
+
+func main() {
+	build_graph(1024, 4, 707);
+	var i;
+	for (i = 0; i < N; i = i + 1) { aput(vals, i, 100000); }
+	aput(vals, 0, 0);
+	var round;
+	for (round = 0; round < 10; round = round + 1) {
+		store64(&changed, 0);
+		omp_parallel_for(relax, 0, N, 0, 4);
+		if (load64(&changed) == 0) { break; }
+	}
+	var reached = 0;
+	for (i = 0; i < N; i = i + 1) {
+		if (aget(vals, i) < 100000) { reached = reached + 1; }
+	}
+	if (reached < N / 2) { return 1; }
+	return 42;
+}`, 42)
+}
+
+// gapTC: triangle counting over the random graph.
+func gapTC(width int) *Workload {
+	return gapWorkload("tc", width, `
+var triangles = 0;
+
+func count(lo, hi, arg) {
+	var local = 0;
+	var u;
+	for (u = lo; u < hi; u = u + 1) {
+		var e1;
+		for (e1 = 0; e1 < D; e1 = e1 + 1) {
+			var v = aget(adj, u*D + e1);
+			var e2;
+			for (e2 = 0; e2 < D; e2 = e2 + 1) {
+				var w = aget(adj, v*D + e2);
+				var e3;
+				for (e3 = 0; e3 < D; e3 = e3 + 1) {
+					if (aget(adj, w*D + e3) == u) { local = local + 1; }
+				}
+			}
+		}
+	}
+	atomic_add(&triangles, local);
+	return 0;
+}
+
+func main() {
+	build_graph(256, 6, 808);
+	omp_parallel_for(count, 0, N, 0, 4);
+	if (load64(&triangles) == 0) { return 1; }
+	return 42;
+}`, 42)
+}

@@ -1,0 +1,518 @@
+package workloads
+
+import "repro/internal/core"
+
+// Phoenix-like map-reduce kernels (Table 2). All of them parallelize with
+// pthread-style thread_create/thread_join and synchronize exclusively
+// through external primitives (mutexes, joins) — the property the fence
+// optimization exploits (§3.4: "all programs in the Phoenix benchmark suite
+// exhibit this property"). pca deliberately contains a flag-handshake loop
+// that is synchronized but needs happens-before reasoning to prove it —
+// the paper's false-negative case; histogram contains a byte-swap loop that
+// never executes on little-endian inputs — the paper's uncovered-loop case.
+
+func histogram() *Workload {
+	return &Workload{
+		Name: "histogram", Family: "phoenix", Threads: "pthreads",
+		FenceRemovalExpected: false, // uncovered endianness loop (§4.3)
+		WantExit:             42,
+		Inputs:               []core.Input{{Seed: 3}},
+		Source: `
+extern thread_create;
+extern thread_join;
+extern mutex_lock;
+extern mutex_unlock;
+
+var pixels[4096];
+var bins[256];
+var mu = 0;
+var bigendian = 0;
+
+func rnd(state) {
+	var x = load64(state);
+	x = x ^ (x << 13);
+	x = x ^ (x >> 7);
+	x = x ^ (x << 17);
+	store64(state, x);
+	return x;
+}
+
+// Byte-swap pass for big-endian inputs: never executed on these inputs
+// (the uncovered loop of the fence analysis).
+func swap_bytes(n) {
+	var i;
+	for (i = 0; i < n; i = i + 1) {
+		var v = pixels[i];
+		var r = 0;
+		var k;
+		for (k = 0; k < 8; k = k + 1) {
+			r = (r << 8) | (v & 255);
+			v = v >> 8;
+		}
+		pixels[i] = r;
+	}
+	return 0;
+}
+
+var nbins = 256;
+
+func worker(arg) {   // arg: chunk index; 4 chunks of 1024
+	var local[nbins];   // dynamically sized: defeats static frame recovery
+	var i;
+	for (i = 0; i < 256; i = i + 1) { local[i] = 0; }
+	var lo = arg * 1024;
+	var hi = lo + 1024;
+	for (i = lo; i < hi; i = i + 1) {
+		var b = pixels[i] & 255;
+		local[b] = local[b] + 1;
+	}
+	mutex_lock(&mu);
+	for (i = 0; i < 256; i = i + 1) { bins[i] = bins[i] + local[i]; }
+	mutex_unlock(&mu);
+	return 0;
+}
+
+func main() {
+	var state = 12345;
+	var i;
+	for (i = 0; i < 4096; i = i + 1) { pixels[i] = rnd(&state); }
+	if (bigendian) { swap_bytes(4096); }
+	var tids[4];
+	for (i = 0; i < 4; i = i + 1) { tids[i] = thread_create(worker, i); }
+	for (i = 0; i < 4; i = i + 1) { thread_join(tids[i]); }
+	var total = 0;
+	for (i = 0; i < 256; i = i + 1) { total = total + bins[i]; }
+	if (total != 4096) { return 1; }
+	return 42;
+}`,
+	}
+}
+
+func kmeans() *Workload {
+	return &Workload{
+		Name: "kmeans", Family: "phoenix", Threads: "pthreads",
+		FenceRemovalExpected: true,
+		WantExit:             42,
+		Inputs:               []core.Input{{Seed: 4}},
+		Source: `
+extern thread_create;
+extern thread_join;
+extern mutex_lock;
+extern mutex_unlock;
+
+var points[2048];   // 1024 points x 2 dims
+var centers[8];     // 4 centers x 2 dims
+var assign[1024];
+var sums[8];
+var counts[4];
+var mu = 0;
+
+func rnd(state) {
+	var x = load64(state);
+	x = x ^ (x << 13);
+	x = x ^ (x >> 7);
+	x = x ^ (x << 17);
+	store64(state, x);
+	if (x < 0) { x = -x; }
+	return x;
+}
+
+func dist2(px, py, cx, cy) {
+	var dx = px - cx;
+	var dy = py - cy;
+	return dx*dx + dy*dy;
+}
+
+func worker(arg) {  // assign chunk of 256 points, accumulate local sums
+	var lsum[8];
+	var lcnt[4];
+	var i;
+	for (i = 0; i < 8; i = i + 1) { lsum[i] = 0; }
+	for (i = 0; i < 4; i = i + 1) { lcnt[i] = 0; }
+	var lo = arg * 256;
+	var hi = lo + 256;
+	for (i = lo; i < hi; i = i + 1) {
+		var px = points[i*2];
+		var py = points[i*2+1];
+		var best = 0;
+		var bd = dist2(px, py, centers[0], centers[1]);
+		var c;
+		for (c = 1; c < 4; c = c + 1) {
+			var d = dist2(px, py, centers[c*2], centers[c*2+1]);
+			if (d < bd) { bd = d; best = c; }
+		}
+		assign[i] = best;
+		lsum[best*2] = lsum[best*2] + px;
+		lsum[best*2+1] = lsum[best*2+1] + py;
+		lcnt[best] = lcnt[best] + 1;
+	}
+	mutex_lock(&mu);
+	for (i = 0; i < 8; i = i + 1) { sums[i] = sums[i] + lsum[i]; }
+	for (i = 0; i < 4; i = i + 1) { counts[i] = counts[i] + lcnt[i]; }
+	mutex_unlock(&mu);
+	return 0;
+}
+
+func main() {
+	var state = 777;
+	var i;
+	for (i = 0; i < 2048; i = i + 1) { points[i] = rnd(&state) % 1000; }
+	for (i = 0; i < 8; i = i + 1) { centers[i] = (i * 137) % 1000; }
+	var iter;
+	for (iter = 0; iter < 5; iter = iter + 1) {
+		for (i = 0; i < 8; i = i + 1) { sums[i] = 0; }
+		for (i = 0; i < 4; i = i + 1) { counts[i] = 0; }
+		var tids[4];
+		for (i = 0; i < 4; i = i + 1) { tids[i] = thread_create(worker, i); }
+		for (i = 0; i < 4; i = i + 1) { thread_join(tids[i]); }
+		for (i = 0; i < 4; i = i + 1) {
+			if (counts[i] > 0) {
+				centers[i*2] = sums[i*2] / counts[i];
+				centers[i*2+1] = sums[i*2+1] / counts[i];
+			}
+		}
+	}
+	var total = 0;
+	for (i = 0; i < 1024; i = i + 1) { total = total + assign[i]; }
+	if (total == 0) { return 1; }
+	return 42;
+}`,
+	}
+}
+
+func linearRegression() *Workload {
+	return &Workload{
+		Name: "linear_regression", Family: "phoenix", Threads: "pthreads",
+		FenceRemovalExpected: true,
+		WantExit:             42,
+		Inputs:               []core.Input{{Seed: 5}},
+		Source: `
+extern thread_create;
+extern thread_join;
+extern mutex_lock;
+extern mutex_unlock;
+
+var xs[4096];
+var ys[4096];
+var sx = 0;
+var sy = 0;
+var sxx = 0;
+var sxy = 0;
+var mu = 0;
+
+func rnd(state) {
+	var x = load64(state);
+	x = x ^ (x << 13);
+	x = x ^ (x >> 7);
+	x = x ^ (x << 17);
+	store64(state, x);
+	if (x < 0) { x = -x; }
+	return x;
+}
+
+// The core accumulation runs as a packed SIMD kernel (the paper's
+// linear_regression is a packed sequence of SIMD instructions whose
+// scalarized lifting dominates its recompiled slowdown, §4.2).
+func worker(arg) {
+	var lo = arg * 1024;
+	var i;
+	var lsx = 0;
+	var lsy = 0;
+	var lsxx = 0;
+	var lsxy = 0;
+	for (i = lo; i < lo + 1024; i = i + 4) {
+		vload(0, xs + i*8);
+		vload(1, ys + i*8);
+		lsx = lsx + vhadd(0);
+		lsy = lsy + vhadd(1);
+		vload(2, xs + i*8);
+		vmul(2, 0);
+		lsxx = lsxx + vhadd(2);
+		vload(3, ys + i*8);
+		vmul(3, 0);
+		lsxy = lsxy + vhadd(3);
+	}
+	mutex_lock(&mu);
+	sx = sx + lsx;
+	sy = sy + lsy;
+	sxx = sxx + lsxx;
+	sxy = sxy + lsxy;
+	mutex_unlock(&mu);
+	return 0;
+}
+
+func main() {
+	var state = 999;
+	var i;
+	for (i = 0; i < 4096; i = i + 1) {
+		xs[i] = rnd(&state) % 100;
+		ys[i] = 3 * xs[i] + 7;
+	}
+	var tids[4];
+	for (i = 0; i < 4; i = i + 1) { tids[i] = thread_create(worker, i); }
+	for (i = 0; i < 4; i = i + 1) { thread_join(tids[i]); }
+	var n = 4096;
+	var num = n * sxy - sx * sy;
+	var den = n * sxx - sx * sx;
+	if (den == 0) { return 1; }
+	var slope = num / den;
+	if (slope != 3) { return 2; }
+	return 42;
+}`,
+	}
+}
+
+func matrixMultiply() *Workload {
+	return &Workload{
+		Name: "matrix_multiply", Family: "phoenix", Threads: "pthreads",
+		FenceRemovalExpected: true,
+		WantExit:             42,
+		Inputs:               []core.Input{{Seed: 6}},
+		Source: `
+extern thread_create;
+extern thread_join;
+
+var a[1024];   // 32x32
+var b[1024];
+var c[1024];
+
+func worker(arg) {   // rows [arg*8, arg*8+8)
+	var r;
+	for (r = arg*8; r < arg*8 + 8; r = r + 1) {
+		var j;
+		for (j = 0; j < 32; j = j + 1) {
+			var s = 0;
+			var k;
+			for (k = 0; k < 32; k = k + 1) {
+				s = s + a[r*32+k] * b[k*32+j];
+			}
+			c[r*32+j] = s;
+		}
+	}
+	return 0;
+}
+
+func main() {
+	var i;
+	for (i = 0; i < 1024; i = i + 1) {
+		a[i] = i % 7;
+		b[i] = i % 5;
+	}
+	var tids[4];
+	for (i = 0; i < 4; i = i + 1) { tids[i] = thread_create(worker, i); }
+	for (i = 0; i < 4; i = i + 1) { thread_join(tids[i]); }
+	var sum = 0;
+	for (i = 0; i < 1024; i = i + 1) { sum = sum + c[i]; }
+	if (sum % 1000 != 97) { return sum % 1000; }
+	return 42;
+}`,
+	}
+}
+
+func pca() *Workload {
+	return &Workload{
+		Name: "pca", Family: "phoenix", Threads: "pthreads",
+		// The handshake loop below is synchronized (the consumer's spin on
+		// `ready` happens strictly after the producer joins), but proving
+		// it needs happens-before analysis the detector does not build —
+		// the paper's false-negative case (§4.3): fences are conservatively
+		// preserved.
+		FenceRemovalExpected: false,
+		WantExit:             42,
+		Inputs:               []core.Input{{Seed: 7}},
+		Source: `
+extern thread_create;
+extern thread_join;
+extern mutex_lock;
+extern mutex_unlock;
+
+var data[2048];  // 256 rows x 8 cols
+var means[8];
+var cov[64];
+var mu = 0;
+var ready = 0;
+
+func rnd(state) {
+	var x = load64(state);
+	x = x ^ (x << 13);
+	x = x ^ (x >> 7);
+	x = x ^ (x << 17);
+	store64(state, x);
+	if (x < 0) { x = -x; }
+	return x;
+}
+
+func mean_worker(arg) {  // cols [arg*2, arg*2+2)
+	var c;
+	for (c = arg*2; c < arg*2 + 2; c = c + 1) {
+		var s = 0;
+		var r;
+		for (r = 0; r < 256; r = r + 1) { s = s + data[r*8+c]; }
+		means[c] = s / 256;
+	}
+	return 0;
+}
+
+func cov_worker(arg) {
+	// Handshake: wait until the mean phase is published. This read is
+	// synchronized by the joins in main, but only a happens-before
+	// analysis can see that.
+	while (load64(&ready) == 0) { }
+	var i;
+	for (i = arg*16; i < arg*16 + 16; i = i + 1) {
+		var r = i / 8;
+		var cc = i % 8;
+		var s = 0;
+		var k;
+		for (k = 0; k < 256; k = k + 1) {
+			s = s + (data[k*8+r] - means[r]) * (data[k*8+cc] - means[cc]);
+		}
+		cov[i] = s / 255;
+	}
+	return 0;
+}
+
+func main() {
+	var state = 4242;
+	var i;
+	for (i = 0; i < 2048; i = i + 1) { data[i] = rnd(&state) % 50; }
+	var tids[4];
+	for (i = 0; i < 4; i = i + 1) { tids[i] = thread_create(mean_worker, i); }
+	for (i = 0; i < 4; i = i + 1) { thread_join(tids[i]); }
+	store64(&ready, 1);
+	for (i = 0; i < 4; i = i + 1) { tids[i] = thread_create(cov_worker, i); }
+	for (i = 0; i < 4; i = i + 1) { thread_join(tids[i]); }
+	var tr = 0;
+	for (i = 0; i < 8; i = i + 1) { tr = tr + cov[i*8+i]; }
+	if (tr <= 0) { return 1; }
+	return 42;
+}`,
+	}
+}
+
+func stringMatch() *Workload {
+	return &Workload{
+		Name: "string_match", Family: "phoenix", Threads: "pthreads",
+		FenceRemovalExpected: true,
+		WantExit:             42,
+		Inputs:               []core.Input{{Seed: 8}},
+		Source: `
+extern thread_create;
+extern thread_join;
+
+var text[8192];   // byte per slot for simplicity
+var found[4];
+
+func worker(arg) {   // search "key" in chunk [arg*2048, +2048)
+	var hits = 0;
+	var i;
+	for (i = arg*2048; i < arg*2048 + 2046; i = i + 1) {
+		if (text[i] == 'k' && text[i+1] == 'e' && text[i+2] == 'y') {
+			hits = hits + 1;
+		}
+	}
+	found[arg] = hits;
+	return 0;
+}
+
+func rnd(state) {
+	var x = load64(state);
+	x = x ^ (x << 13);
+	x = x ^ (x >> 7);
+	x = x ^ (x << 17);
+	store64(state, x);
+	if (x < 0) { x = -x; }
+	return x;
+}
+
+func main() {
+	var state = 31337;
+	var i;
+	for (i = 0; i < 8192; i = i + 1) { text[i] = 'a' + rnd(&state) % 26; }
+	// Plant 10 occurrences at deterministic positions.
+	for (i = 0; i < 10; i = i + 1) {
+		var p = 17 + i * 800;
+		text[p] = 'k'; text[p+1] = 'e'; text[p+2] = 'y';
+	}
+	var tids[4];
+	for (i = 0; i < 4; i = i + 1) { tids[i] = thread_create(worker, i); }
+	for (i = 0; i < 4; i = i + 1) { thread_join(tids[i]); }
+	var total = 0;
+	for (i = 0; i < 4; i = i + 1) { total = total + found[i]; }
+	if (total < 10) { return total; }
+	return 42;
+}`,
+	}
+}
+
+func wordCount() *Workload {
+	return &Workload{
+		Name: "word_count", Family: "phoenix", Threads: "pthreads",
+		FenceRemovalExpected: true,
+		WantExit:             42,
+		Inputs:               []core.Input{{Seed: 9}},
+		Source: `
+extern thread_create;
+extern thread_join;
+extern mutex_lock;
+extern mutex_unlock;
+
+var text[8192];
+var counts[64];    // open-addressing hash of word-lengths (toy reduce)
+var mu = 0;
+
+func rnd(state) {
+	var x = load64(state);
+	x = x ^ (x << 13);
+	x = x ^ (x >> 7);
+	x = x ^ (x << 17);
+	store64(state, x);
+	if (x < 0) { x = -x; }
+	return x;
+}
+
+var nslots = 64;
+
+func worker(arg) {
+	var local[nslots];  // dynamically sized local table (VLA)
+	var i;
+	for (i = 0; i < 64; i = i + 1) { local[i] = 0; }
+	var inword = 0;
+	var wlen = 0;
+	var h = 0;
+	for (i = arg*2048; i < arg*2048 + 2048; i = i + 1) {
+		var ch = text[i];
+		if (ch == ' ') {
+			if (inword) {
+				local[(h + wlen) & 63] = local[(h + wlen) & 63] + 1;
+			}
+			inword = 0; wlen = 0; h = 0;
+		} else {
+			inword = 1;
+			wlen = wlen + 1;
+			h = (h * 31 + ch) & 1023;
+		}
+	}
+	mutex_lock(&mu);
+	for (i = 0; i < 64; i = i + 1) { counts[i] = counts[i] + local[i]; }
+	mutex_unlock(&mu);
+	return 0;
+}
+
+func main() {
+	var state = 55;
+	var i;
+	for (i = 0; i < 8192; i = i + 1) {
+		var r = rnd(&state) % 6;
+		if (r == 0) { text[i] = ' '; } else { text[i] = 'a' + r; }
+	}
+	var tids[4];
+	for (i = 0; i < 4; i = i + 1) { tids[i] = thread_create(worker, i); }
+	for (i = 0; i < 4; i = i + 1) { thread_join(tids[i]); }
+	var total = 0;
+	for (i = 0; i < 64; i = i + 1) { total = total + counts[i]; }
+	if (total == 0) { return 1; }
+	return 42;
+}`,
+	}
+}

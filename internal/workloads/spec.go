@@ -1,0 +1,396 @@
+package workloads
+
+import "repro/internal/core"
+
+// SPECint-like single-threaded programs (Table 4 / Figure 4). Each mirrors
+// the control-flow profile of its namesake that matters for hybrid lifting:
+// the number of indirect-control-flow sites and targets ranges from zero
+// (mcf-like, libquantum-like: an entirely static lift is complete) to large
+// function-pointer dispatch tables (gobmk-like), which static disassembly
+// cannot resolve and the ICFT tracer or additive lifting must discover.
+
+func specWorkload(name, src string, input []byte, wantExit int) *Workload {
+	return &Workload{
+		Name: name, Family: "spec", Threads: "single",
+		WantExit: wantExit,
+		Inputs:   []core.Input{{Data: input, Seed: 31}},
+		Source:   src,
+	}
+}
+
+func specPrograms() []*Workload {
+	return []*Workload{
+		bzip2Like(), mcfLike(), gobmkLike(), hmmerLike(),
+		sjengLike(), libquantumLike(), h264Like(), astarLike(),
+	}
+}
+
+// bzip2Like: block compressor with mode dispatch through a function-pointer
+// table — the Figure 4 vehicle: inputs of increasing complexity exercise
+// previously unseen compression modes, each a fresh indirect target.
+// Input format: sequence of lines "<mode digit><data...>".
+func bzip2Like() *Workload {
+	return specWorkload("bzip2_like", `
+extern input_byte;
+extern malloc;
+extern print_i64;
+
+var modes[4];
+var buf = 0;
+var n = 0;
+
+func read_block() {
+	buf = malloc(512);
+	n = 0;
+	while (1) {
+		var c = input_byte();
+		if (c == -1 || c == '\n') { return n; }
+		if (n < 511) { store8(buf + n, c); n = n + 1; }
+	}
+	return n;
+}
+
+// Mode 0: RLE
+func c_rle(len) {
+	var out = 0;
+	var i = 0;
+	while (i < len) {
+		var ch = load8(buf + i);
+		var run = 1;
+		while (i + run < len && load8(buf + i + run) == ch) { run = run + 1; }
+		out = out + 2;
+		i = i + run;
+	}
+	return out;
+}
+
+// Mode 1: delta + RLE
+func c_delta(len) {
+	var i;
+	for (i = len - 1; i > 0; i = i - 1) {
+		store8(buf + i, load8(buf + i) - load8(buf + i - 1));
+	}
+	return c_rle(len);
+}
+
+// Mode 2: move-to-front
+func c_mtf(len) {
+	var alpha[256];
+	var i;
+	for (i = 0; i < 256; i = i + 1) { alpha[i] = i; }
+	var out = 0;
+	for (i = 0; i < len; i = i + 1) {
+		var ch = load8(buf + i);
+		var j = 0;
+		while (alpha[j] != ch) { j = j + 1; }
+		if (j < 16) { out = out + 1; } else { out = out + 2; }
+		while (j > 0) { alpha[j] = alpha[j-1]; j = j - 1; }
+		alpha[0] = ch;
+	}
+	return out;
+}
+
+// Mode 3: simple hash "entropy" estimate
+func c_hash(len) {
+	var h = 5381;
+	var i;
+	for (i = 0; i < len; i = i + 1) {
+		h = (h * 33 + load8(buf + i)) % 1000003;
+	}
+	return (h % 100) + len / 2;
+}
+
+func main() {
+	store64(modes, c_rle);
+	store64(modes + 8, c_delta);
+	store64(modes + 16, c_mtf);
+	store64(modes + 24, c_hash);
+	var total = 0;
+	while (1) {
+		var len = read_block();
+		if (len == 0) { break; }
+		var mode = load8(buf) - '0';
+		if (mode < 0 || mode > 3) { mode = 0; }
+		var f = load64(modes + mode * 8);
+		// Compress payload (skip the mode byte) via the selected mode.
+		var i;
+		for (i = 0; i + 1 < len; i = i + 1) { store8(buf + i, load8(buf + i + 1)); }
+		total = total + f(len - 1);
+	}
+	print_i64(total);
+	return 42;
+}`, []byte("0aaabbbccc\n0dddddd\n"), 42)
+}
+
+// mcfLike: network-simplex-ish relaxation over arrays. Zero indirect
+// transfers: the static lift is complete (Table 4's 429.mcf row).
+func mcfLike() *Workload {
+	return specWorkload("mcf_like", `
+extern print_i64;
+var costn[1024];
+var supply[1024];
+
+func main() {
+	var i;
+	for (i = 0; i < 1024; i = i + 1) {
+		costn[i] = (i * 37 + 11) % 100;
+		supply[i] = (i * 17) % 50 - 25;
+	}
+	var round;
+	for (round = 0; round < 30; round = round + 1) {
+		for (i = 0; i < 1023; i = i + 1) {
+			var flow = supply[i];
+			if (flow > 0) {
+				supply[i] = 0;
+				supply[i+1] = supply[i+1] + flow;
+				costn[i] = costn[i] + flow;
+			}
+		}
+	}
+	var total = 0;
+	for (i = 0; i < 1024; i = i + 1) { total = total + costn[i]; }
+	print_i64(total % 100000);
+	return 42;
+}`, nil, 42)
+}
+
+// gobmkLike: game-playing move generator dispatching over a large
+// function-pointer pattern table — the many-ICFT case (445.gobmk).
+func gobmkLike() *Workload {
+	return specWorkload("gobmk_like", `
+extern print_i64;
+var board[361];
+var pats[16];
+
+func p0(x) { return x + 1; }
+func p1(x) { return x * 2 + 1; }
+func p2(x) { return x ^ 85; }
+func p3(x) { return (x << 2) - x; }
+func p4(x) { return x * x % 361; }
+func p5(x) { return 361 - x; }
+func p6(x) { return (x * 31) % 361; }
+func p7(x) { return x / 2 + 9; }
+func p8(x) { return (x + 180) % 361; }
+func p9(x) { return x * 3 % 359; }
+func p10(x) { return (x ^ 255) % 361; }
+func p11(x) { return x % 19 * 19 + x / 19; }
+func p12(x) { return (x * 7 + 5) % 361; }
+func p13(x) { return x - (x % 19); }
+func p14(x) { return (x * 13) % 353; }
+func p15(x) { return (x + x / 3) % 361; }
+
+func main() {
+	store64(pats, p0); store64(pats+8, p1); store64(pats+16, p2);
+	store64(pats+24, p3); store64(pats+32, p4); store64(pats+40, p5);
+	store64(pats+48, p6); store64(pats+56, p7); store64(pats+64, p8);
+	store64(pats+72, p9); store64(pats+80, p10); store64(pats+88, p11);
+	store64(pats+96, p12); store64(pats+104, p13); store64(pats+112, p14);
+	store64(pats+120, p15);
+	var score = 0;
+	var pos;
+	for (pos = 0; pos < 361; pos = pos + 1) {
+		var pat;
+		for (pat = 0; pat < 16; pat = pat + 1) {
+			var f = load64(pats + pat * 8);
+			var v = f(pos);
+			if (v < 0) { v = -v; }
+			board[v % 361] = board[v % 361] + 1;
+			score = score + (v & 7);
+		}
+	}
+	print_i64(score);
+	return 42;
+}`, nil, 42)
+}
+
+// hmmerLike: Viterbi-style dynamic-programming matrix fill (456.hmmer); a
+// handful of indirect transfers from one scoring callback.
+func hmmerLike() *Workload {
+	return specWorkload("hmmer_like", `
+extern print_i64;
+var dp[2048];   // 32 states x 64 positions
+var seq[64];
+
+func score_match(s, c) { return (s * 7 + c * 3) % 17 - 8; }
+
+func main() {
+	var scorer = score_match;
+	var i;
+	for (i = 0; i < 64; i = i + 1) { seq[i] = (i * 29 + 7) % 4; }
+	for (i = 0; i < 32; i = i + 1) { dp[i] = 0; }
+	var pos;
+	for (pos = 1; pos < 64; pos = pos + 1) {
+		var st;
+		for (st = 0; st < 32; st = st + 1) {
+			var stay = dp[(pos-1)*32 + st];
+			var move = -1000;
+			if (st > 0) { move = dp[(pos-1)*32 + st - 1]; }
+			var best = stay;
+			if (move > best) { best = move; }
+			dp[pos*32 + st] = best + scorer(st, seq[pos]);
+		}
+	}
+	var max = -100000;
+	for (i = 0; i < 32; i = i + 1) {
+		if (dp[63*32 + i] > max) { max = dp[63*32 + i]; }
+	}
+	print_i64(max);
+	return 42;
+}`, nil, 42)
+}
+
+// sjengLike: alpha-beta game search with evaluator dispatch (458.sjeng).
+func sjengLike() *Workload {
+	return specWorkload("sjeng_like", `
+extern print_i64;
+var evals[4];
+
+func e_mat(p) { return p % 100 - 50; }
+func e_pos(p) { return (p * 13) % 61 - 30; }
+func e_king(p) { return (p ^ 44) % 41 - 20; }
+func e_pawn(p) { return (p * 7) % 31 - 15; }
+
+func search(pos, depth, alpha, beta) {
+	if (depth == 0) {
+		var f = load64(evals + (pos & 3) * 8);
+		return f(pos);
+	}
+	var best = -10000;
+	var mv;
+	for (mv = 0; mv < 4; mv = mv + 1) {
+		var child = (pos * 5 + mv * 3 + 1) % 997;
+		var v = -search(child, depth - 1, -beta, -alpha);
+		if (v > best) { best = v; }
+		if (best > alpha) { alpha = best; }
+		if (alpha >= beta) { break; }
+	}
+	return best;
+}
+
+func main() {
+	store64(evals, e_mat);
+	store64(evals + 8, e_pos);
+	store64(evals + 16, e_king);
+	store64(evals + 24, e_pawn);
+	var v = search(1, 7, -10000, 10000);
+	print_i64(v);
+	return 42;
+}`, nil, 42)
+}
+
+// libquantumLike: quantum register simulation as pure bit manipulation;
+// zero indirect transfers (462.libquantum).
+func libquantumLike() *Workload {
+	return specWorkload("libquantum_like", `
+extern print_i64;
+var reg[256];
+
+func main() {
+	var i;
+	for (i = 0; i < 256; i = i + 1) { reg[i] = i; }
+	var gate;
+	for (gate = 0; gate < 60; gate = gate + 1) {
+		var bit = gate % 8;
+		for (i = 0; i < 256; i = i + 1) {
+			reg[i] = reg[i] ^ (1 << bit);
+			reg[i] = (reg[i] * 3 + gate) % 65536;
+		}
+	}
+	var h = 0;
+	for (i = 0; i < 256; i = i + 1) { h = (h * 31 + reg[i]) % 1000003; }
+	print_i64(h);
+	return 42;
+}`, nil, 42)
+}
+
+// h264Like: block transform with per-macroblock mode dispatch (464.h264ref).
+func h264Like() *Workload {
+	return specWorkload("h264_like", `
+extern print_i64;
+var frame[1024];
+var preds[4];
+
+func pred_dc(b) { return 128; }
+func pred_h(b) { return frame[b] & 255; }
+func pred_v(b) { return (frame[b] >> 8) & 255; }
+func pred_plane(b) { return (frame[b] * 3) & 255; }
+
+func main() {
+	store64(preds, pred_dc);
+	store64(preds + 8, pred_h);
+	store64(preds + 16, pred_v);
+	store64(preds + 24, pred_plane);
+	var i;
+	for (i = 0; i < 1024; i = i + 1) { frame[i] = (i * 2654435761) % 65536; }
+	var sad = 0;
+	var mb;
+	for (mb = 0; mb < 64; mb = mb + 1) {
+		var mode = frame[mb * 16] & 3;
+		var f = load64(preds + mode * 8);
+		var k;
+		for (k = 0; k < 16; k = k + 1) {
+			var d = (frame[mb*16 + k] & 255) - f(mb*16 + k);
+			if (d < 0) { d = -d; }
+			sad = sad + d;
+		}
+	}
+	print_i64(sad);
+	return 42;
+}`, nil, 42)
+}
+
+// astarLike: grid pathfinding; a couple of indirect transfers from a
+// heuristic callback (473.astar).
+func astarLike() *Workload {
+	return specWorkload("astar_like", `
+extern print_i64;
+var grid[1024];   // 32x32 costs
+var dist[1024];
+
+func h_manhattan(x, y) { return (31 - x) + (31 - y); }
+
+func main() {
+	var hfn = h_manhattan;
+	var i;
+	for (i = 0; i < 1024; i = i + 1) {
+		grid[i] = 1 + (i * 2654435761) % 9;
+		dist[i] = 1000000;
+	}
+	dist[0] = 0;
+	var round;
+	for (round = 0; round < 64; round = round + 1) {
+		for (i = 0; i < 1024; i = i + 1) {
+			var x = i % 32;
+			var y = i / 32;
+			var d = dist[i];
+			if (d < 1000000) {
+				if (x < 31 && d + grid[i+1] < dist[i+1]) { dist[i+1] = d + grid[i+1]; }
+				if (y < 31 && d + grid[i+32] < dist[i+32]) { dist[i+32] = d + grid[i+32]; }
+			}
+		}
+	}
+	var est = dist[1023] + hfn(31, 31);
+	print_i64(est);
+	return 42;
+}`, nil, 42)
+}
+
+// Bzip2Inputs returns the Figure 4 input series: progressively complex
+// inputs exercising new compression modes (new indirect targets). The
+// names mirror the paper's x-axis (SPEC test inputs through
+// input.program).
+func Bzip2Inputs() []struct {
+	Name string
+	Data []byte
+} {
+	return []struct {
+		Name string
+		Data []byte
+	}{
+		{"dryer.jpg", []byte("0aaaaabbbb\n0ccccdddd\n")},
+		{"text.html", []byte("0aaabb\n1abcabcabc\n")},
+		{"chicken.jpg", []byte("1deltadelta\n2mtfmtfmtf\n")},
+		{"liberty.jpg", []byte("2aabbaabb\n1xyxyxy\n")},
+		{"input.program", []byte("3hashhash\n2mtf\n1d\n0r\n")},
+	}
+}

@@ -1,0 +1,148 @@
+// Package workloads defines the benchmark programs of the evaluation
+// (Table 1): Phoenix-like map-reduce kernels, gapbs-like graph kernels,
+// ConcurrencyKit-like spinlock implementations, real-world-utility
+// analogues (memcached/pigz/mongoose/LightFTP), and SPECint-like
+// single-threaded programs with characteristic indirect-control-flow
+// profiles (Table 4, Figure 4).
+//
+// Every workload is an mcc source program compiled at -O0 and -O2,
+// exercising the same structural features as the paper's benchmarks:
+// pthread-style threading and locking, OpenMP-style callback parallel
+// loops, compiler-builtin atomics, SIMD kernels, function-pointer and
+// jump-table dispatch, and variable-length arrays.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/vm"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name   string
+	Family string // "phoenix", "gapbs", "ckit", "app", "spec"
+	Source string // mcc source
+	// Inputs drive the program (also used by the dynamic analyses).
+	Inputs []core.Input
+	// WantExit/WantOutput check correctness; WantOutput "" skips the check.
+	WantExit   int
+	WantOutput string
+	// Exts supplies app-specific host functions (nil for most).
+	Exts func() map[string]vm.ExtFunc
+	// Threads notes the parallelism style for reporting.
+	Threads string
+	// FenceRemovalExpected records the paper-aligned spindet expectation:
+	// Phoenix programs are provable except pca (false negative) and
+	// histogram (uncovered loop, manual annotation); CKit locks are true
+	// negatives.
+	FenceRemovalExpected bool
+}
+
+// Compile builds the workload at the given optimization level.
+func (w *Workload) Compile(opt int) (*image.Image, error) {
+	img, _, err := cc.Compile(w.Source, cc.Config{Name: w.Name, Opt: opt})
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return img, nil
+}
+
+// Input returns the primary input (first of Inputs, or an empty one).
+func (w *Workload) Input() core.Input {
+	in := core.Input{Seed: 1}
+	if len(w.Inputs) > 0 {
+		in = w.Inputs[0]
+	}
+	if w.Exts != nil {
+		if in.Exts == nil {
+			in.Exts = map[string]vm.ExtFunc{}
+		}
+		for k, v := range w.Exts() {
+			in.Exts[k] = v
+		}
+	}
+	return in
+}
+
+// Check validates a run result.
+func (w *Workload) Check(res vm.Result) error {
+	if res.Fault != nil {
+		return fmt.Errorf("workload %s: fault: %w", w.Name, res.Fault)
+	}
+	if res.ExitCode != w.WantExit {
+		return fmt.Errorf("workload %s: exit %d, want %d (output %q)",
+			w.Name, res.ExitCode, w.WantExit, res.Output)
+	}
+	if w.WantOutput != "" && res.Output != w.WantOutput {
+		return fmt.Errorf("workload %s: output %q, want %q", w.Name, res.Output, w.WantOutput)
+	}
+	return nil
+}
+
+// Run executes the workload image once.
+func (w *Workload) Run(img *image.Image, fuel uint64) (vm.Result, error) {
+	in := w.Input()
+	m, err := vm.NewWithExts(img, in.Seed, in.Exts)
+	if err != nil {
+		return vm.Result{}, err
+	}
+	if in.Data != nil {
+		m.SetInput(in.Data)
+	}
+	return m.Run(fuel), nil
+}
+
+// Registry access.
+
+// Phoenix returns the seven Phoenix-like programs (Table 2).
+func Phoenix() []*Workload {
+	return []*Workload{
+		histogram(), kmeans(), linearRegression(), matrixMultiply(),
+		pca(), stringMatch(), wordCount(),
+	}
+}
+
+// Gapbs returns the eight graph kernels (Table 3) at the given element
+// width (32 or 64).
+func Gapbs(width int) []*Workload {
+	return []*Workload{
+		gapBC(width), gapBFS(width), gapCC(width), gapCCSV(width),
+		gapPR(width), gapPRSPMV(width), gapSSSP(width), gapTC(width),
+	}
+}
+
+// CKit returns the eleven spinlock implementations (Table 5 / §4.2 ckit).
+func CKit() []*Workload { return ckitLocks() }
+
+// Apps returns the real-world-utility analogues (Table 1).
+func Apps() []*Workload {
+	return []*Workload{memcachedLike(), pigzLike(), mongooseLike(), lightftpLike()}
+}
+
+// Spec returns the SPECint-like single-threaded programs (Table 4).
+func Spec() []*Workload { return specPrograms() }
+
+// All returns every workload.
+func All() []*Workload {
+	var out []*Workload
+	out = append(out, Phoenix()...)
+	out = append(out, Gapbs(64)...)
+	out = append(out, CKit()...)
+	out = append(out, Apps()...)
+	out = append(out, Spec()...)
+	return out
+}
+
+// ByName finds a workload.
+func ByName(name string) *Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// TestAllWorkloadsRunCorrectly compiles every workload at O0 and O2 and
+// checks the self-validating exit codes on the original binaries.
+func TestAllWorkloadsRunCorrectly(t *testing.T) {
+	all := workloads.All()
+	all = append(all, workloads.Gapbs(32)...)
+	if len(all) < 30 {
+		t.Fatalf("registry too small: %d", len(all))
+	}
+	for _, w := range all {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, ccOpt := range []int{0, 2} {
+				img, err := w.Compile(ccOpt)
+				if err != nil {
+					t.Fatalf("O%d: %v", ccOpt, err)
+				}
+				res, err := w.Run(img, 500_000_000)
+				if err != nil {
+					t.Fatalf("O%d: %v", ccOpt, err)
+				}
+				if err := w.Check(res); err != nil {
+					t.Fatalf("O%d: %v", ccOpt, err)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsRecompileCorrectly pushes every workload through the full
+// recompiler and diffs against the original (the Table 1 Polynima column).
+func TestWorkloadsRecompileCorrectly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	all := workloads.All()
+	for _, w := range all {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			img, err := w.Compile(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := core.NewProject(img, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Hybrid recovery: trace the primary input first.
+			if _, err := p.Trace([]core.Input{w.Input()}); err != nil {
+				t.Fatal(err)
+			}
+			rec, err := p.Recompile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			origRes, err := w.Run(img, 1_000_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recRes, err := w.Run(rec, 2_000_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Check(recRes); err != nil {
+				t.Fatalf("recompiled: %v", err)
+			}
+			if origRes.ExitCode != recRes.ExitCode {
+				t.Fatalf("exit divergence: %d vs %d", origRes.ExitCode, recRes.ExitCode)
+			}
+			_ = vm.Result{}
+		})
+	}
+}
+
+// TestPhoenixFenceRemovalExpectations checks the §4.3 verdicts: all Phoenix
+// programs prove non-spinning except pca (false negative kept conservative)
+// and histogram (uncovered loop), and every CKit lock is detected.
+func TestPhoenixFenceRemovalExpectations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, w := range workloads.Phoenix() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			img, err := w.Compile(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := core.NewProject(img, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := p.FenceOptimize([]core.Input{w.Input()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.FencesRemovable != w.FenceRemovalExpected {
+				for _, l := range rep.Loops {
+					if l.Spinning || !l.Covered {
+						t.Logf("loop %s@%#x spin=%v covered=%v: %s",
+							l.Func, l.Header, l.Spinning, l.Covered, l.Reason)
+					}
+				}
+				t.Fatalf("fence removal verdict %v, expected %v",
+					rep.FencesRemovable, w.FenceRemovalExpected)
+			}
+		})
+	}
+}
+
+func TestCKitLocksDetectedAsSpinning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, w := range workloads.CKit() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			img, err := w.Compile(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := core.NewProject(img, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := p.FenceOptimize([]core.Input{w.Input()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.FencesRemovable {
+				t.Fatal("spinlock implementation not detected (§4.3 true negative)")
+			}
+		})
+	}
+}
+
+// TestLightFTPExploitChangesOutput demonstrates the CVE-2023-24042 race:
+// the exploit script makes the handler list the USER-overwritten path.
+func TestLightFTPExploitChangesOutput(t *testing.T) {
+	w := workloads.ByName("lightftp_like")
+	img, err := w.Compile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := w.Input()
+	in.Data = workloads.LightFTPExploit()
+	m, err := vm.NewWithExts(img, in.Seed, in.Exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetInput(in.Data)
+	res := m.Run(500_000_000)
+	if res.Fault != nil {
+		t.Fatal(res.Fault)
+	}
+	want := "150\n331\nLIST:<file:/etc/passwd>\n221\n"
+	if res.Output != want {
+		t.Fatalf("exploit output %q, want %q", res.Output, want)
+	}
+}
