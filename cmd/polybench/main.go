@@ -2,15 +2,22 @@
 //
 // Usage:
 //
-//	polybench -table 1|2|3|4|5
-//	polybench -figure 4
-//	polybench -all
+//	polybench -table 1|2|3|4|5 [-j N]
+//	polybench -figure 4 [-j N]
+//	polybench -all [-j N]
+//
+// -j sets how many pipeline cells run concurrently (default
+// runtime.NumCPU(); -j 1 is the historical fully serial run). The table
+// text on stdout is byte-identical at any -j; a per-table pipeline-stats
+// footer (stage times, cells run/failed, wall clock) goes to stderr so
+// stdout stays diffable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
 )
@@ -19,16 +26,21 @@ func main() {
 	table := flag.Int("table", 0, "regenerate table N (1-5)")
 	figure := flag.Int("figure", 0, "regenerate figure N (4)")
 	all := flag.Bool("all", false, "regenerate everything")
+	jobs := flag.Int("j", runtime.NumCPU(), "concurrent pipeline cells (1 = serial)")
 	flag.Parse()
 
+	h := bench.NewHarness(*jobs)
 	run := func(name string, f func() (string, error)) {
 		fmt.Printf("==== %s ====\n", name)
+		h.ResetStats()
 		txt, err := f()
 		if err != nil {
+			fmt.Fprint(os.Stderr, h.Stats().Footer(name, h.Workers()))
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Println(txt)
+		fmt.Fprint(os.Stderr, h.Stats().Footer(name, h.Workers()))
 	}
 
 	want := func(n int, kind string) bool {
@@ -44,30 +56,30 @@ func main() {
 	any := false
 	if want(1, "table") {
 		any = true
-		run("Table 1", func() (string, error) { _, t, err := bench.Table1(); return t, err })
+		run("Table 1", func() (string, error) { _, t, err := h.Table1(); return t, err })
 	}
 	if want(2, "table") {
 		any = true
 		run("Table 2", func() (string, error) {
-			_, t, err := bench.Table2()
+			_, t, err := h.Table2()
 			return "Table 2: Phoenix normalized runtimes\n" + t, err
 		})
 	}
 	if want(3, "table") {
 		any = true
-		run("Table 3", bench.Table3)
+		run("Table 3", h.Table3)
 	}
 	if want(4, "table") {
 		any = true
-		run("Table 4", func() (string, error) { _, t, err := bench.Table4(); return t, err })
+		run("Table 4", func() (string, error) { _, t, err := h.Table4(); return t, err })
 	}
 	if want(5, "table") {
 		any = true
-		run("Table 5", func() (string, error) { _, t, err := bench.Table5(); return t, err })
+		run("Table 5", func() (string, error) { _, t, err := h.Table5(); return t, err })
 	}
 	if want(4, "figure") {
 		any = true
-		run("Figure 4", func() (string, error) { _, t, err := bench.Figure4(); return t, err })
+		run("Figure 4", func() (string, error) { _, t, err := h.Figure4(); return t, err })
 	}
 	if !any {
 		flag.Usage()

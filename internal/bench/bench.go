@@ -13,6 +13,11 @@
 // wall-clock of the actual pipelines. Absolute values are simulator-scale —
 // the reproduction claims shapes (who wins, by what factor), not absolute
 // numbers.
+//
+// The generators run their independent pipeline cells over a Harness worker
+// pool (see pool.go); the package-level Table/Figure functions use a fresh
+// default harness (runtime.NumCPU() workers). Cell results are collected by
+// index, so the formatted tables are byte-identical at any worker count.
 package bench
 
 import (
@@ -33,6 +38,27 @@ import (
 // Fuel bounds every benchmark execution.
 const Fuel = 4_000_000_000
 
+// Package-level wrappers: each regenerates its table/figure on a fresh
+// default-width harness (kept for bench_test.go and external callers).
+
+// Table1 runs every benchmark family through Polynima and the baselines.
+func Table1() ([]SupportRow, string, error) { return NewHarness(0).Table1() }
+
+// Table2 measures the Phoenix suite.
+func Table2() ([]PerfRow, string, error) { return NewHarness(0).Table2() }
+
+// Table3 measures the gapbs suite at both element widths.
+func Table3() (string, error) { return NewHarness(0).Table3() }
+
+// Table4 compares hybrid, dynamic, and static lifting times.
+func Table4() ([]LiftRow, string, error) { return NewHarness(0).Table4() }
+
+// Table5 measures the CKit spinlock latencies.
+func Table5() ([]CKitRow, string, error) { return NewHarness(0).Table5() }
+
+// Figure4 compares additive vs incremental lifting.
+func Figure4() ([]Fig4Point, string, error) { return NewHarness(0).Figure4() }
+
 // runOnce executes img with the workload's input and returns the result.
 func runOnce(w *workloads.Workload, img *image.Image) (vm.Result, error) {
 	return w.Run(img, Fuel)
@@ -52,11 +78,11 @@ func cycles(w *workloads.Workload, img *image.Image) (uint64, error) {
 
 // recompileFor builds a Polynima project for w at the given cc opt level,
 // traces the primary input, and optionally applies fence removal.
-func recompileFor(w *workloads.Workload, ccOpt int, fenceOpt bool) (*core.Project, *image.Image, bool, error) {
-	return recompileOpts(w, ccOpt, fenceOpt, false)
+func (h *Harness) recompileFor(w *workloads.Workload, ccOpt int, fenceOpt bool) (*core.Project, *image.Image, bool, error) {
+	return h.recompileOpts(w, ccOpt, fenceOpt, false)
 }
 
-func recompileOpts(w *workloads.Workload, ccOpt int, fenceOpt, prune bool) (*core.Project, *image.Image, bool, error) {
+func (h *Harness) recompileOpts(w *workloads.Workload, ccOpt int, fenceOpt, prune bool) (*core.Project, *image.Image, bool, error) {
 	img, err := w.Compile(ccOpt)
 	if err != nil {
 		return nil, nil, false, err
@@ -65,6 +91,8 @@ func recompileOpts(w *workloads.Workload, ccOpt int, fenceOpt, prune bool) (*cor
 	if err != nil {
 		return nil, nil, false, err
 	}
+	// Record whatever stages ran, whether or not the pipeline completes.
+	defer h.stats.absorb(p)
 	if _, err := p.Trace([]core.Input{w.Input()}); err != nil {
 		return nil, nil, false, err
 	}
@@ -94,21 +122,32 @@ func recompileOpts(w *workloads.Workload, ccOpt int, fenceOpt, prune bool) (*cor
 	return p, rec, verdictClean, nil
 }
 
-// ratio formats recompiled/original cycles.
+// ratio formats recompiled/original cycles. A zero baseline has no
+// meaningful ratio: it yields the explicit "n/a" marker rather than +Inf.
 func ratio(rec, orig uint64) string {
+	if orig == 0 {
+		return "n/a"
+	}
 	return strconv.FormatFloat(float64(rec)/float64(orig), 'f', 2, 64)
 }
 
-// geomean computes the geometric mean of ratios.
-func geomean(rs []float64) float64 {
-	if len(rs) == 0 {
-		return 0
-	}
-	s := 0.0
+// geomean computes the geometric mean of the positive values in rs. A zero
+// or negative ratio has no log and would silently poison the mean to
+// NaN/zero, so such entries are skipped; the second result reports how many
+// were, for the caller to surface. All-skipped (or empty) input yields 0.
+func geomean(rs []float64) (float64, int) {
+	s, n := 0.0, 0
 	for _, r := range rs {
+		if !(r > 0) { // catches zero, negatives, and NaN
+			continue
+		}
 		s += math.Log(r)
+		n++
 	}
-	return math.Exp(s / float64(len(rs)))
+	if n == 0 {
+		return 0, len(rs)
+	}
+	return math.Exp(s / float64(n)), len(rs) - n
 }
 
 // --- Table 1 ---------------------------------------------------------------
@@ -125,24 +164,36 @@ type SupportRow struct {
 }
 
 // Table1 runs every benchmark family through Polynima and the baselines.
-func Table1() ([]SupportRow, string, error) {
-	var rows []SupportRow
+func (h *Harness) Table1() ([]SupportRow, string, error) {
+	defer h.trackWall(time.Now())
 	var set []*workloads.Workload
 	set = append(set, workloads.Apps()...)
 	set = append(set, workloads.Phoenix()...)
 	set = append(set, workloads.Gapbs(64)...)
 	set = append(set, workloads.CKit()...)
+	rows, err := h.supportRows(set)
+	if err != nil {
+		return nil, "", err
+	}
+	return rows, formatTable1(rows), nil
+}
 
-	for _, w := range set {
-		row := SupportRow{Name: w.Name, Family: w.Family}
+// supportRows computes one support row per workload; each row is one
+// pipeline cell (its Polynima recompile plus all four baseline recompiles).
+func (h *Harness) supportRows(set []*workloads.Workload) ([]SupportRow, error) {
+	rows := make([]SupportRow, len(set))
+	err := h.forEach(len(set), func(i int) error {
+		w := set[i]
+		row := &rows[i]
+		row.Name, row.Family = w.Name, w.Family
 		img, err := w.Compile(2)
 		if err != nil {
-			return nil, "", err
+			return err
 		}
 
 		// Polynima: hybrid recovery + recompile + correctness check.
 		row.Polynima = verdict(func() error {
-			_, rec, _, err := recompileFor(w, 2, false)
+			_, rec, _, err := h.recompileFor(w, 2, false)
 			if err != nil {
 				return err
 			}
@@ -194,10 +245,12 @@ func Table1() ([]SupportRow, string, error) {
 			}
 			return w.Check(res)
 		})
-
-		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, formatTable1(rows), nil
+	return rows, nil
 }
 
 func verdict(f func() error) string {
@@ -272,50 +325,74 @@ type PerfRow struct {
 }
 
 // Table2 measures the Phoenix suite.
-func Table2() ([]PerfRow, string, error) {
-	return perfTable(workloads.Phoenix(), true)
+func (h *Harness) Table2() ([]PerfRow, string, error) {
+	defer h.trackWall(time.Now())
+	return h.perfTable(workloads.Phoenix(), true)
 }
 
-func perfTable(set []*workloads.Workload, withFO bool) ([]PerfRow, string, error) {
-	var rows []PerfRow
-	for _, w := range set {
-		row := PerfRow{Name: w.Name}
-		for _, cfg := range []struct {
-			ccOpt int
-			fo    bool
-			dst   *float64
-			note  *string
-		}{
-			{0, false, &row.O0, nil}, {0, true, &row.O0FO, &row.Note0},
-			{2, false, &row.O3, nil}, {2, true, &row.O3FO, &row.Note3},
-		} {
-			if cfg.fo && !withFO {
-				continue
-			}
-			img, err := w.Compile(cfg.ccOpt)
-			if err != nil {
-				return nil, "", err
-			}
-			orig, err := cycles(w, img)
-			if err != nil {
-				return nil, "", fmt.Errorf("%s original O%d: %w", w.Name, cfg.ccOpt, err)
-			}
-			// Full optional pipeline: tracing, callback pruning (and the
-			// inlining it unlocks), plus fence optimization for FO columns.
-			_, rec, clean, err := recompileOpts(w, cfg.ccOpt, cfg.fo, true)
-			if err != nil {
-				return nil, "", fmt.Errorf("%s recompile O%d fo=%v: %w", w.Name, cfg.ccOpt, cfg.fo, err)
-			}
-			recCycles, err := cycles(w, rec)
-			if err != nil {
-				return nil, "", fmt.Errorf("%s recompiled O%d fo=%v: %w", w.Name, cfg.ccOpt, cfg.fo, err)
-			}
-			*cfg.dst = float64(recCycles) / float64(orig)
-			if cfg.fo && !clean && cfg.note != nil {
-				*cfg.note = "(X)"
-			}
+// perfCfg is one cell configuration of a performance table.
+type perfCfg struct {
+	ccOpt int
+	fo    bool
+}
+
+// perfTable measures the normalized runtime of every (workload × config)
+// cell; each cell compiles its own original and recompiled images, so all
+// cells are independent.
+func (h *Harness) perfTable(set []*workloads.Workload, withFO bool) ([]PerfRow, string, error) {
+	cfgs := []perfCfg{{0, false}, {2, false}}
+	if withFO {
+		cfgs = []perfCfg{{0, false}, {0, true}, {2, false}, {2, true}}
+	}
+	rows := make([]PerfRow, len(set))
+	for i, w := range set {
+		rows[i].Name = w.Name
+	}
+	err := h.forEach(len(set)*len(cfgs), func(ci int) error {
+		w := set[ci/len(cfgs)]
+		cfg := cfgs[ci%len(cfgs)]
+		row := &rows[ci/len(cfgs)]
+		var dst *float64
+		var note *string
+		switch {
+		case cfg.ccOpt == 0 && !cfg.fo:
+			dst = &row.O0
+		case cfg.ccOpt == 0:
+			dst, note = &row.O0FO, &row.Note0
+		case !cfg.fo:
+			dst = &row.O3
+		default:
+			dst, note = &row.O3FO, &row.Note3
 		}
-		rows = append(rows, row)
+		img, err := w.Compile(cfg.ccOpt)
+		if err != nil {
+			return err
+		}
+		orig, err := cycles(w, img)
+		if err != nil {
+			return fmt.Errorf("%s original O%d: %w", w.Name, cfg.ccOpt, err)
+		}
+		if orig == 0 {
+			return fmt.Errorf("%s original O%d: zero baseline cycles", w.Name, cfg.ccOpt)
+		}
+		// Full optional pipeline: tracing, callback pruning (and the
+		// inlining it unlocks), plus fence optimization for FO columns.
+		_, rec, clean, err := h.recompileOpts(w, cfg.ccOpt, cfg.fo, true)
+		if err != nil {
+			return fmt.Errorf("%s recompile O%d fo=%v: %w", w.Name, cfg.ccOpt, cfg.fo, err)
+		}
+		recCycles, err := cycles(w, rec)
+		if err != nil {
+			return fmt.Errorf("%s recompiled O%d fo=%v: %w", w.Name, cfg.ccOpt, cfg.fo, err)
+		}
+		*dst = float64(recCycles) / float64(orig)
+		if cfg.fo && !clean && note != nil {
+			*note = "(X)"
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
 	}
 	var sb strings.Builder
 	if withFO {
@@ -336,21 +413,31 @@ func perfTable(set []*workloads.Workload, withFO bool) ([]PerfRow, string, error
 		g0 = append(g0, r.O0)
 		g3 = append(g3, r.O3)
 	}
+	skipped := 0
+	gm := func(rs []float64) float64 {
+		g, sk := geomean(rs)
+		skipped += sk
+		return g
+	}
 	if withFO {
 		fmt.Fprintf(&sb, "%-20s %-6.2f %-6.2f   %-6.2f %-6.2f\n", "Geomean",
-			geomean(g0), geomean(g0fo), geomean(g3), geomean(g3fo))
+			gm(g0), gm(g0fo), gm(g3), gm(g3fo))
 	} else {
-		fmt.Fprintf(&sb, "%-20s %-6.2f %-6.2f\n", "Geomean", geomean(g0), geomean(g3))
+		fmt.Fprintf(&sb, "%-20s %-6.2f %-6.2f\n", "Geomean", gm(g0), gm(g3))
+	}
+	if skipped > 0 {
+		fmt.Fprintf(&sb, "warning: geomean skipped %d non-positive ratio(s)\n", skipped)
 	}
 	return rows, sb.String(), nil
 }
 
 // Table3 measures the gapbs suite at both element widths.
-func Table3() (string, error) {
+func (h *Harness) Table3() (string, error) {
+	defer h.trackWall(time.Now())
 	var sb strings.Builder
 	sb.WriteString("Table 3: gapbs normalized runtimes\n")
 	for _, width := range []int{32, 64} {
-		_, txt, err := perfTable(workloads.Gapbs(width), false)
+		_, txt, err := h.perfTable(workloads.Gapbs(width), false)
 		if err != nil {
 			return "", err
 		}
@@ -370,26 +457,34 @@ type LiftRow struct {
 	ICFTs    int
 }
 
-// Table4 compares hybrid, dynamic, and static lifting times.
-func Table4() ([]LiftRow, string, error) {
-	var rows []LiftRow
-	for _, w := range workloads.Spec() {
+// Table4 compares hybrid, dynamic, and static lifting times. Each workload
+// is one cell; with several workers the absolute wall times inflate under
+// contention, but the orderings the table claims (hybrid ≪ emulator-coupled)
+// are preserved because all three pipelines of a row time inside one cell.
+func (h *Harness) Table4() ([]LiftRow, string, error) {
+	defer h.trackWall(time.Now())
+	set := workloads.Spec()
+	rows := make([]LiftRow, len(set))
+	err := h.forEach(len(set), func(i int) error {
+		w := set[i]
 		img, err := w.Compile(2)
 		if err != nil {
-			return nil, "", err
+			return err
 		}
-		row := LiftRow{Name: w.Name}
+		row := &rows[i]
+		row.Name = w.Name
 
 		// Polynima: disassemble + ICFT trace + lift + optimize + lower.
 		p, err := core.NewProject(img, core.DefaultOptions())
 		if err != nil {
-			return nil, "", err
+			return err
 		}
+		defer h.stats.absorb(p)
 		if _, err := p.Trace([]core.Input{w.Input()}); err != nil {
-			return nil, "", err
+			return err
 		}
 		if _, err := p.Recompile(); err != nil {
-			return nil, "", err
+			return err
 		}
 		row.Polynima = p.Stats.Total()
 		row.ICFTs = p.Stats.ICFTs
@@ -398,18 +493,20 @@ func Table4() ([]LiftRow, string, error) {
 		in := w.Input()
 		br, err := baselines.BinRecLike(img, in.Data, in.Seed, Fuel, in.Exts)
 		if err != nil {
-			return nil, "", err
+			return err
 		}
 		row.BinRec = br.LiftTime
 
 		// McSema-like: static-only pipeline.
 		_, mt, err := baselines.McSemaLike(img)
 		if err != nil {
-			return nil, "", err
+			return err
 		}
 		row.McSema = mt
-
-		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
 	}
 	var sb strings.Builder
 	sb.WriteString("Table 4: lifting times and ICFT counts\n")
@@ -423,10 +520,16 @@ func Table4() ([]LiftRow, string, error) {
 		gb = append(gb, float64(r.BinRec))
 		gm = append(gm, float64(r.McSema))
 	}
+	mp, sp := geomean(gp)
+	mb, sb2 := geomean(gb)
+	mm, sm := geomean(gm)
 	fmt.Fprintf(&sb, "%-16s %-12s %-12s %-12s\n", "Geomean",
-		time.Duration(geomean(gp)).Round(time.Microsecond),
-		time.Duration(geomean(gb)).Round(time.Microsecond),
-		time.Duration(geomean(gm)).Round(time.Microsecond))
+		time.Duration(mp).Round(time.Microsecond),
+		time.Duration(mb).Round(time.Microsecond),
+		time.Duration(mm).Round(time.Microsecond))
+	if skipped := sp + sb2 + sm; skipped > 0 {
+		fmt.Fprintf(&sb, "warning: geomean skipped %d non-positive duration(s)\n", skipped)
+	}
 	return rows, sb.String(), nil
 }
 
@@ -439,37 +542,56 @@ type CKitRow struct {
 }
 
 // Table5 measures the CKit spinlock latencies.
-func Table5() ([]CKitRow, string, error) {
-	var rows []CKitRow
-	for _, w := range workloads.CKit() {
+func (h *Harness) Table5() ([]CKitRow, string, error) {
+	defer h.trackWall(time.Now())
+	rows, err := h.ckitRows(workloads.CKit())
+	if err != nil {
+		return nil, "", err
+	}
+	return rows, formatTable5(rows), nil
+}
+
+// ckitRows measures one latency pair per spinlock; each lock is one cell.
+func (h *Harness) ckitRows(set []*workloads.Workload) ([]CKitRow, error) {
+	rows := make([]CKitRow, len(set))
+	err := h.forEach(len(set), func(i int) error {
+		w := set[i]
 		img, err := w.Compile(2)
 		if err != nil {
-			return nil, "", err
+			return err
 		}
 		nat, err := latency(w, img)
 		if err != nil {
-			return nil, "", fmt.Errorf("%s native: %w", w.Name, err)
+			return fmt.Errorf("%s native: %w", w.Name, err)
 		}
 		// The recovered binary uses the full optional pipeline: callback
 		// pruning de-externalizes the lock functions so they inline into
 		// the latency loop, as the inline CK primitives are in the source.
-		_, rec, _, err := recompileOpts(w, 2, false, true)
+		_, rec, _, err := h.recompileOpts(w, 2, false, true)
 		if err != nil {
-			return nil, "", err
+			return err
 		}
 		rcv, err := latency(w, rec)
 		if err != nil {
-			return nil, "", fmt.Errorf("%s recovered: %w", w.Name, err)
+			return fmt.Errorf("%s recovered: %w", w.Name, err)
 		}
-		rows = append(rows, CKitRow{Name: w.Name, Native: nat, Recovered: rcv})
+		rows[i] = CKitRow{Name: w.Name, Native: nat, Recovered: rcv}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return rows, nil
+}
+
+func formatTable5(rows []CKitRow) string {
 	var sb strings.Builder
 	sb.WriteString("Table 5: CKit spinlock latency (cycles per lock+unlock)\n")
 	fmt.Fprintf(&sb, "%-16s %-8s %s\n", "Spinlock", "Native", "Recovered")
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "%-16s %-8d %d\n", r.Name, r.Native, r.Recovered)
 	}
-	return rows, sb.String(), nil
+	return sb.String()
 }
 
 // latency extracts the printed cycles-per-pair from a CKit run.
@@ -499,7 +621,13 @@ type Fig4Point struct {
 // integrate misses, re-run the pipeline) against BinRec-style incremental
 // lifting (a fresh emulator-coupled full trace per input) over inputs of
 // increasing complexity for the bzip2-like compressor.
-func Figure4() ([]Fig4Point, string, error) {
+//
+// The additive session is one stateful project whose CFG grows input by
+// input — its points are order-dependent, so that phase always runs
+// serially. The incremental traces are independent full re-lifts and run as
+// parallel cells.
+func (h *Harness) Figure4() ([]Fig4Point, string, error) {
+	defer h.trackWall(time.Now())
 	w := workloads.ByName("bzip2_like")
 	img, err := w.Compile(2)
 	if err != nil {
@@ -514,6 +642,7 @@ func Figure4() ([]Fig4Point, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	defer h.stats.absorb(p)
 	if _, err := p.Trace([]core.Input{{Data: inputs[0].Data, Seed: 1}}); err != nil {
 		return nil, "", err
 	}
@@ -521,29 +650,33 @@ func Figure4() ([]Fig4Point, string, error) {
 		return nil, "", err
 	}
 
-	var pts []Fig4Point
-	for _, in := range inputs {
+	pts := make([]Fig4Point, len(inputs))
+	for i, in := range inputs {
 		t0 := time.Now()
 		res, err := p.RunAdditive(core.Input{Data: in.Data, Seed: 1}, 32)
 		if err != nil {
 			return nil, "", fmt.Errorf("additive %s: %w", in.Name, err)
 		}
-		additive := time.Since(t0)
-
-		// Incremental (BinRec-style): full emulator-coupled trace of this
-		// input from program start.
-		t0 = time.Now()
-		if _, err := baselines.BinRecLike(img, in.Data, 1, Fuel, nil); err != nil {
-			return nil, "", fmt.Errorf("incremental %s: %w", in.Name, err)
+		pts[i] = Fig4Point{
+			Input:      in.Name,
+			Additive:   time.Since(t0),
+			Recompiles: res.Recompiles,
 		}
-		incremental := time.Since(t0)
+	}
 
-		pts = append(pts, Fig4Point{
-			Input:       in.Name,
-			Additive:    additive,
-			Incremental: incremental,
-			Recompiles:  res.Recompiles,
-		})
+	// Incremental (BinRec-style): full emulator-coupled trace of each input
+	// from program start — one independent cell per input.
+	err = h.forEach(len(inputs), func(i int) error {
+		in := inputs[i]
+		t0 := time.Now()
+		if _, err := baselines.BinRecLike(img, in.Data, 1, Fuel, nil); err != nil {
+			return fmt.Errorf("incremental %s: %w", in.Name, err)
+		}
+		pts[i].Incremental = time.Since(t0)
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
 	}
 	var sb strings.Builder
 	sb.WriteString("Figure 4: additive vs incremental lifting (bzip2-like)\n")

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestRatioGuardsZeroBaseline(t *testing.T) {
+	if got := ratio(3, 2); got != "1.50" {
+		t.Errorf("ratio(3,2) = %q, want 1.50", got)
+	}
+	if got := ratio(0, 4); got != "0.00" {
+		t.Errorf("ratio(0,4) = %q, want 0.00", got)
+	}
+	// A zero baseline must yield the explicit marker, never +Inf.
+	if got := ratio(5, 0); got != "n/a" {
+		t.Errorf("ratio(5,0) = %q, want n/a", got)
+	}
+}
+
+func TestGeomeanSkipsNonPositive(t *testing.T) {
+	if g, sk := geomean(nil); g != 0 || sk != 0 {
+		t.Errorf("geomean(nil) = %v, %d; want 0, 0", g, sk)
+	}
+	if g, sk := geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 || sk != 0 {
+		t.Errorf("geomean(2,8) = %v, %d; want 4, 0", g, sk)
+	}
+	// Zero/negative/NaN ratios are skipped, not allowed to poison the mean.
+	g, sk := geomean([]float64{2, 0, 8, -3, math.NaN()})
+	if math.Abs(g-4) > 1e-12 || sk != 3 {
+		t.Errorf("geomean with junk = %v, %d; want 4, 3", g, sk)
+	}
+	if math.IsNaN(g) {
+		t.Error("geomean returned NaN")
+	}
+	if g, sk := geomean([]float64{0, -1}); g != 0 || sk != 2 {
+		t.Errorf("geomean(all junk) = %v, %d; want 0, 2", g, sk)
+	}
+}
+
+func TestVerdictFormatting(t *testing.T) {
+	if got := verdict(func() error { return nil }); got != "ok" {
+		t.Errorf("verdict(nil) = %q", got)
+	}
+	if got := verdict(func() error { return errors.New("boom") }); got != "FAIL: boom" {
+		t.Errorf("verdict(err) = %q", got)
+	}
+	long := strings.Repeat("x", 100)
+	got := verdict(func() error { return errors.New(long) })
+	want := "FAIL: " + long[:60]
+	if got != want {
+		t.Errorf("verdict(long) = %q, want %q", got, want)
+	}
+}
+
+func TestForEachSerialOrderAndEarlyStop(t *testing.T) {
+	h := NewHarness(1)
+	var order []int
+	if err := h.forEach(5, func(i int) error { order = append(order, i); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+	// One worker stops at the first error, skipping later cells.
+	order = order[:0]
+	err := h.forEach(5, func(i int) error {
+		order = append(order, i)
+		if i == 2 {
+			return fmt.Errorf("cell %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "cell 2" {
+		t.Fatalf("err = %v, want cell 2", err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("serial run did not stop at first error: %v", order)
+	}
+	s := h.Stats()
+	if s.Cells != 8 || s.Failed != 1 {
+		t.Fatalf("stats cells=%d failed=%d, want 8/1", s.Cells, s.Failed)
+	}
+}
+
+func TestForEachParallelCoverageAndLowestError(t *testing.T) {
+	h := NewHarness(4)
+	const n = 50
+	var hits [n]atomic.Int32
+	err := h.forEach(n, func(i int) error {
+		hits[i].Add(1)
+		if i == 7 || i == 33 {
+			return fmt.Errorf("cell %d", i)
+		}
+		return nil
+	})
+	// The reported error is the erroring cell with the lowest index — the
+	// same error a serial run would surface first.
+	if err == nil || err.Error() != "cell 7" {
+		t.Fatalf("err = %v, want cell 7", err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("cell %d ran %d times", i, got)
+		}
+	}
+	s := h.Stats()
+	if s.Cells != n || s.Failed != 2 {
+		t.Fatalf("stats cells=%d failed=%d, want %d/2", s.Cells, s.Failed, n)
+	}
+}
+
+// TestTable5SerialParallelByteIdentical is the determinism contract for the
+// cycle-based tables: the formatted text must be byte-identical between a
+// serial (-j 1) and a parallel (-j 4) run.
+func TestTable5SerialParallelByteIdentical(t *testing.T) {
+	set := workloads.CKit()[:4]
+
+	h1 := NewHarness(1)
+	rows1, err := h1.ckitRows(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h4 := NewHarness(4)
+	rows4, err := h4.ckitRows(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt1, txt4 := formatTable5(rows1), formatTable5(rows4)
+	if txt1 != txt4 {
+		t.Fatalf("Table 5 output differs between -j 1 and -j 4:\n-- serial --\n%s\n-- parallel --\n%s", txt1, txt4)
+	}
+	if s := h4.Stats(); s.Cells != len(set) || s.Failed != 0 {
+		t.Fatalf("stats cells=%d failed=%d, want %d/0", s.Cells, s.Failed, len(set))
+	}
+	if s := h4.Stats(); s.PipelineTotal() == 0 {
+		t.Fatal("parallel harness absorbed no stage timings")
+	}
+}
+
+// TestTable1SerialParallelByteIdentical runs the support-matrix generator
+// over a small workload set serially and in parallel and requires identical
+// bytes.
+func TestTable1SerialParallelByteIdentical(t *testing.T) {
+	set := workloads.CKit()[:2]
+
+	rows1, err := NewHarness(1).supportRows(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows4, err := NewHarness(4).supportRows(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt1, txt4 := formatTable1(rows1), formatTable1(rows4)
+	if txt1 != txt4 {
+		t.Fatalf("Table 1 output differs between -j 1 and -j 4:\n-- serial --\n%s\n-- parallel --\n%s", txt1, txt4)
+	}
+	for _, r := range rows1 {
+		if r.Polynima != "ok" {
+			t.Fatalf("Polynima must support %s: %s", r.Name, r.Polynima)
+		}
+	}
+}
+
+// TestPerfTableSerialParallelByteIdentical covers the (workload × opt-level
+// × fence-opt) cell fan-out of Tables 2/3, including the FO columns.
+func TestPerfTableSerialParallelByteIdentical(t *testing.T) {
+	set := workloads.Phoenix()[2:3] // linear_regression: fast, FO-provable
+
+	_, txt1, err := NewHarness(1).perfTable(set, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, txt4, err := NewHarness(4).perfTable(set, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txt1 != txt4 {
+		t.Fatalf("perf table output differs between -j 1 and -j 4:\n-- serial --\n%s\n-- parallel --\n%s", txt1, txt4)
+	}
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Harness executes the table/figure generators over a bounded worker pool.
+//
+// The unit of concurrency is a pipeline cell: one independent
+// (workload × opt-level × fence-opt) measurement, which builds its own
+// images and core.Project so cells share no mutable state. Results land at
+// the cell's index in a preallocated row slice, so the formatted output is
+// byte-identical at any worker count; only wall-clock measurements (Table 4,
+// Figure 4 durations) vary, as they do between any two runs.
+//
+// One worker reproduces the historical serial behavior exactly: cells run
+// in index order and the first failure stops the table.
+type Harness struct {
+	workers int
+	stats   StageStats
+}
+
+// NewHarness returns a harness running up to workers concurrent cells;
+// workers <= 0 selects runtime.NumCPU().
+func NewHarness(workers int) *Harness {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Harness{workers: workers}
+}
+
+// Workers reports the worker-pool width.
+func (h *Harness) Workers() int { return h.workers }
+
+// forEach runs f(i) for every i in [0,n), at most h.workers cells at a
+// time, and accounts every executed cell in the harness stats.
+//
+// With one worker the cells run in index order and the first error returns
+// immediately, skipping the remaining cells — the serial contract. With
+// more workers every cell runs to completion regardless of other cells'
+// failures (each result occupies a distinct index), and the error returned
+// is the erroring cell with the lowest index: the same error the serial run
+// would have surfaced first.
+func (h *Harness) forEach(n int, f func(i int) error) error {
+	if h.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			err := f(i)
+			h.stats.cellDone(err)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := h.workers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(i)
+				h.stats.cellDone(errs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// StageStats aggregates per-stage pipeline timings and cell counters across
+// the cells of a harness run, so the bench harness doubles as a pipeline
+// profiler. Cells absorb their finished projects concurrently, hence the
+// mutex.
+type StageStats struct {
+	mu sync.Mutex
+	s  StageSnapshot
+}
+
+// StageSnapshot is a plain, copyable view of the aggregated statistics.
+type StageSnapshot struct {
+	Disasm, Trace, Lift, Opt, Lower time.Duration
+	TraceInsts                      uint64 // guest instructions executed by the ICFT tracer
+	Cells, Failed                   int
+	Wall                            time.Duration // wall clock of the table/figure runs
+}
+
+// absorb adds one project's stage timings. The calling cell owns p and its
+// pipeline calls have returned, so reading the fields is race-free.
+func (st *StageStats) absorb(p *core.Project) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.s.Disasm += p.Stats.DisasmTime
+	st.s.Trace += p.Stats.TraceTime
+	st.s.Lift += p.Stats.LiftTime
+	st.s.Opt += p.Stats.OptTime
+	st.s.Lower += p.Stats.LowerTime
+	st.s.TraceInsts += p.Stats.TraceInsts
+}
+
+// cellDone accounts one executed cell.
+func (st *StageStats) cellDone(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.s.Cells++
+	if err != nil {
+		st.s.Failed++
+	}
+}
+
+// addWall accumulates table wall-clock time.
+func (st *StageStats) addWall(d time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.s.Wall += d
+}
+
+// Stats returns a snapshot of the statistics accumulated since the last
+// ResetStats (or harness creation).
+func (h *Harness) Stats() StageSnapshot {
+	h.stats.mu.Lock()
+	defer h.stats.mu.Unlock()
+	return h.stats.s
+}
+
+// ResetStats clears the accumulated statistics; cmd/polybench resets
+// between sections so each footer profiles one table.
+func (h *Harness) ResetStats() {
+	h.stats.mu.Lock()
+	defer h.stats.mu.Unlock()
+	h.stats.s = StageSnapshot{}
+}
+
+// trackWall is deferred by the table generators: defer h.trackWall(time.Now()).
+func (h *Harness) trackWall(t0 time.Time) { h.stats.addWall(time.Since(t0)) }
+
+// PipelineTotal is the sum of the per-stage times. With several workers this
+// is CPU time spread across goroutines and exceeds Wall.
+func (s StageSnapshot) PipelineTotal() time.Duration {
+	return s.Disasm + s.Trace + s.Lift + s.Opt + s.Lower
+}
+
+// Footer renders the per-table profiler block. cmd/polybench prints it to
+// stderr so stdout stays byte-identical across worker counts.
+func (s StageSnapshot) Footer(name string, workers int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "-- pipeline stats: %s (%d worker(s)) --\n", name, workers)
+	fmt.Fprintf(&sb, "cells run %d, failed %d\n", s.Cells, s.Failed)
+	fmt.Fprintf(&sb, "disasm %s | trace %s | lift %s | opt %s | lower %s | stage total %s\n",
+		roundDur(s.Disasm), roundDur(s.Trace), roundDur(s.Lift),
+		roundDur(s.Opt), roundDur(s.Lower), roundDur(s.PipelineTotal()))
+	fmt.Fprintf(&sb, "guest instructions traced %d\n", s.TraceInsts)
+	fmt.Fprintf(&sb, "wall %s\n", roundDur(s.Wall))
+	return sb.String()
+}
+
+func roundDur(d time.Duration) string { return d.Round(10 * time.Microsecond).String() }

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cfg"
@@ -61,7 +62,16 @@ type Input struct {
 }
 
 // Stats records pipeline timing and counters (Table 4's metrics).
+//
+// The pipeline methods accumulate into it under mu (via update), so even a
+// Project shared across goroutines keeps consistent counters. Reading the
+// fields directly is safe once the pipeline calls have returned — the bench
+// worker pool collects cells behind a WaitGroup, which establishes the
+// required happens-before. Note Stats must not be copied (go vet's
+// copylocks check enforces this); take the individual fields instead.
 type Stats struct {
+	mu sync.Mutex
+
 	DisasmTime  time.Duration
 	TraceTime   time.Duration
 	LiftTime    time.Duration
@@ -77,8 +87,18 @@ type Stats struct {
 	NumExternal int
 }
 
+// update runs f with the stats lock held; every pipeline-side mutation goes
+// through here.
+func (s *Stats) update(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
+}
+
 // Total returns the total pipeline time.
 func (s *Stats) Total() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.DisasmTime + s.TraceTime + s.LiftTime + s.OptTime + s.LowerTime
 }
 
@@ -104,10 +124,13 @@ func NewProject(img *image.Image, opts Options) (*Project, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.Stats.DisasmTime = time.Since(t0)
+	d := time.Since(t0)
 	p.Graph = g
-	p.Stats.Funcs = len(g.Funcs)
-	p.Stats.Blocks = g.NumBlocks()
+	p.Stats.update(func() {
+		p.Stats.DisasmTime = d
+		p.Stats.Funcs = len(g.Funcs)
+		p.Stats.Blocks = g.NumBlocks()
+	})
 	return p, nil
 }
 
@@ -123,12 +146,16 @@ func (p *Project) Trace(inputs []Input) (*tracer.Result, error) {
 	}
 	t0 := time.Now()
 	res, err := tracer.Trace(p.Img, p.Graph, runs, p.Opts.Fuel)
-	p.Stats.TraceTime += time.Since(t0)
+	d := time.Since(t0)
 	if err != nil {
+		p.Stats.update(func() { p.Stats.TraceTime += d })
 		return nil, err
 	}
-	p.Stats.ICFTs += res.ICFTs
-	p.Stats.TraceInsts += res.Insts
+	p.Stats.update(func() {
+		p.Stats.TraceTime += d
+		p.Stats.ICFTs += res.ICFTs
+		p.Stats.TraceInsts += res.Insts
+	})
 	return res, nil
 }
 
@@ -139,7 +166,8 @@ func (p *Project) lift() (*lifter.Lifted, error) {
 		InsertFences: p.Opts.InsertFences,
 		NaiveAtomics: p.Opts.NaiveAtomics,
 	})
-	p.Stats.LiftTime += time.Since(t0)
+	d := time.Since(t0)
+	p.Stats.update(func() { p.Stats.LiftTime += d })
 	return lf, err
 }
 
@@ -167,8 +195,10 @@ func (p *Project) applyDynamicResults(lf *lifter.Lifted) {
 			n++
 		}
 	}
-	p.Stats.NumExternal = n
-	p.Stats.FencesGone = p.removeFences
+	p.Stats.update(func() {
+		p.Stats.NumExternal = n
+		p.Stats.FencesGone = p.removeFences
+	})
 }
 
 // Recompile runs lift -> optimize -> lower over the current CFG and returns
@@ -190,16 +220,21 @@ func (p *Project) Recompile() (*image.Image, error) {
 		if err := opt.Run(lf.Mod, oo); err != nil {
 			return nil, err
 		}
-		p.Stats.OptTime += time.Since(t0)
+		d := time.Since(t0)
+		p.Stats.update(func() { p.Stats.OptTime += d })
 	}
 	t0 := time.Now()
 	res, err := lower.Lower(lf)
-	p.Stats.LowerTime += time.Since(t0)
+	d := time.Since(t0)
 	if err != nil {
+		p.Stats.update(func() { p.Stats.LowerTime += d })
 		return nil, err
 	}
-	p.Stats.CodeSize = res.CodeSize
-	p.Stats.Recompiles++
+	p.Stats.update(func() {
+		p.Stats.LowerTime += d
+		p.Stats.CodeSize = res.CodeSize
+		p.Stats.Recompiles++
+	})
 	return res.Img, nil
 }
 

@@ -78,7 +78,7 @@ func TestProjectRecompileThreaded(t *testing.T) {
 				want.ExitCode, want.Output, got.ExitCode, got.Output)
 		}
 		if p.Stats.Funcs == 0 || p.Stats.CodeSize == 0 {
-			t.Fatalf("stats not recorded: %+v", p.Stats)
+			t.Fatalf("stats not recorded: %+v", &p.Stats)
 		}
 	}
 }

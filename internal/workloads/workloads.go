@@ -52,18 +52,27 @@ func (w *Workload) Compile(opt int) (*image.Image, error) {
 }
 
 // Input returns the primary input (first of Inputs, or an empty one).
+//
+// The returned Exts map is always a fresh copy: Input is called from
+// concurrent bench-harness cells, and merging w.Exts into the shared
+// Inputs[0].Exts map in place would be a data race (and would leak one
+// cell's host-function closures into every later caller).
 func (w *Workload) Input() core.Input {
 	in := core.Input{Seed: 1}
 	if len(w.Inputs) > 0 {
 		in = w.Inputs[0]
 	}
-	if w.Exts != nil {
-		if in.Exts == nil {
-			in.Exts = map[string]vm.ExtFunc{}
+	if in.Exts != nil || w.Exts != nil {
+		exts := make(map[string]vm.ExtFunc, len(in.Exts))
+		for k, v := range in.Exts {
+			exts[k] = v
 		}
-		for k, v := range w.Exts() {
-			in.Exts[k] = v
+		if w.Exts != nil {
+			for k, v := range w.Exts() {
+				exts[k] = v
+			}
 		}
+		in.Exts = exts
 	}
 	return in
 }
