@@ -11,6 +11,11 @@
 // text on stdout is byte-identical at any -j; a per-table pipeline-stats
 // footer (stage times, cells run/failed, wall clock) goes to stderr so
 // stdout stays diffable.
+//
+// -nocache disables the interpreter's predecoded instruction cache (the
+// differential-testing escape hatch; output is identical, only slower).
+// -cpuprofile/-memprofile write pprof profiles so perf work on the
+// interpreter and pipeline needs no code edits.
 package main
 
 import (
@@ -18,8 +23,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -27,7 +34,40 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate figure N (4)")
 	all := flag.Bool("all", false, "regenerate everything")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent pipeline cells (1 = serial)")
+	nocache := flag.Bool("nocache", false, "disable the VM predecoded instruction cache")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to `file`")
 	flag.Parse()
+
+	vm.NoCacheDefault = *nocache
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+	}()
 
 	h := bench.NewHarness(*jobs)
 	run := func(name string, f func() (string, error)) {

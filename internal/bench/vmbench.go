@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// This file defines BENCH_vm.json, the interpreter-throughput record emitted
+// by the internal/vm micro-benchmarks (go test -bench . ./internal/vm/...).
+// CI uploads the file as a workflow artifact so the perf trajectory of the
+// MX64 step loop is tracked PR over PR.
+
+// VMBenchEntry is one interpreter micro-benchmark measurement.
+type VMBenchEntry struct {
+	// Name identifies the benchmark variant, e.g. "StepLoop".
+	Name string `json:"name"`
+	// Cache records whether the predecoded instruction cache was on
+	// (false is the -nocache differential path, standing in for the
+	// decode-every-step interpreter).
+	Cache bool `json:"cache"`
+	// Insts is the total number of guest instructions executed.
+	Insts uint64 `json:"insts"`
+	// Seconds is the wall-clock time those instructions took.
+	Seconds float64 `json:"seconds"`
+	// InstsPerSec is the headline throughput (Insts / Seconds).
+	InstsPerSec float64 `json:"insts_per_sec"`
+}
+
+// VMBenchReport is the BENCH_vm.json document.
+type VMBenchReport struct {
+	Benchmarks []VMBenchEntry `json:"benchmarks"`
+	// Speedups maps each benchmark name measured both with and without
+	// the cache to cached-over-uncached instructions/sec.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+// NewVMBenchReport assembles a report, computing the cache-on/cache-off
+// speedup for every benchmark name measured in both modes.
+func NewVMBenchReport(entries []VMBenchEntry) *VMBenchReport {
+	r := &VMBenchReport{Benchmarks: append([]VMBenchEntry(nil), entries...)}
+	sort.SliceStable(r.Benchmarks, func(i, j int) bool {
+		a, b := r.Benchmarks[i], r.Benchmarks[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Cache && !b.Cache
+	})
+	on := map[string]float64{}
+	off := map[string]float64{}
+	for _, e := range r.Benchmarks {
+		if e.Cache {
+			on[e.Name] = e.InstsPerSec
+		} else {
+			off[e.Name] = e.InstsPerSec
+		}
+	}
+	for name, cached := range on {
+		if uncached, ok := off[name]; ok && uncached > 0 {
+			if r.Speedups == nil {
+				r.Speedups = map[string]float64{}
+			}
+			r.Speedups[name] = cached / uncached
+		}
+	}
+	return r
+}
+
+// WriteVMBench writes the report for entries to path as indented JSON.
+func WriteVMBench(path string, entries []VMBenchEntry) error {
+	data, err := json.MarshalIndent(NewVMBenchReport(entries), "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,91 @@
+package mx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxEncodedLen(t *testing.T) {
+	max := 0
+	for op := Op(0); op < NumOps; op++ {
+		if n := EncodedLen(op); n > max {
+			max = n
+		}
+	}
+	if max != MaxEncodedLen {
+		t.Fatalf("MaxEncodedLen = %d, but the widest layout encodes to %d", MaxEncodedLen, max)
+	}
+}
+
+// pageCorpus builds a byte buffer mixing well-formed encodings with random
+// garbage, so DecodePage is checked over valid instructions, BAD bytes, and
+// every misaligned suffix in between.
+func pageCorpus(size int) []byte {
+	rng := rand.New(rand.NewSource(42))
+	code := make([]byte, 0, size+MaxEncodedLen)
+	for len(code) < size {
+		if rng.Intn(4) == 0 {
+			code = append(code, byte(rng.Intn(256)))
+			continue
+		}
+		inst := Inst{
+			Op:    Op(1 + rng.Intn(int(NumOps)-1)),
+			Dst:   Reg(rng.Intn(16)),
+			Src:   Reg(rng.Intn(16)),
+			Base:  Reg(rng.Intn(16)),
+			Idx:   Reg(rng.Intn(16)),
+			Scale: uint8(1 << rng.Intn(4)),
+			Cc:    Cond(rng.Intn(8)),
+			Imm:   rng.Int63n(1 << 20),
+			Disp:  int32(rng.Intn(1 << 12)),
+		}
+		code = inst.Encode(code)
+	}
+	return code[:size]
+}
+
+// TestDecodePageMatchesDecode pins the predecode contract: at every byte
+// offset of a page, DecodePage must report exactly what a linear Decode of
+// the page-plus-tail bytes reports at that offset.
+func TestDecodePageMatchesDecode(t *testing.T) {
+	const size = 1024
+	buf := pageCorpus(size + MaxEncodedLen - 1)
+	page, tail := buf[:size], buf[size:]
+
+	insts, lens := DecodePage(page, tail)
+	if len(insts) != size || len(lens) != size {
+		t.Fatalf("DecodePage sizes = %d/%d, want %d", len(insts), len(lens), size)
+	}
+	for i := 0; i < size; i++ {
+		wantInst, wantN := Decode(buf[i:])
+		if insts[i] != wantInst || int(lens[i]) != wantN {
+			t.Fatalf("offset %d: DecodePage = %+v len %d; Decode = %+v len %d",
+				i, insts[i], lens[i], wantInst, wantN)
+		}
+	}
+}
+
+// TestDecodePageTruncation checks both sides of the page boundary: without
+// tail bytes an instruction cut off by the end of the page decodes as BAD
+// (exactly like Decode on a short buffer), and with the successor's bytes
+// supplied as tail the same instruction decodes fully.
+func TestDecodePageTruncation(t *testing.T) {
+	var buf []byte
+	for len(buf) < 61 {
+		buf = Inst{Op: NOP}.Encode(buf)
+	}
+	straddler := Inst{Op: MOVRI, Dst: RAX, Imm: 0x1122334455667788}
+	buf = straddler.Encode(buf) // starts at 61, needs 10 bytes
+	page, tail := buf[:64], buf[64:]
+
+	noTail, _ := DecodePage(page, nil)
+	if noTail[61].Op != BAD {
+		t.Fatalf("truncated instruction decoded as %v, want BAD", noTail[61].Op)
+	}
+
+	withTail, lens := DecodePage(page, tail)
+	if withTail[61] != straddler || int(lens[61]) != EncodedLen(MOVRI) {
+		t.Fatalf("straddling instruction = %+v len %d; want %+v len %d",
+			withTail[61], lens[61], straddler, EncodedLen(MOVRI))
+	}
+}

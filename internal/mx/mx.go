@@ -343,6 +343,11 @@ func EncodedLen(op Op) int {
 	return 1 + layoutSizes[LayoutOf(op)]
 }
 
+// MaxEncodedLen is the byte length of the longest possible instruction
+// encoding (opcode byte plus the largest operand layout, LayoutRI64).
+// Package tests assert it matches the layout table.
+const MaxEncodedLen = 1 + 1 + 8
+
 // Len returns the encoded byte length of i.
 func (i Inst) Len() int { return EncodedLen(i.Op) }
 
@@ -443,6 +448,30 @@ func Decode(code []byte) (Inst, int) {
 		return Inst{Op: BAD}, 1
 	}
 	return i, n
+}
+
+// DecodePage decodes one instruction at every byte offset of page, the unit
+// of the interpreter's predecoded instruction cache. tail holds up to
+// MaxEncodedLen-1 bytes that follow page in the address space, so an
+// instruction whose opcode byte sits near the end of page decodes with its
+// full operand bytes; pass an empty tail when nothing follows (the page ends
+// at a section boundary), in which case a truncated final instruction decodes
+// as BAD, exactly as Decode on the truncated slice would.
+//
+// The returned slices are indexed by offset into page: insts[i] and lens[i]
+// are Decode's results for the instruction whose opcode byte is page[i].
+func DecodePage(page, tail []byte) ([]Inst, []uint8) {
+	code := make([]byte, 0, len(page)+len(tail))
+	code = append(code, page...)
+	code = append(code, tail...)
+	insts := make([]Inst, len(page))
+	lens := make([]uint8, len(page))
+	for i := range page {
+		inst, n := Decode(code[i:])
+		insts[i] = inst
+		lens[i] = uint8(n)
+	}
+	return insts, lens
 }
 
 // valid reports whether the decoded operand fields are in range, so that

@@ -1,22 +1,109 @@
 package vm
 
-import "encoding/binary"
+import (
+	"bytes"
+	"encoding/binary"
+)
 
 // pageSize is the granularity of the sparse guest address space.
-const pageSize = 1 << 12
+const (
+	pageSize  = 1 << pageShift
+	pageShift = 12
+)
+
+// tlbSize is the number of entries in the direct-mapped software TLB that
+// fronts the pages map (power of two; indexed by page number).
+const tlbSize = 64
+
+// tlbEntry caches one positive page translation. pg == nil marks an empty
+// slot; only mapped pages are cached, so a hit never needs re-validation.
+type tlbEntry struct {
+	base uint64
+	pg   []byte
+}
 
 // Memory is a sparse, paged, flat 64-bit guest address space. All threads of
 // a machine share one Memory; per-thread stacks are just disjoint regions of
 // it, which is what makes stack-escape and false-sharing hazards expressible.
 type Memory struct {
 	pages map[uint64][]byte
+
+	// tlb is a direct-mapped translation cache in front of pages, so the
+	// hot fetch/load/store paths index an array instead of hashing into a
+	// map. Only positive translations are cached, and the address space
+	// has no unmap operation (Machine.Free recycles blocks without
+	// unmapping), so entries never go stale; Map inserts through page(),
+	// which refreshes the corresponding entry in place.
+	tlb [tlbSize]tlbEntry
+
+	// onWrite, when set, is called with the base of every page written
+	// through Store/WriteBytes that intersects one of watchRanges (page
+	// aligned, disjoint). The machine registers its executable ranges here
+	// so the predecoded instruction cache is invalidated when guest code
+	// is stored over (self-modifying or overwritten code). watchLo/watchHi
+	// bound all ranges for a cheap reject on the store fast path.
+	watchLo, watchHi uint64
+	watchRanges      [][2]uint64
+	onWrite          func(pageBase uint64)
 }
 
 // NewMemory returns an empty address space.
 func NewMemory() *Memory { return &Memory{pages: map[uint64][]byte{}} }
 
+// watchWrites registers onWrite to fire for every page of ranges written
+// through Store/WriteBytes. Ranges are rounded out to page boundaries.
+func (m *Memory) watchWrites(ranges [][2]uint64, onWrite func(pageBase uint64)) {
+	m.watchRanges = m.watchRanges[:0]
+	m.watchLo, m.watchHi = ^uint64(0), 0
+	for _, r := range ranges {
+		lo := r[0] &^ (pageSize - 1)
+		hi := (r[1] + pageSize - 1) &^ (pageSize - 1)
+		if lo >= hi {
+			continue
+		}
+		m.watchRanges = append(m.watchRanges, [2]uint64{lo, hi})
+		if lo < m.watchLo {
+			m.watchLo = lo
+		}
+		if hi > m.watchHi {
+			m.watchHi = hi
+		}
+	}
+	if len(m.watchRanges) == 0 {
+		m.onWrite = nil
+		return
+	}
+	m.onWrite = onWrite
+}
+
+// noteWrite reports the write [addr, end) to the watcher. Callers guard with
+// the watchLo/watchHi envelope so the common case (heap/stack stores) costs
+// two compares and no call.
+func (m *Memory) noteWrite(addr, end uint64) {
+	for _, r := range m.watchRanges {
+		lo, hi := r[0], r[1]
+		if end <= lo || addr >= hi {
+			continue
+		}
+		a, b := addr, end
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		for base := a &^ (pageSize - 1); base < b; base += pageSize {
+			m.onWrite(base)
+		}
+	}
+}
+
 func (m *Memory) page(addr uint64, create bool) ([]byte, uint64) {
 	base := addr &^ (pageSize - 1)
+	e := &m.tlb[(addr>>pageShift)&(tlbSize-1)]
+	if e.pg != nil && e.base == base {
+		return e.pg, addr - base
+	}
 	p, ok := m.pages[base]
 	if !ok {
 		if !create {
@@ -25,28 +112,55 @@ func (m *Memory) page(addr uint64, create bool) ([]byte, uint64) {
 		p = make([]byte, pageSize)
 		m.pages[base] = p
 	}
+	e.base, e.pg = base, p
 	return p, addr - base
 }
 
-// Mapped reports whether every byte of [addr, addr+n) is mapped.
+// Mapped reports whether every byte of [addr, addr+n) is mapped. An empty
+// range is trivially mapped; a range that wraps the top of the address space
+// is not.
 func (m *Memory) Mapped(addr, n uint64) bool {
-	for a := addr &^ (pageSize - 1); a < addr+n; a += pageSize {
-		if _, ok := m.pages[a]; !ok {
+	if n == 0 {
+		return true
+	}
+	last := addr + n - 1
+	if last < addr {
+		return false
+	}
+	for p := addr >> pageShift; ; p++ {
+		if _, ok := m.pages[p<<pageShift]; !ok {
 			return false
 		}
+		if p == last>>pageShift {
+			return true
+		}
 	}
-	return true
 }
 
-// Map ensures [addr, addr+n) is mapped (zero-filled where new).
+// Map ensures [addr, addr+n) is mapped (zero-filled where new). A range that
+// would wrap the top of the address space is clamped to it, so mapping the
+// last page terminates instead of walking the whole address space.
 func (m *Memory) Map(addr, n uint64) {
-	for a := addr &^ (pageSize - 1); a < addr+n; a += pageSize {
+	if n == 0 {
+		return
+	}
+	last := addr + n - 1
+	if last < addr {
+		last = ^uint64(0)
+	}
+	for a := addr &^ (pageSize - 1); ; a += pageSize {
 		m.page(a, true)
+		if a == last&^(pageSize-1) {
+			break
+		}
 	}
 }
 
 // WriteBytes copies p into guest memory at addr, mapping as needed.
 func (m *Memory) WriteBytes(addr uint64, p []byte) {
+	if m.onWrite != nil && addr < m.watchHi && addr+uint64(len(p)) > m.watchLo {
+		m.noteWrite(addr, addr+uint64(len(p)))
+	}
 	for len(p) > 0 {
 		pg, off := m.page(addr, true)
 		n := copy(pg[off:], p)
@@ -74,6 +188,24 @@ func (m *Memory) ReadBytes(addr, n uint64) ([]byte, bool) {
 		addr += uint64(c)
 	}
 	return out, true
+}
+
+// readInto copies up to len(buf) bytes of guest memory at addr into buf
+// without allocating, stopping at the first unmapped byte. It returns the
+// number of bytes copied. The uncached fetch path uses it to pull one
+// instruction window per step.
+func (m *Memory) readInto(addr uint64, buf []byte) int {
+	n := 0
+	for n < len(buf) {
+		pg, off := m.page(addr, false)
+		if pg == nil {
+			break
+		}
+		c := copy(buf[n:], pg[off:])
+		n += c
+		addr += uint64(c)
+	}
+	return n
 }
 
 // fast single-page accessors; fall back to byte-wise for page straddles.
@@ -113,6 +245,9 @@ func (m *Memory) Load(addr uint64, width int) (uint64, bool) {
 func (m *Memory) Store(addr uint64, v uint64, width int) bool {
 	pg, off := m.page(addr, false)
 	if pg != nil && off+uint64(width) <= pageSize {
+		if m.onWrite != nil && addr < m.watchHi && addr+uint64(width) > m.watchLo {
+			m.noteWrite(addr, addr+uint64(width))
+		}
 		switch width {
 		case 1:
 			pg[off] = byte(v)
@@ -128,22 +263,36 @@ func (m *Memory) Store(addr uint64, v uint64, width int) bool {
 	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
-	m.WriteBytes(addr, b[:width])
+	m.WriteBytes(addr, b[:width]) // notifies the write watcher itself
 	return true
 }
 
-// CString reads a NUL-terminated string at addr (capped at 1<<16 bytes).
+// cstringMax caps CString scans, as a corrupt guest pointer would otherwise
+// walk the whole mapped address space.
+const cstringMax = 1 << 16
+
+// CString reads a NUL-terminated string at addr. It returns false if the
+// string runs into unmapped memory or no NUL appears within cstringMax
+// bytes. The scan walks whole pages rather than issuing one Load (and one
+// page translation) per byte.
 func (m *Memory) CString(addr uint64) (string, bool) {
 	var out []byte
-	for i := 0; i < 1<<16; i++ {
-		v, ok := m.Load(addr+uint64(i), 1)
-		if !ok {
+	remain := uint64(cstringMax)
+	for remain > 0 {
+		pg, off := m.page(addr, false)
+		if pg == nil {
 			return "", false
 		}
-		if v == 0 {
-			return string(out), true
+		chunk := pg[off:]
+		if uint64(len(chunk)) > remain {
+			chunk = chunk[:remain]
 		}
-		out = append(out, byte(v))
+		if i := bytes.IndexByte(chunk, 0); i >= 0 {
+			return string(append(out, chunk[:i]...)), true
+		}
+		out = append(out, chunk...)
+		addr += uint64(len(chunk))
+		remain -= uint64(len(chunk))
 	}
 	return "", false
 }

@@ -1,0 +1,158 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMappedZeroLength(t *testing.T) {
+	m := NewMemory()
+	if !m.Mapped(0x1234, 0) {
+		t.Fatal("Mapped(addr, 0) = false, want true (empty range)")
+	}
+	if len(m.pages) != 0 {
+		t.Fatalf("Mapped(addr, 0) materialized %d page(s)", len(m.pages))
+	}
+}
+
+func TestMappedOverflow(t *testing.T) {
+	m := NewMemory()
+	last := ^uint64(0)
+
+	// addr+n wraps past zero: must return false, and must terminate.
+	if m.Mapped(last-10, 100) {
+		t.Fatal("Mapped over wrapped range = true, want false")
+	}
+	if m.Mapped(last, 2) {
+		t.Fatal("Mapped(^0, 2) = true, want false")
+	}
+
+	// The very last page of the address space is still usable.
+	m.Map(last&^(pageSize-1), 1)
+	if !m.Mapped(last-10, 11) {
+		t.Fatal("Mapped tail of last page = false, want true")
+	}
+	if !m.Mapped(last, 1) {
+		t.Fatal("Mapped(^0, 1) on mapped page = false, want true")
+	}
+	if m.Mapped(last, 2) {
+		t.Fatal("Mapped(^0, 2) = true, want false (range wraps)")
+	}
+}
+
+func TestMappedSpansPages(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x1000, 2*pageSize)
+	if !m.Mapped(0x1000, 2*pageSize) {
+		t.Fatal("fully mapped range reported unmapped")
+	}
+	if !m.Mapped(0x1000+pageSize-4, 8) {
+		t.Fatal("range straddling two mapped pages reported unmapped")
+	}
+	if m.Mapped(0x1000+2*pageSize-4, 8) {
+		t.Fatal("range leaking past the mapping reported mapped")
+	}
+	if m.Mapped(0x0, 8) {
+		t.Fatal("unmapped low page reported mapped")
+	}
+}
+
+func TestCStringSpansPages(t *testing.T) {
+	m := NewMemory()
+	base := uint64(0x10000)
+	m.Map(base, 2*pageSize)
+	want := strings.Repeat("x", 100) + "end"
+	addr := base + pageSize - 50 // string crosses the page boundary
+	m.WriteBytes(addr, append([]byte(want), 0))
+	got, ok := m.CString(addr)
+	if !ok || got != want {
+		t.Fatalf("CString across pages = %q, %v; want %q, true", got, ok, want)
+	}
+}
+
+func TestCStringUnmapped(t *testing.T) {
+	m := NewMemory()
+	base := uint64(0x10000)
+	m.Map(base, pageSize)
+	// Fill the whole page with non-NUL bytes: the scan must stop at the
+	// unmapped successor page and report failure, not fault or spin.
+	m.WriteBytes(base, []byte(strings.Repeat("a", pageSize)))
+	if s, ok := m.CString(base); ok {
+		t.Fatalf("CString into unmapped page = %q, true; want false", s)
+	}
+	if _, ok := m.CString(0xdead0000); ok {
+		t.Fatal("CString at unmapped address = true, want false")
+	}
+}
+
+func TestCStringLengthCap(t *testing.T) {
+	m := NewMemory()
+	base := uint64(0x10000)
+	m.Map(base, cstringMax+pageSize)
+
+	// NUL at exactly cstringMax-1: longest accepted string.
+	m.WriteBytes(base, []byte(strings.Repeat("a", cstringMax-1)))
+	m.Store(base+cstringMax-1, 0, 1)
+	s, ok := m.CString(base)
+	if !ok || len(s) != cstringMax-1 {
+		t.Fatalf("CString at cap = len %d, %v; want %d, true", len(s), ok, cstringMax-1)
+	}
+
+	// First NUL at cstringMax: over the cap, rejected.
+	m.Store(base+cstringMax-1, 'a', 1)
+	m.Store(base+cstringMax, 0, 1)
+	if s, ok := m.CString(base); ok {
+		t.Fatalf("CString past cap = len %d, true; want false", len(s))
+	}
+}
+
+// TestTLBConflict exercises direct-mapped TLB eviction: two pages whose
+// page numbers collide in the same TLB slot, accessed alternately.
+func TestTLBConflict(t *testing.T) {
+	m := NewMemory()
+	a := uint64(0x100000)
+	b := a + tlbSize*pageSize // same slot index as a
+	m.Map(a, pageSize)
+	m.Map(b, pageSize)
+	for i := 0; i < 8; i++ {
+		m.Store(a+8, uint64(100+i), 8)
+		m.Store(b+8, uint64(200+i), 8)
+		va, ok := m.Load(a+8, 8)
+		if !ok || va != uint64(100+i) {
+			t.Fatalf("iter %d: page a read %d, %v; want %d", i, va, ok, 100+i)
+		}
+		vb, ok := m.Load(b+8, 8)
+		if !ok || vb != uint64(200+i) {
+			t.Fatalf("iter %d: page b read %d, %v; want %d", i, vb, ok, 200+i)
+		}
+	}
+}
+
+// TestWriteWatch pins the code-write watch plumbing the instruction cache
+// relies on: page-granular callbacks for watched ranges, no callbacks for
+// writes outside them, and straddling writes reported once per page.
+func TestWriteWatch(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x1000, 4*pageSize)
+	var hits []uint64
+	m.watchWrites([][2]uint64{{0x2000, 0x4000}}, func(pageBase uint64) {
+		hits = append(hits, pageBase)
+	})
+
+	m.Store(0x1000, 1, 8) // below the watched range
+	if len(hits) != 0 {
+		t.Fatalf("unwatched store fired %v", hits)
+	}
+	m.Store(0x2008, 1, 8) // inside
+	m.WriteBytes(0x2ffc, make([]byte, 8)) // straddles 0x2000->0x3000
+	m.Store(0x4800, 1, 8) // above
+	want := []uint64{0x2000, 0x2000, 0x3000}
+	if len(hits) != len(want) {
+		t.Fatalf("watch hits = %v, want %v", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("watch hits = %v, want %v", hits, want)
+		}
+	}
+}

@@ -98,15 +98,47 @@ func (t *Thread) Eval(cc mx.Cond) bool {
 func sx8(v uint64) uint64  { return uint64(int64(int8(v))) }
 func sx32(v uint64) uint64 { return uint64(int64(int32(v))) }
 
+// ea computes inst's base+disp effective address.
+func (t *Thread) ea(inst *mx.Inst) uint64 {
+	return t.Regs[inst.Base] + uint64(int64(inst.Disp))
+}
+
+// eaIdx computes inst's base+idx*scale+disp effective address.
+func (t *Thread) eaIdx(inst *mx.Inst) uint64 {
+	return t.Regs[inst.Base] + t.Regs[inst.Idx]*uint64(inst.Scale) + uint64(int64(inst.Disp))
+}
+
+// loadMem and storeMem are the fault-reporting memory accessors of the step
+// loop (hoisted from per-step closures so that stepping allocates nothing).
+
+func (m *Machine) loadMem(t *Thread, pc, addr uint64, w int, sext bool) (uint64, bool) {
+	v, ok := m.Mem.Load(addr, w)
+	if !ok {
+		m.faultf(t, pc, "load from unmapped address %#x", addr)
+		return 0, false
+	}
+	if sext && w == 4 {
+		v = sx32(v)
+	}
+	return v, true
+}
+
+func (m *Machine) storeMem(t *Thread, pc, addr, v uint64, w int) bool {
+	if !m.Mem.Store(addr, v, w) {
+		m.faultf(t, pc, "store to unmapped address %#x", addr)
+		return false
+	}
+	return true
+}
+
 // stepThread executes one instruction on t.
 func (m *Machine) stepThread(t *Thread) {
 	pc := t.PC
-	code, ok := m.fetch(pc)
+	inst, n, ok := m.fetchInst(pc)
 	if !ok {
 		m.faultf(t, pc, "instruction fetch from unmapped or non-executable memory")
 		return
 	}
-	inst, n := mx.Decode(code)
 	if inst.Op == mx.BAD {
 		m.faultf(t, pc, "illegal instruction")
 		return
@@ -116,29 +148,6 @@ func (m *Machine) stepThread(t *Thread) {
 	next := pc + uint64(n)
 	t.PC = next // default; control flow overrides
 
-	ea := func() uint64 { return t.Regs[inst.Base] + uint64(int64(inst.Disp)) }
-	eaIdx := func() uint64 {
-		return t.Regs[inst.Base] + t.Regs[inst.Idx]*uint64(inst.Scale) + uint64(int64(inst.Disp))
-	}
-	load := func(addr uint64, w int, sext bool) (uint64, bool) {
-		v, ok := m.Mem.Load(addr, w)
-		if !ok {
-			m.faultf(t, pc, "load from unmapped address %#x", addr)
-			return 0, false
-		}
-		if sext && w == 4 {
-			v = sx32(v)
-		}
-		return v, true
-	}
-	store := func(addr, v uint64, w int) bool {
-		if !m.Mem.Store(addr, v, w) {
-			m.faultf(t, pc, "store to unmapped address %#x", addr)
-			return false
-		}
-		return true
-	}
-
 	switch inst.Op {
 	case mx.NOP:
 	case mx.MOVRR:
@@ -146,51 +155,51 @@ func (m *Machine) stepThread(t *Thread) {
 	case mx.MOVRI:
 		t.Regs[inst.Dst] = uint64(inst.Imm)
 	case mx.LEA:
-		t.Regs[inst.Dst] = ea()
+		t.Regs[inst.Dst] = t.ea(inst)
 	case mx.LEAIDX:
-		t.Regs[inst.Dst] = eaIdx()
+		t.Regs[inst.Dst] = t.eaIdx(inst)
 	case mx.LOAD8:
-		if v, ok := load(ea(), 1, false); ok {
+		if v, ok := m.loadMem(t, pc,t.ea(inst), 1, false); ok {
 			t.Regs[inst.Dst] = v
 		}
 	case mx.LOAD32:
-		if v, ok := load(ea(), 4, true); ok {
+		if v, ok := m.loadMem(t, pc,t.ea(inst), 4, true); ok {
 			t.Regs[inst.Dst] = v
 		}
 	case mx.LOAD64:
-		if v, ok := load(ea(), 8, false); ok {
+		if v, ok := m.loadMem(t, pc,t.ea(inst), 8, false); ok {
 			t.Regs[inst.Dst] = v
 		}
 	case mx.STORE8:
-		store(ea(), t.Regs[inst.Dst], 1)
+		m.storeMem(t, pc,t.ea(inst), t.Regs[inst.Dst], 1)
 	case mx.STORE32:
-		store(ea(), t.Regs[inst.Dst], 4)
+		m.storeMem(t, pc,t.ea(inst), t.Regs[inst.Dst], 4)
 	case mx.STORE64:
-		store(ea(), t.Regs[inst.Dst], 8)
+		m.storeMem(t, pc,t.ea(inst), t.Regs[inst.Dst], 8)
 	case mx.STOREI8:
-		store(ea(), uint64(inst.Imm), 1)
+		m.storeMem(t, pc,t.ea(inst), uint64(inst.Imm), 1)
 	case mx.STOREI32:
-		store(ea(), uint64(inst.Imm), 4)
+		m.storeMem(t, pc,t.ea(inst), uint64(inst.Imm), 4)
 	case mx.STOREI64:
-		store(ea(), uint64(inst.Imm), 8)
+		m.storeMem(t, pc,t.ea(inst), uint64(inst.Imm), 8)
 	case mx.LOADIDX8:
-		if v, ok := load(eaIdx(), 1, false); ok {
+		if v, ok := m.loadMem(t, pc,t.eaIdx(inst), 1, false); ok {
 			t.Regs[inst.Dst] = v
 		}
 	case mx.LOADIDX32:
-		if v, ok := load(eaIdx(), 4, true); ok {
+		if v, ok := m.loadMem(t, pc,t.eaIdx(inst), 4, true); ok {
 			t.Regs[inst.Dst] = v
 		}
 	case mx.LOADIDX64:
-		if v, ok := load(eaIdx(), 8, false); ok {
+		if v, ok := m.loadMem(t, pc,t.eaIdx(inst), 8, false); ok {
 			t.Regs[inst.Dst] = v
 		}
 	case mx.STOREIDX8:
-		store(eaIdx(), t.Regs[inst.Dst], 1)
+		m.storeMem(t, pc,t.eaIdx(inst), t.Regs[inst.Dst], 1)
 	case mx.STOREIDX32:
-		store(eaIdx(), t.Regs[inst.Dst], 4)
+		m.storeMem(t, pc,t.eaIdx(inst), t.Regs[inst.Dst], 4)
 	case mx.STOREIDX64:
-		store(eaIdx(), t.Regs[inst.Dst], 8)
+		m.storeMem(t, pc,t.eaIdx(inst), t.Regs[inst.Dst], 8)
 
 	case mx.ADDRR, mx.ADDRI:
 		a := t.Regs[inst.Dst]
@@ -361,8 +370,8 @@ func (m *Machine) stepThread(t *Thread) {
 		}
 
 	case mx.LOCKADD, mx.LOCKSUB, mx.LOCKAND, mx.LOCKOR, mx.LOCKXOR:
-		addr := ea()
-		old, ok := load(addr, 8, false)
+		addr := t.ea(inst)
+		old, ok := m.loadMem(t, pc,addr, 8, false)
 		if !ok {
 			return
 		}
@@ -380,58 +389,58 @@ func (m *Machine) stepThread(t *Thread) {
 		case mx.LOCKXOR:
 			r = old ^ s
 		}
-		if !store(addr, r, 8) {
+		if !m.storeMem(t, pc,addr, r, 8) {
 			return
 		}
 		t.setZS(r)
 	case mx.LOCKXADD:
-		addr := ea()
-		old, ok := load(addr, 8, false)
+		addr := t.ea(inst)
+		old, ok := m.loadMem(t, pc,addr, 8, false)
 		if !ok {
 			return
 		}
-		if !store(addr, old+t.Regs[inst.Dst], 8) {
+		if !m.storeMem(t, pc,addr, old+t.Regs[inst.Dst], 8) {
 			return
 		}
 		t.Regs[inst.Dst] = old
 	case mx.LOCKINC:
-		addr := ea()
-		old, ok := load(addr, 8, false)
+		addr := t.ea(inst)
+		old, ok := m.loadMem(t, pc,addr, 8, false)
 		if !ok {
 			return
 		}
-		if !store(addr, old+1, 8) {
+		if !m.storeMem(t, pc,addr, old+1, 8) {
 			return
 		}
 		t.setZS(old + 1)
 	case mx.LOCKDEC:
-		addr := ea()
-		old, ok := load(addr, 8, false)
+		addr := t.ea(inst)
+		old, ok := m.loadMem(t, pc,addr, 8, false)
 		if !ok {
 			return
 		}
-		if !store(addr, old-1, 8) {
+		if !m.storeMem(t, pc,addr, old-1, 8) {
 			return
 		}
 		t.setZS(old - 1)
 	case mx.XCHG:
-		addr := ea()
-		old, ok := load(addr, 8, false)
+		addr := t.ea(inst)
+		old, ok := m.loadMem(t, pc,addr, 8, false)
 		if !ok {
 			return
 		}
-		if !store(addr, t.Regs[inst.Dst], 8) {
+		if !m.storeMem(t, pc,addr, t.Regs[inst.Dst], 8) {
 			return
 		}
 		t.Regs[inst.Dst] = old
 	case mx.CMPXCHG:
-		addr := ea()
-		old, ok := load(addr, 8, false)
+		addr := t.ea(inst)
+		old, ok := m.loadMem(t, pc,addr, 8, false)
 		if !ok {
 			return
 		}
 		if old == t.Regs[mx.RAX] {
-			if !store(addr, t.Regs[inst.Dst], 8) {
+			if !m.storeMem(t, pc,addr, t.Regs[inst.Dst], 8) {
 				return
 			}
 			t.ZF = true
@@ -446,18 +455,18 @@ func (m *Machine) stepThread(t *Thread) {
 		t.Regs[inst.Dst] = t.TLS
 
 	case mx.VLOAD:
-		addr := ea()
+		addr := t.ea(inst)
 		for l := 0; l < mx.VectorWidth; l++ {
-			v, ok := load(addr+uint64(l*8), 8, false)
+			v, ok := m.loadMem(t, pc,addr+uint64(l*8), 8, false)
 			if !ok {
 				return
 			}
 			t.VRegs[inst.Dst][l] = v
 		}
 	case mx.VSTORE:
-		addr := ea()
+		addr := t.ea(inst)
 		for l := 0; l < mx.VectorWidth; l++ {
-			if !store(addr+uint64(l*8), t.VRegs[inst.Dst][l], 8) {
+			if !m.storeMem(t, pc,addr+uint64(l*8), t.VRegs[inst.Dst][l], 8) {
 				return
 			}
 		}
@@ -489,7 +498,7 @@ func (m *Machine) stepThread(t *Thread) {
 	}
 }
 
-func (m *Machine) aluSrc(t *Thread, inst mx.Inst) uint64 {
+func (m *Machine) aluSrc(t *Thread, inst *mx.Inst) uint64 {
 	if mx.LayoutOf(inst.Op) == mx.LayoutRI {
 		return uint64(inst.Imm)
 	}
@@ -513,16 +522,6 @@ func (m *Machine) pop(t *Thread) (uint64, bool) {
 	}
 	t.Regs[mx.RSP] += 8
 	return v, true
-}
-
-// fetch returns the code bytes at pc, or nil if pc is not executable.
-func (m *Machine) fetch(pc uint64) ([]byte, bool) {
-	s := m.Img.FindSection(pc)
-	if s == nil || !s.Exec {
-		return nil, false
-	}
-	off := pc - s.Addr
-	return s.Data[off:], true
 }
 
 // resumeHostFrame re-enters the topmost suspended host state machine.

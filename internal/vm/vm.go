@@ -137,6 +137,14 @@ type Machine struct {
 	cycles uint64
 	insts  uint64
 
+	// predecoded instruction cache (icache.go). icBase/icPage are the
+	// last-fetched page, the common case of straight-line execution.
+	nocache      bool
+	icache       map[uint64]*codePage
+	icBase       uint64
+	icPage       *codePage
+	uncachedInst mx.Inst // decode target of the -nocache fetch path
+
 	Out   bytes.Buffer
 	input []byte // consumed by input externals
 
@@ -207,6 +215,19 @@ func NewWithExts(img *image.Image, seed int64, exts map[string]ExtFunc) (*Machin
 			m.Mem.Map(s.Addr, s.Size)
 		}
 	}
+	// Instruction fetch decodes from guest memory (loaded above), so guest
+	// stores into code pages are architecturally visible; watch the
+	// executable ranges so such stores invalidate the predecode cache.
+	m.nocache = NoCacheDefault
+	m.icache = map[uint64]*codePage{}
+	m.icBase = noPage
+	var execRanges [][2]uint64
+	for _, s := range img.Sections {
+		if s.Exec && s.Size > 0 {
+			execRanges = append(execRanges, [2]uint64{s.Addr, s.Addr + s.Size})
+		}
+	}
+	m.Mem.watchWrites(execRanges, m.invalidateCode)
 	m.tlsNext = image.HeapBase + (1 << 28)
 	if err := m.bindImports(); err != nil {
 		return nil, err
