@@ -2,15 +2,19 @@
 //
 // Usage:
 //
-//	polybench -table 1|2|3|4|5 [-j N]
-//	polybench -figure 4 [-j N]
-//	polybench -all [-j N]
+//	polybench -table 1|2|3|4|5 [-j N] [-jpipe N]
+//	polybench -figure 4 [-j N] [-jpipe N]
+//	polybench -all [-j N] [-jpipe N]
 //
 // -j sets how many pipeline cells run concurrently (default
-// runtime.NumCPU(); -j 1 is the historical fully serial run). The table
-// text on stdout is byte-identical at any -j; a per-table pipeline-stats
-// footer (stage times, cells run/failed, wall clock) goes to stderr so
-// stdout stays diffable.
+// runtime.NumCPU(); -j 1 is the historical fully serial run). -jpipe sets
+// how many functions each recompile lifts and optimizes concurrently
+// (default runtime.NumCPU(); -jpipe 1 is the historical serial pipeline) —
+// recompiled bytes are identical at any -jpipe, see DESIGN.md §3. The table
+// text on stdout is byte-identical at any -j/-jpipe; a per-table
+// pipeline-stats footer (stage times, lift+opt wall clock, function-cache
+// hits/misses, cells run/failed, wall clock) goes to stderr so stdout stays
+// diffable.
 //
 // -nocache disables the interpreter's predecoded instruction cache (the
 // differential-testing escape hatch; output is identical, only slower).
@@ -34,6 +38,7 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate figure N (4)")
 	all := flag.Bool("all", false, "regenerate everything")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent pipeline cells (1 = serial)")
+	jpipe := flag.Int("jpipe", runtime.NumCPU(), "concurrent per-recompile function lifts/optimizations (1 = serial)")
 	nocache := flag.Bool("nocache", false, "disable the VM predecoded instruction cache")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to `file`")
@@ -70,17 +75,18 @@ func main() {
 	}()
 
 	h := bench.NewHarness(*jobs)
+	h.SetPipelineWorkers(*jpipe)
 	run := func(name string, f func() (string, error)) {
 		fmt.Printf("==== %s ====\n", name)
 		h.ResetStats()
 		txt, err := f()
 		if err != nil {
-			fmt.Fprint(os.Stderr, h.Stats().Footer(name, h.Workers()))
+			fmt.Fprint(os.Stderr, h.Stats().Footer(name, h.Workers(), h.PipelineWorkers()))
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Println(txt)
-		fmt.Fprint(os.Stderr, h.Stats().Footer(name, h.Workers()))
+		fmt.Fprint(os.Stderr, h.Stats().Footer(name, h.Workers(), h.PipelineWorkers()))
 	}
 
 	want := func(n int, kind string) bool {

@@ -59,6 +59,14 @@ func Table5() ([]CKitRow, string, error) { return NewHarness(0).Table5() }
 // Figure4 compares additive vs incremental lifting.
 func Figure4() ([]Fig4Point, string, error) { return NewHarness(0).Figure4() }
 
+// coreOptions returns the project options every harness cell uses: the
+// defaults plus the harness's configured pipeline width.
+func (h *Harness) coreOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Workers = h.pipeWorkers
+	return o
+}
+
 // runOnce executes img with the workload's input and returns the result.
 func runOnce(w *workloads.Workload, img *image.Image) (vm.Result, error) {
 	return w.Run(img, Fuel)
@@ -87,7 +95,7 @@ func (h *Harness) recompileOpts(w *workloads.Workload, ccOpt int, fenceOpt, prun
 	if err != nil {
 		return nil, nil, false, err
 	}
-	p, err := core.NewProject(img, core.DefaultOptions())
+	p, err := core.NewProject(img, h.coreOptions())
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -475,7 +483,7 @@ func (h *Harness) Table4() ([]LiftRow, string, error) {
 		row.Name = w.Name
 
 		// Polynima: disassemble + ICFT trace + lift + optimize + lower.
-		p, err := core.NewProject(img, core.DefaultOptions())
+		p, err := core.NewProject(img, h.coreOptions())
 		if err != nil {
 			return err
 		}
@@ -638,7 +646,7 @@ func (h *Harness) Figure4() ([]Fig4Point, string, error) {
 	// Additive session: one project; the "test input" establishes the
 	// baseline recompiled binary, then each input runs natively and only
 	// misses trigger recompilation loops.
-	p, err := core.NewProject(img, core.DefaultOptions())
+	p, err := core.NewProject(img, h.coreOptions())
 	if err != nil {
 		return nil, "", err
 	}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/image"
+)
+
+// pipeBenchEntries collects the latest measurement per (name, mode);
+// TestMain serializes them to BENCH_pipeline.json after the benchmarks run.
+var (
+	pipeBenchMu      sync.Mutex
+	pipeBenchEntries = map[string]PipelineBenchEntry{}
+)
+
+func recordPipeBench(e PipelineBenchEntry) {
+	pipeBenchMu.Lock()
+	defer pipeBenchMu.Unlock()
+	// testing.B re-runs each benchmark with increasing b.N; keep only the
+	// final (largest, most precise) measurement per variant.
+	pipeBenchEntries[e.Name+"/"+e.Mode] = e
+}
+
+// pipeBenchSrc builds the pipeline benchmark workload: nDirect statically
+// reachable worker functions (real lift/optimize load for the full-recompile
+// paths) plus nHandlers address-taken handlers dispatched through a function
+// pointer table — each handler is unknown statically, so an input of k
+// distinct letters drives k additive-lifting loops.
+func pipeBenchSrc(nDirect, nHandlers int) string {
+	var b strings.Builder
+	b.WriteString("extern input_byte;\n")
+	for i := 0; i < nDirect; i++ {
+		fmt.Fprintf(&b,
+			"func w%d(x) { var i; var s = x + %d; var t = x * %d; for (i = 0; i < 12; i = i + 1) { s = s + i * %d; t = t + s / 3; s = s - t / 5 + (s - i) * 2; } return s + t; }\n",
+			i, i, i+2, i+1)
+	}
+	for i := 0; i < nHandlers; i++ {
+		fmt.Fprintf(&b,
+			"func h%d(x) { var i; var s = x + %d; for (i = 0; i < 6; i = i + 1) { s = s * 3 - i; } return s; }\n",
+			i, i)
+	}
+	fmt.Fprintf(&b, "var table[%d];\n", nHandlers)
+	// The direct workload lives in compute(), whose fingerprint never
+	// changes across additive loops — main, which owns the missing dispatch
+	// site and re-lifts every loop, stays small.
+	b.WriteString("func compute() {\n\tvar sum = 0;\n")
+	for i := 0; i < nDirect; i++ {
+		fmt.Fprintf(&b, "\tsum = sum + w%d(%d);\n", i, i)
+	}
+	b.WriteString("\treturn sum;\n}\n")
+	b.WriteString("func main() {\n")
+	for i := 0; i < nHandlers; i++ {
+		fmt.Fprintf(&b, "\tstore64(table + %d, h%d);\n", i*8, i)
+	}
+	b.WriteString(`	var sum = compute();
+	var c = input_byte();
+	while (c != -1) {
+		var f = load64(table + (c - 'a') * 8);
+		sum = sum + f(c);
+		c = input_byte();
+	}
+	return sum % 256;
+}`)
+	return b.String()
+}
+
+func pipeBenchImage(tb testing.TB) *image.Image {
+	tb.Helper()
+	img, _, err := cc.Compile(pipeBenchSrc(32, 12), cc.Config{Name: "pipebench", Opt: 2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return img
+}
+
+// pipeMode is one pipeline configuration under benchmark.
+type pipeMode struct {
+	name    string
+	workers int  // core.Options.Workers (0 = NumCPU)
+	cache   bool // content-addressed function cache on
+}
+
+var pipeModes = []pipeMode{
+	{PipeModeSerial, 1, false},
+	{PipeModeParallel, 0, false}, // fan-out only; every iteration lifts cold
+	{PipeModeCached, 0, true},
+}
+
+func (m pipeMode) options() core.Options {
+	o := core.DefaultOptions()
+	o.Workers = m.workers
+	o.NoFuncCache = !m.cache
+	return o
+}
+
+func (m pipeMode) effectiveWorkers(h *Harness) int {
+	if m.workers > 0 {
+		return m.workers
+	}
+	return h.PipelineWorkers()
+}
+
+// BenchmarkRecompile measures one full Recompile under each pipeline mode:
+// serial (-jpipe 1, cache off), parallel (-jpipe NumCPU, cold), and
+// cache-warm (every function replayed from the content-addressed cache). The
+// parallel and cached speedups over serial are the headline numbers of
+// BENCH_pipeline.json.
+func BenchmarkRecompile(b *testing.B) {
+	img := pipeBenchImage(b)
+	h := NewHarness(0)
+	for _, mode := range pipeModes {
+		b.Run(mode.name, func(b *testing.B) {
+			p, err := core.NewProject(img, mode.options())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode.name == PipeModeCached {
+				// Warm the cache outside the timed region.
+				if _, err := p.Recompile(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Recompile(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			recordPipeBench(PipelineBenchEntry{
+				Name:        "Recompile",
+				Mode:        mode.name,
+				Workers:     mode.effectiveWorkers(h),
+				Funcs:       p.Stats.Funcs,
+				CacheHits:   p.Stats.CacheHits,
+				CacheMisses: p.Stats.CacheMisses,
+				Seconds:     elapsed.Seconds() / float64(b.N),
+			})
+		})
+	}
+}
+
+// BenchmarkAdditiveLoop measures a full additive-lifting session — twelve
+// statically unknown handlers, so twelve miss→integrate→recompile loops —
+// under the serial full-recompile baseline and the cached incremental
+// pipeline. This is the ISSUE's headline comparison: the incremental loop
+// re-lifts only what each discovery touched, so its speedup over serial
+// full-recompiles must be large (>= 2x is the acceptance bar).
+func BenchmarkAdditiveLoop(b *testing.B) {
+	img := pipeBenchImage(b)
+	h := NewHarness(0)
+	in := core.Input{Data: []byte("abcdefghijkl"), Seed: 1}
+	for _, mode := range []pipeMode{
+		{PipeModeSerial, 1, false},
+		{PipeModeCached, 0, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last *core.Project
+			var recompiles int
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				// The additive loop mutates the CFG, so every iteration
+				// starts from a fresh project (disasm included, both modes).
+				p, err := core.NewProject(img, mode.options())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.RunAdditive(in, 32)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last, recompiles = p, res.Recompiles
+			}
+			elapsed := time.Since(start)
+			recordPipeBench(PipelineBenchEntry{
+				Name:        "AdditiveLoop",
+				Mode:        mode.name,
+				Workers:     mode.effectiveWorkers(h),
+				Funcs:       last.Stats.Funcs,
+				Recompiles:  recompiles,
+				CacheHits:   last.Stats.CacheHits,
+				CacheMisses: last.Stats.CacheMisses,
+				Seconds:     elapsed.Seconds() / float64(b.N),
+			})
+		})
+	}
+}
+
+func TestPipelineBenchReportSpeedups(t *testing.T) {
+	r := NewPipelineBenchReport([]PipelineBenchEntry{
+		{Name: "Recompile", Mode: PipeModeCached, Seconds: 0.25},
+		{Name: "Recompile", Mode: PipeModeSerial, Seconds: 1.0},
+		{Name: "Recompile", Mode: PipeModeParallel, Seconds: 0.5},
+		{Name: "Orphan", Mode: PipeModeParallel, Seconds: 0.5}, // no serial baseline
+	})
+	if got := len(r.Speedups); got != 2 {
+		t.Fatalf("speedups = %v, want 2 entries", r.Speedups)
+	}
+	if s := r.Speedups["Recompile/parallel"]; math.Abs(s-2.0) > 1e-12 {
+		t.Errorf("parallel speedup = %v, want 2.0", s)
+	}
+	if s := r.Speedups["Recompile/cached"]; math.Abs(s-4.0) > 1e-12 {
+		t.Errorf("cached speedup = %v, want 4.0", s)
+	}
+	// Deterministic ordering: by name, then mode.
+	for i := 1; i < len(r.Benchmarks); i++ {
+		a, b := r.Benchmarks[i-1], r.Benchmarks[i]
+		if a.Name > b.Name || (a.Name == b.Name && a.Mode > b.Mode) {
+			t.Fatalf("benchmarks not sorted: %v before %v", a, b)
+		}
+	}
+}
+
+// TestMain emits BENCH_pipeline.json when the pipeline benchmarks ran (the
+// file lands in this package directory, the test binary's working
+// directory). Plain `go test` runs record nothing and write nothing.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	pipeBenchMu.Lock()
+	entries := make([]PipelineBenchEntry, 0, len(pipeBenchEntries))
+	for _, e := range pipeBenchEntries {
+		entries = append(entries, e)
+	}
+	pipeBenchMu.Unlock()
+	if len(entries) > 0 {
+		if err := WritePipelineBench("BENCH_pipeline.json", entries); err != nil {
+			os.Stderr.WriteString("BENCH_pipeline.json: " + err.Error() + "\n")
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}

@@ -19,7 +19,12 @@ import (
 // in index order and the first failure stops the table.
 type Harness struct {
 	workers int
-	stats   StageStats
+	// pipeWorkers is the per-recompile pipeline width (core.Options.Workers,
+	// cmd/polybench's -jpipe): how many functions one cell lifts/optimizes
+	// concurrently. 0 = runtime.NumCPU(), 1 = the historical serial
+	// pipeline. Orthogonal to workers, which fans out whole cells.
+	pipeWorkers int
+	stats       StageStats
 }
 
 // NewHarness returns a harness running up to workers concurrent cells;
@@ -33,6 +38,18 @@ func NewHarness(workers int) *Harness {
 
 // Workers reports the worker-pool width.
 func (h *Harness) Workers() int { return h.workers }
+
+// SetPipelineWorkers sets the per-recompile pipeline width used by every
+// project the harness builds (0 = runtime.NumCPU(), 1 = serial).
+func (h *Harness) SetPipelineWorkers(n int) { h.pipeWorkers = n }
+
+// PipelineWorkers reports the effective per-recompile pipeline width.
+func (h *Harness) PipelineWorkers() int {
+	if h.pipeWorkers <= 0 {
+		return runtime.NumCPU()
+	}
+	return h.pipeWorkers
+}
 
 // forEach runs f(i) for every i in [0,n), at most h.workers cells at a
 // time, and accounts every executed cell in the harness stats.

@@ -21,9 +21,17 @@ type StageStats struct {
 // StageSnapshot is a plain, copyable view of the aggregated statistics.
 type StageSnapshot struct {
 	Disasm, Trace, Lift, Opt, Lower time.Duration
-	TraceInsts                      uint64 // guest instructions executed by the ICFT tracer
-	Cells, Failed                   int
-	Wall                            time.Duration // wall clock of the table/figure runs
+	// LiftOptWall is the wall clock of the (parallel) lift+optimize
+	// sections; with several pipeline workers it sits well below Lift+Opt,
+	// which sum per-function CPU time.
+	LiftOptWall time.Duration
+	// CacheHits/CacheMisses aggregate function-cache outcomes: a hit
+	// replayed a cached optimized body, a miss lifted and optimized the
+	// function from scratch.
+	CacheHits, CacheMisses int
+	TraceInsts             uint64 // guest instructions executed by the ICFT tracer
+	Cells, Failed          int
+	Wall                   time.Duration // wall clock of the table/figure runs
 }
 
 // absorb adds one project's stage timings. The calling cell owns p and its
@@ -36,6 +44,9 @@ func (st *StageStats) absorb(p *core.Project) {
 	st.s.Lift += p.Stats.LiftTime
 	st.s.Opt += p.Stats.OptTime
 	st.s.Lower += p.Stats.LowerTime
+	st.s.LiftOptWall += p.Stats.LiftOptWall
+	st.s.CacheHits += p.Stats.CacheHits
+	st.s.CacheMisses += p.Stats.CacheMisses
 	st.s.TraceInsts += p.Stats.TraceInsts
 }
 
@@ -82,14 +93,19 @@ func (s StageSnapshot) PipelineTotal() time.Duration {
 }
 
 // Footer renders the per-table profiler block. cmd/polybench prints it to
-// stderr so stdout stays byte-identical across worker counts.
-func (s StageSnapshot) Footer(name string, workers int) string {
+// stderr so stdout stays byte-identical across worker counts. cellWorkers is
+// the harness cell-pool width (-j); pipeWorkers the per-recompile pipeline
+// width (-jpipe).
+func (s StageSnapshot) Footer(name string, cellWorkers, pipeWorkers int) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "-- pipeline stats: %s (%d worker(s)) --\n", name, workers)
+	fmt.Fprintf(&sb, "-- pipeline stats: %s (%d cell worker(s), %d pipeline worker(s)) --\n",
+		name, cellWorkers, pipeWorkers)
 	fmt.Fprintf(&sb, "cells run %d, failed %d\n", s.Cells, s.Failed)
 	fmt.Fprintf(&sb, "disasm %s | trace %s | lift %s | opt %s | lower %s | stage total %s\n",
 		roundDur(s.Disasm), roundDur(s.Trace), roundDur(s.Lift),
 		roundDur(s.Opt), roundDur(s.Lower), roundDur(s.PipelineTotal()))
+	fmt.Fprintf(&sb, "lift+opt wall %s | func cache hits %d, misses %d\n",
+		roundDur(s.LiftOptWall), s.CacheHits, s.CacheMisses)
 	fmt.Fprintf(&sb, "guest instructions traced %d\n", s.TraceInsts)
 	fmt.Fprintf(&sb, "wall %s\n", roundDur(s.Wall))
 	return sb.String()

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/cfg"
+	"repro/internal/image"
+	"repro/internal/ir"
+	"repro/internal/lifter"
+)
+
+// funcCache is the content-addressed function cache behind incremental
+// recompilation. An entry holds one function's fully lifted-and-optimized
+// body, keyed by a fingerprint of everything that body depends on: the
+// function's machine-code bytes, its per-function CFG shape (block extents,
+// terminators, target sets, fallthroughs), whether each outgoing target
+// resolves to a known function entry, and the lifter/optimizer options in
+// effect. A recompile after an additive discovery therefore re-lifts and
+// re-optimizes only the functions whose fingerprint changed — integrating a
+// new indirect target perturbs exactly the owning function's target set —
+// and replays every other body from cache by cloning it into the fresh
+// module skeleton.
+//
+// Invalidation is implicit: a changed function hashes to a new key, so its
+// stale entry simply stops being referenced. endGen prunes entries that went
+// unused for a full generation, bounding the cache to roughly one body per
+// live function.
+//
+// Cached bodies are detached clones referencing name-only stub globals and
+// functions, so an entry retains no previous module (modules are consumed by
+// lowering's phi destruction and must not leak through cache references).
+type funcCache struct {
+	mu      sync.Mutex
+	entries map[[32]byte]*cacheEntry
+	// stub objects stand in for cross-references inside detached bodies;
+	// replay resolves them by name against the destination module.
+	stubGlobals map[string]*ir.Global
+	stubFuncs   map[string]*ir.Func
+	gen         int
+}
+
+type cacheEntry struct {
+	fn      *ir.Func // detached optimized body
+	sites   int      // lift-time site count (pre-optimization), for FinalizeSites
+	lastGen int
+}
+
+func newFuncCache() *funcCache {
+	return &funcCache{
+		entries:     map[[32]byte]*cacheEntry{},
+		stubGlobals: map[string]*ir.Global{},
+		stubFuncs:   map[string]*ir.Func{},
+	}
+}
+
+// beginGen opens a recompile generation; entries replayed or stored during
+// it are marked live.
+func (c *funcCache) beginGen() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+}
+
+// endGen evicts every entry that was neither replayed nor stored in the
+// generation that just completed (its function changed shape or vanished).
+func (c *funcCache) endGen() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if e.lastGen < c.gen {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// len reports the number of live entries (tests, diagnostics).
+func (c *funcCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// put stores f (an optimized body still wired into its module) under key as
+// a detached clone. sites is the lift-time site count of the body.
+func (c *funcCache) put(key [32]byte, f *ir.Func, sites int) {
+	det := &ir.Func{Name: f.Name}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ir.CloneFuncInto(det, f, c.stubGlobal, c.stubFunc)
+	c.entries[key] = &cacheEntry{fn: det, sites: sites, lastGen: c.gen}
+}
+
+// replay clones the cached body for key into the skeleton function for
+// entry, resolving stub references against lf's module. It reports the
+// body's lift-time site count and whether the cache had the key.
+func (c *funcCache) replay(key [32]byte, lf *lifter.Lifted, entry uint64) (int, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		e.lastGen = c.gen
+	}
+	c.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	dst := lf.FuncByAddr[entry]
+	ir.CloneFuncInto(dst, e.fn,
+		func(g *ir.Global) *ir.Global { return lf.Mod.Global(g.Name) },
+		func(f *ir.Func) *ir.Func { return lf.Mod.Func(f.Name) })
+	return e.sites, true
+}
+
+func (c *funcCache) stubGlobal(g *ir.Global) *ir.Global {
+	s, ok := c.stubGlobals[g.Name]
+	if !ok {
+		s = &ir.Global{Name: g.Name}
+		c.stubGlobals[g.Name] = s
+	}
+	return s
+}
+
+func (c *funcCache) stubFunc(f *ir.Func) *ir.Func {
+	s, ok := c.stubFuncs[f.Name]
+	if !ok {
+		s = &ir.Func{Name: f.Name}
+		c.stubFuncs[f.Name] = s
+	}
+	return s
+}
+
+// cacheKeyOpts packs every pipeline option that changes what a lifted and
+// optimized body looks like. Worker count is deliberately absent: output is
+// independent of -jpipe by the determinism contract (DESIGN.md §3).
+type cacheKeyOpts struct {
+	insertFences bool
+	naiveAtomics bool
+	optimize     bool
+	verifyIR     bool
+	removeFences bool
+}
+
+func (k cacheKeyOpts) bits() byte {
+	var b byte
+	if k.insertFences {
+		b |= 1
+	}
+	if k.naiveAtomics {
+		b |= 2
+	}
+	if k.optimize {
+		b |= 4
+	}
+	if k.verifyIR {
+		b |= 8
+	}
+	if k.removeFences {
+		b |= 16
+	}
+	return b
+}
+
+// fingerprintFunc computes the content-addressed cache key for cf.
+//
+// Everything the lifter reads when translating cf is folded in: the raw
+// machine bytes of every block (hence any byte-level patch re-lifts), the
+// block list itself (addresses, sizes, terminator kinds, fallthroughs,
+// import indexes), the indirect/direct target sets in their dispatch order,
+// and — because translating a transfer depends on whether its target is a
+// known function entry (call vs. control-flow-miss) — one resolution bit per
+// target against isFunc, the current set of function entries. Per-function
+// CFG membership (which blocks belong to cf, used for intra-function
+// dispatch) is covered by hashing cf.Blocks in order.
+func fingerprintFunc(img *image.Image, g *cfg.Graph, cf *cfg.Func, isFunc map[uint64]bool, opts cacheKeyOpts) [32]byte {
+	h := sha256.New()
+	var w [8]byte
+	u64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(w[:], x)
+		h.Write(w[:])
+	}
+	h.Write([]byte{opts.bits()})
+	u64(cf.Entry)
+	u64(uint64(len(cf.Blocks)))
+	for _, ba := range cf.Blocks {
+		b := g.Blocks[ba]
+		if b == nil {
+			u64(ba)
+			u64(^uint64(0))
+			continue
+		}
+		u64(b.Addr)
+		u64(b.Size)
+		h.Write([]byte(b.Term))
+		u64(b.Fall)
+		u64(uint64(b.Ext))
+		if sec := img.FindSection(b.Addr); sec != nil && sec.Data != nil {
+			off := b.Addr - sec.Addr
+			if end := off + b.Size; end <= uint64(len(sec.Data)) {
+				h.Write(sec.Data[off:end])
+			}
+		}
+		u64(uint64(len(b.Targets)))
+		for _, t := range b.Targets {
+			u64(t)
+			if isFunc[t] {
+				h.Write([]byte{1})
+			} else {
+				h.Write([]byte{0})
+			}
+		}
+	}
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
+}

@@ -47,6 +47,14 @@ type Options struct {
 	Fuel uint64
 	// Seed drives VM scheduling for pipeline-internal runs.
 	Seed int64
+	// Workers bounds how many functions are lifted/optimized concurrently
+	// per Recompile (0 = runtime.NumCPU(); 1 = the historical serial
+	// path). Output bytes are identical at any setting (pipeline.go).
+	Workers int
+	// NoFuncCache disables the content-addressed function cache — every
+	// recompile lifts and optimizes every function from scratch (the
+	// differential-testing escape hatch and the benchmark baseline).
+	NoFuncCache bool
 }
 
 // DefaultOptions returns the standard configuration.
@@ -74,9 +82,17 @@ type Stats struct {
 
 	DisasmTime  time.Duration
 	TraceTime   time.Duration
-	LiftTime    time.Duration
-	OptTime     time.Duration
+	LiftTime    time.Duration // summed per-function lift CPU time
+	OptTime     time.Duration // summed per-function optimization CPU time
 	LowerTime   time.Duration
+	// LiftOptWall is the wall-clock time of the (parallel) lift+optimize
+	// sections; with several workers it is well below LiftTime+OptTime.
+	LiftOptWall time.Duration
+	// CacheHits/CacheMisses count function-cache outcomes across this
+	// project's recompiles (a hit replays a cached optimized body; a miss
+	// lifts and optimizes the function from scratch).
+	CacheHits   int
+	CacheMisses int
 	ICFTs       int
 	Recompiles  int
 	Funcs       int
@@ -114,6 +130,19 @@ type Project struct {
 	callbackSet   map[uint64]bool // observed external entries; nil = not pruned
 	spinReport    *spindet.Report
 	lastRecording *spindet.Recording
+
+	// cache is the content-addressed function cache (cache.go), created on
+	// first cacheable Recompile.
+	cache *funcCache
+}
+
+// CachedFuncs reports how many function bodies the content-addressed cache
+// currently holds (tests, diagnostics).
+func (p *Project) CachedFuncs() int {
+	if p.cache == nil {
+		return 0
+	}
+	return p.cache.len()
 }
 
 // NewProject disassembles the binary and prepares a project.
@@ -147,15 +176,18 @@ func (p *Project) Trace(inputs []Input) (*tracer.Result, error) {
 	t0 := time.Now()
 	res, err := tracer.Trace(p.Img, p.Graph, runs, p.Opts.Fuel)
 	d := time.Since(t0)
-	if err != nil {
-		p.Stats.update(func() { p.Stats.TraceTime += d })
-		return nil, err
-	}
 	p.Stats.update(func() {
 		p.Stats.TraceTime += d
-		p.Stats.ICFTs += res.ICFTs
-		p.Stats.TraceInsts += res.Insts
+		if res != nil {
+			// A faulted session still merged the ICFTs it observed before
+			// (and during) the faulting run; account for them.
+			p.Stats.ICFTs += res.ICFTs
+			p.Stats.TraceInsts += res.Insts
+		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -201,43 +233,6 @@ func (p *Project) applyDynamicResults(lf *lifter.Lifted) {
 	})
 }
 
-// Recompile runs lift -> optimize -> lower over the current CFG and returns
-// the standalone recompiled binary.
-func (p *Project) Recompile() (*image.Image, error) {
-	lf, err := p.lift()
-	if err != nil {
-		return nil, err
-	}
-	p.applyDynamicResults(lf)
-	if p.Opts.Optimize {
-		t0 := time.Now()
-		if p.callbackSet != nil {
-			// Callback pruning unlocked inlining of the de-externalized
-			// functions (§3.3.3).
-			opt.Inline(lf.Mod, 300)
-		}
-		oo := opt.Options{Verify: p.Opts.VerifyIR, NoCallbacks: p.noCallbacks()}
-		if err := opt.Run(lf.Mod, oo); err != nil {
-			return nil, err
-		}
-		d := time.Since(t0)
-		p.Stats.update(func() { p.Stats.OptTime += d })
-	}
-	t0 := time.Now()
-	res, err := lower.Lower(lf)
-	d := time.Since(t0)
-	if err != nil {
-		p.Stats.update(func() { p.Stats.LowerTime += d })
-		return nil, err
-	}
-	p.Stats.update(func() {
-		p.Stats.LowerTime += d
-		p.Stats.CodeSize = res.CodeSize
-		p.Stats.Recompiles++
-	})
-	return res.Img, nil
-}
-
 // noCallbacks reports whether the callback analysis proved that no guest
 // function other than the entry point is ever entered from the host.
 func (p *Project) noCallbacks() bool {
@@ -277,10 +272,14 @@ type Miss struct {
 	Site, Target uint64
 }
 
-// RunAdditive executes the recompiled binary on the input; on every
-// control-flow miss it integrates the discovered target into the CFG
-// (recursive descent from the new block, §3.2), re-runs the recompilation
-// pipeline, and restarts the program — the additive-lifting loop.
+// RunAdditive executes the recompiled binary on the input; when the run
+// reports control-flow misses it batches every distinct miss the run
+// observed (multithreaded programs can hit several unresolved targets before
+// the VM halts), integrates them all into the CFG (recursive descent from
+// each new block, §3.2), re-runs the recompilation pipeline once, and
+// restarts the program — the incremental additive-lifting loop. Each
+// recompile replays unchanged functions from the content-addressed cache, so
+// a loop iteration pays only for the functions its discoveries touched.
 func (p *Project) RunAdditive(in Input, maxLoops int) (*AdditiveResult, error) {
 	if maxLoops <= 0 {
 		maxLoops = 64
@@ -298,39 +297,73 @@ func (p *Project) RunAdditive(in Input, maxLoops int) (*AdditiveResult, error) {
 		if in.Data != nil {
 			m.SetInput(in.Data)
 		}
-		var miss *Miss
+		// Collect every distinct miss the run reports, not just the last:
+		// each one is a real unresolved target and integrating them together
+		// saves a full loop iteration per extra miss.
+		var misses []Miss
+		seen := map[Miss]bool{}
 		m.MissHook = func(t *vm.Thread, site, target uint64) {
-			miss = &Miss{Site: site, Target: target}
+			ms := Miss{Site: site, Target: target}
+			if !seen[ms] {
+				seen[ms] = true
+				misses = append(misses, ms)
+			}
 		}
 		res := m.Run(p.Opts.Fuel)
 		if res.Fault != nil {
-			return nil, fmt.Errorf("core: additive run faulted: %w", res.Fault)
+			return nil, fmt.Errorf("core: additive run faulted at loop %d (after %d recompiles, misses integrated so far %s): %w",
+				loop, out.Recompiles, formatMisses(out.Misses), res.Fault)
 		}
-		if res.ExitCode != vm.MissExitCode || miss == nil {
+		if res.ExitCode != vm.MissExitCode || len(misses) == 0 {
 			out.Result = res
 			out.Img = img
 			return out, nil
 		}
 		if loop >= maxLoops {
-			return nil, fmt.Errorf("core: additive lifting did not converge after %d loops", maxLoops)
+			return nil, fmt.Errorf("core: additive lifting did not converge after %d loops (%d recompiles; misses integrated %s; still missing %s)",
+				maxLoops, out.Recompiles, formatMisses(out.Misses), formatMisses(misses))
 		}
-		out.Misses = append(out.Misses, *miss)
-		// Integrate the discovered path and re-run the pipeline.
-		blk := p.Graph.BlockContaining(miss.Site)
-		if blk == nil {
-			return nil, fmt.Errorf("core: miss site %#x not in CFG", miss.Site)
+		// Integrate the whole batch, then recompile once.
+		for _, ms := range misses {
+			blk := p.Graph.BlockContaining(ms.Site)
+			if blk == nil {
+				return nil, fmt.Errorf("core: loop %d: miss site %#x not in CFG", loop, ms.Site)
+			}
+			if _, known := p.Graph.Blocks[ms.Target]; known {
+				blk.AddTarget(ms.Target)
+			} else if err := disasm.ExploreFrom(p.Img, p.Graph, blk.Addr, ms.Target); err != nil {
+				return nil, fmt.Errorf("core: loop %d: integrating miss %#x->%#x: %w", loop, ms.Site, ms.Target, err)
+			}
 		}
-		if _, known := p.Graph.Blocks[miss.Target]; known {
-			blk.AddTarget(miss.Target)
-		} else if err := disasm.ExploreFrom(p.Img, p.Graph, blk.Addr, miss.Target); err != nil {
-			return nil, fmt.Errorf("core: integrating miss %#x->%#x: %w", miss.Site, miss.Target, err)
-		}
+		out.Misses = append(out.Misses, misses...)
 		img, err = p.Recompile()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: loop %d: recompile after integrating %s: %w",
+				loop, formatMisses(misses), err)
 		}
 		out.Recompiles++
 	}
+}
+
+// formatMisses renders a miss batch for error messages (capped so a
+// pathological non-convergence stays readable).
+func formatMisses(ms []Miss) string {
+	if len(ms) == 0 {
+		return "none"
+	}
+	const cap = 8
+	s := ""
+	for i, m := range ms {
+		if i == cap {
+			s += fmt.Sprintf(" ... (%d more)", len(ms)-cap)
+			break
+		}
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%#x->%#x", m.Site, m.Target)
+	}
+	return "[" + s + "]"
 }
 
 // PruneCallbacks runs the callback-usage analysis (§3.3.3): it observes

@@ -1,0 +1,256 @@
+// Parallel, cached recompilation pipeline.
+//
+// Recompile fans lifting and per-function optimization out over a bounded
+// worker pool (the index-ordered collection pattern of internal/bench) and
+// replays unchanged functions from the content-addressed function cache
+// (cache.go). The determinism contract: the emitted module — and therefore
+// every byte of the lowered image — is identical for any worker count and
+// for cache-warm replays, because
+//
+//   - the module skeleton (globals, function list, names) is built serially
+//     in entry order before any body exists (lifter.NewSkeleton);
+//   - each body is produced by a pure per-function computation (lift →
+//     fence removal → standard opt pipeline) that reads only the shared
+//     immutable image/graph and writes only its own function;
+//   - memory-access SiteIDs are numbered function-locally and rebased
+//     serially in entry order afterwards (lifter.FinalizeSites), exactly
+//     reproducing the serial whole-module numbering;
+//   - a cache hit clones the byte-identical body the same computation
+//     produced earlier (keys cover all of its inputs, cache.go).
+//
+// Only the interprocedural stages — callback-driven inlining and lowering —
+// run serially, and the function cache is disabled while callback pruning is
+// active (inlining couples function bodies across the module, so the
+// per-function key no longer covers a body's inputs).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/image"
+	"repro/internal/ir"
+	"repro/internal/lifter"
+	"repro/internal/lower"
+	"repro/internal/opt"
+)
+
+// pipeWorkers resolves the configured pipeline worker count.
+func (p *Project) pipeWorkers() int {
+	if p.Opts.Workers > 0 {
+		return p.Opts.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// runIndexed runs f(i) for every i in [0,n) on up to workers goroutines.
+// With one worker the calls run in index order and the first error stops the
+// remaining ones — the historical serial contract. With more workers every
+// index runs to completion and the error returned is the erroring index with
+// the lowest value: the same error a serial run would surface first.
+func runIndexed(workers, n int, f func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recompile runs lift -> optimize -> lower over the current CFG and returns
+// the standalone recompiled binary. Lifting and optimization are parallel
+// and cached per function; the output bytes are independent of the worker
+// count and of cache warmth (see the package comment above).
+func (p *Project) Recompile() (*image.Image, error) {
+	lf, err := p.buildOptimizedModule()
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	res, err := lower.Lower(lf)
+	d := time.Since(t0)
+	if err != nil {
+		p.Stats.update(func() { p.Stats.LowerTime += d })
+		return nil, err
+	}
+	p.Stats.update(func() {
+		p.Stats.LowerTime += d
+		p.Stats.CodeSize = res.CodeSize
+		p.Stats.Recompiles++
+	})
+	return res.Img, nil
+}
+
+// buildOptimizedModule produces the fully optimized module for the current
+// CFG, ready for lowering.
+func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
+	wall0 := time.Now()
+	defer func() {
+		d := time.Since(wall0)
+		p.Stats.update(func() { p.Stats.LiftOptWall += d })
+	}()
+
+	lf := lifter.NewSkeleton(p.Img, p.Graph)
+	funcs := lifter.SortedFuncs(p.Graph)
+	lopts := lifter.Options{
+		InsertFences: p.Opts.InsertFences,
+		NaiveAtomics: p.Opts.NaiveAtomics,
+	}
+	oo := opt.Options{Verify: p.Opts.VerifyIR, NoCallbacks: p.noCallbacks()}
+
+	// Fused per-function lift+optimize requires that no interprocedural
+	// stage runs between them; callback pruning introduces one (inlining).
+	fused := p.callbackSet == nil
+	cacheable := fused && !p.Opts.NoFuncCache
+
+	var keys [][32]byte
+	if cacheable {
+		if p.cache == nil {
+			p.cache = newFuncCache()
+		}
+		p.cache.beginGen()
+		isFunc := make(map[uint64]bool, len(funcs))
+		for _, cf := range funcs {
+			isFunc[cf.Entry] = true
+		}
+		ko := cacheKeyOpts{
+			insertFences: p.Opts.InsertFences,
+			naiveAtomics: p.Opts.NaiveAtomics,
+			optimize:     p.Opts.Optimize,
+			verifyIR:     p.Opts.VerifyIR,
+			removeFences: p.removeFences,
+		}
+		keys = make([][32]byte, len(funcs))
+		for i, cf := range funcs {
+			keys[i] = fingerprintFunc(p.Img, p.Graph, cf, isFunc, ko)
+		}
+	}
+
+	counts := make([]int, len(funcs))
+	var hits, misses atomic.Int64
+	task := func(i int) error {
+		cf := funcs[i]
+		if cacheable {
+			if sites, ok := p.cache.replay(keys[i], lf, cf.Entry); ok {
+				counts[i] = sites
+				hits.Add(1)
+				return nil
+			}
+			misses.Add(1)
+		}
+		t0 := time.Now()
+		sites, err := lf.LiftFunc(cf, lopts)
+		ld := time.Since(t0)
+		p.Stats.update(func() { p.Stats.LiftTime += ld })
+		if err != nil {
+			return err
+		}
+		counts[i] = sites
+		if fused {
+			f := lf.FuncByAddr[cf.Entry]
+			if p.removeFences {
+				opt.RemoveFences(f)
+			}
+			if p.Opts.Optimize {
+				t1 := time.Now()
+				oerr := opt.RunFunc(f, oo)
+				od := time.Since(t1)
+				p.Stats.update(func() { p.Stats.OptTime += od })
+				if oerr != nil {
+					return oerr
+				}
+			}
+			if cacheable {
+				p.cache.put(keys[i], f, sites)
+			}
+		}
+		return nil
+	}
+	if err := runIndexed(p.pipeWorkers(), len(funcs), task); err != nil {
+		return nil, err
+	}
+	if cacheable {
+		p.cache.endGen()
+	}
+	p.Stats.update(func() {
+		p.Stats.CacheHits += int(hits.Load())
+		p.Stats.CacheMisses += int(misses.Load())
+	})
+
+	countByEntry := make(map[uint64]int, len(funcs))
+	for i, cf := range funcs {
+		countByEntry[cf.Entry] = counts[i]
+	}
+	lf.FinalizeSites(countByEntry)
+
+	if fused {
+		// Record the external-entry count and fence state (the fused tasks
+		// already applied fence removal per function, pre-optimization).
+		n := 0
+		for _, f := range lf.Mod.Funcs {
+			if f.External {
+				n++
+			}
+		}
+		p.Stats.update(func() {
+			p.Stats.NumExternal = n
+			p.Stats.FencesGone = p.removeFences
+		})
+	} else {
+		// Callback pruning is active: apply the dynamic results module-wide,
+		// inline the de-externalized functions (§3.3.3), then optimize —
+		// per function, in parallel.
+		p.applyDynamicResults(lf)
+		if p.Opts.Optimize {
+			t0 := time.Now()
+			opt.Inline(lf.Mod, 300)
+			mfuncs := lf.Mod.Funcs
+			oerr := runIndexed(p.pipeWorkers(), len(mfuncs), func(i int) error {
+				return opt.RunFunc(mfuncs[i], oo)
+			})
+			od := time.Since(t0)
+			p.Stats.update(func() { p.Stats.OptTime += od })
+			if oerr != nil {
+				return nil, oerr
+			}
+		}
+	}
+
+	// Whole-module verification catches cross-function damage no matter
+	// which path — fresh lift, cache replay, or inline — produced a body.
+	if err := ir.Verify(lf.Mod); err != nil {
+		return nil, fmt.Errorf("core: module verification failed: %w", err)
+	}
+	return lf, nil
+}

@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/image"
+)
+
+func marshalImg(t *testing.T, img *image.Image) []byte {
+	t.Helper()
+	b, err := img.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func recompileWith(t *testing.T, img *image.Image, mod func(*core.Options)) (*core.Project, []byte) {
+	t.Helper()
+	o := options()
+	if mod != nil {
+		mod(&o)
+	}
+	p, err := core.NewProject(img, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, marshalImg(t, rec)
+}
+
+// TestRecompileIdentityAcrossWorkersAndCache is the differential test behind
+// the pipeline's determinism contract (DESIGN.md §3): the recompiled bytes
+// must be identical for the historical serial path (-jpipe 1, cache off), a
+// parallel run, a cold cached run, and a cache-warm replay.
+func TestRecompileIdentityAcrossWorkersAndCache(t *testing.T) {
+	for _, tc := range []struct{ name, src string }{
+		{"threaded", threadedSrc},
+		{"fptr", fptrSrc},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			img := compile(t, tc.src, 2)
+			_, serial := recompileWith(t, img, func(o *core.Options) {
+				o.Workers = 1
+				o.NoFuncCache = true
+			})
+			_, parallel := recompileWith(t, img, func(o *core.Options) {
+				o.Workers = 8
+				o.NoFuncCache = true
+			})
+			if !bytes.Equal(serial, parallel) {
+				t.Fatal("parallel recompile diverged from serial bytes")
+			}
+
+			// Cold cached recompile, then a cache-warm replay on the same
+			// project: both must reproduce the serial bytes exactly.
+			o := options()
+			o.Workers = 8
+			p, err := core.NewProject(img, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := p.Recompile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(serial, marshalImg(t, cold)) {
+				t.Fatal("cold cached recompile diverged from serial bytes")
+			}
+			if p.Stats.CacheHits != 0 || p.Stats.CacheMisses != p.Stats.Funcs {
+				t.Fatalf("cold run: hits=%d misses=%d funcs=%d",
+					p.Stats.CacheHits, p.Stats.CacheMisses, p.Stats.Funcs)
+			}
+			warm, err := p.Recompile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(serial, marshalImg(t, warm)) {
+				t.Fatal("cache-warm recompile diverged from serial bytes")
+			}
+			if p.Stats.CacheHits != p.Stats.Funcs || p.Stats.CacheMisses != p.Stats.Funcs {
+				t.Fatalf("warm run: hits=%d misses=%d funcs=%d",
+					p.Stats.CacheHits, p.Stats.CacheMisses, p.Stats.Funcs)
+			}
+			if p.CachedFuncs() != p.Stats.Funcs {
+				t.Fatalf("cache holds %d bodies, want %d", p.CachedFuncs(), p.Stats.Funcs)
+			}
+			if p.Stats.LiftOptWall == 0 {
+				t.Fatal("LiftOptWall not recorded")
+			}
+		})
+	}
+}
+
+// TestAdditiveBatchedConvergence drives the incremental additive loop over
+// the function-pointer dispatch workload at -O2: three handler entries are
+// unknown statically, so convergence needs at least three loops. The batched
+// loop must converge well before maxLoops, recompile incrementally (cache
+// misses bounded by the functions each discovery touches, not by a full
+// re-lift per loop), and land on exactly the bytes a serial cache-less
+// additive session and a fully traced recompile produce.
+func TestAdditiveBatchedConvergence(t *testing.T) {
+	img := compile(t, fptrSrc, 2)
+	in := core.Input{Data: []byte("012"), Seed: 3}
+	const maxLoops = 8
+	want := runImg(t, img, in)
+
+	p, err := core.NewProject(img, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunAdditive(in, maxLoops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recompiles < 3 {
+		t.Fatalf("recompiles = %d, want >= 3 (three unknown handlers)", res.Recompiles)
+	}
+	if res.Recompiles >= maxLoops {
+		t.Fatalf("recompiles = %d, did not converge before maxLoops %d", res.Recompiles, maxLoops)
+	}
+	if res.Result.ExitCode != want.ExitCode {
+		t.Fatalf("exit %d, want %d", res.Result.ExitCode, want.ExitCode)
+	}
+
+	// Incrementality: after the first (cold) recompile, each loop may
+	// re-lift only the function owning the missed site plus the newly
+	// discovered callee — not the whole module.
+	if p.Stats.CacheHits == 0 {
+		t.Fatal("incremental recompiles replayed nothing from cache")
+	}
+	if max := p.Stats.Funcs + 2*res.Recompiles; p.Stats.CacheMisses > max {
+		t.Fatalf("cache misses %d exceed incremental bound %d (funcs=%d, recompiles=%d)",
+			p.Stats.CacheMisses, max, p.Stats.Funcs, res.Recompiles)
+	}
+
+	// The serial, cache-less additive session lands on the same bytes.
+	o := options()
+	o.Workers = 1
+	o.NoFuncCache = true
+	p2, err := core.NewProject(img, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := p2.RunAdditive(in, maxLoops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalImg(t, res.Img), marshalImg(t, res2.Img)) {
+		t.Fatal("cached incremental additive bytes diverge from serial cache-less bytes")
+	}
+
+	// And so does a recompile after upfront tracing of the same input: the
+	// additive loop converged onto the fully-traced CFG, byte for byte.
+	p3, err := core.NewProject(img, options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p3.Trace([]core.Input{in}); err != nil {
+		t.Fatal(err)
+	}
+	rec3, err := p3.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalImg(t, res.Img), marshalImg(t, rec3)) {
+		t.Fatal("additive final bytes diverge from fully-traced recompile")
+	}
+}

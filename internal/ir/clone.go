@@ -1,0 +1,87 @@
+package ir
+
+// CloneFuncInto deep-copies the body and attributes of src into dst, which
+// must be empty (no blocks). Global and function references are rewritten
+// through the two resolvers, so a body can be copied across modules — the
+// function-cache replay path clones optimized bodies from a previous
+// recompile into a fresh module skeleton. Value IDs, block names and every
+// instruction attribute (SiteID, OrigPC, widths, ...) are preserved, so a
+// cloned function prints and lowers identically to its source.
+//
+// The resolvers receive the referenced global/function of the source body
+// and return the object to reference from the clone. Resolving to the input
+// is a same-module clone.
+func CloneFuncInto(dst, src *Func, globalOf func(*Global) *Global, funcOf func(*Func) *Func) {
+	dst.External = src.External
+	dst.HasResult = src.HasResult
+	dst.NumParams = src.NumParams
+	dst.OrigEntry = src.OrigEntry
+	dst.IsWrapper = src.IsWrapper
+	dst.nextID = src.nextID
+
+	blocks := make(map[*Block]*Block, len(src.Blocks))
+	for _, b := range src.Blocks {
+		nb := dst.NewBlock(b.Name)
+		nb.OrigAddr = b.OrigAddr
+		blocks[b] = nb
+	}
+
+	// First pass: create every value with its scalar attributes; operand,
+	// target and phi links are patched in the second pass (they may point
+	// forward, across blocks, or at the containing function itself).
+	values := make(map[*Value]*Value)
+	for _, b := range src.Blocks {
+		nb := blocks[b]
+		for _, v := range b.Insts {
+			nv := &Value{
+				ID:         v.ID,
+				Op:         v.Op,
+				Block:      nb,
+				Const:      v.Const,
+				ExtName:    v.ExtName,
+				Width:      v.Width,
+				SignExt:    v.SignExt,
+				Pred:       v.Pred,
+				RMW:        v.RMW,
+				Order:      v.Order,
+				StackLocal: v.StackLocal,
+				SiteID:     v.SiteID,
+				OrigPC:     v.OrigPC,
+			}
+			if v.Global != nil {
+				nv.Global = globalOf(v.Global)
+			}
+			if v.Fn != nil {
+				nv.Fn = funcOf(v.Fn)
+			}
+			if v.SwitchVals != nil {
+				nv.SwitchVals = append([]int64(nil), v.SwitchVals...)
+			}
+			nb.Insts = append(nb.Insts, nv)
+			values[v] = nv
+		}
+	}
+	for _, b := range src.Blocks {
+		for _, v := range b.Insts {
+			nv := values[v]
+			if len(v.Args) > 0 {
+				nv.Args = make([]*Value, len(v.Args))
+				for i, a := range v.Args {
+					nv.Args[i] = values[a]
+				}
+			}
+			if len(v.Targets) > 0 {
+				nv.Targets = make([]*Block, len(v.Targets))
+				for i, t := range v.Targets {
+					nv.Targets[i] = blocks[t]
+				}
+			}
+			if len(v.PhiPreds) > 0 {
+				nv.PhiPreds = make([]*Block, len(v.PhiPreds))
+				for i, pb := range v.PhiPreds {
+					nv.PhiPreds[i] = blocks[pb]
+				}
+			}
+		}
+	}
+}

@@ -83,8 +83,13 @@ const (
 	FlagOF
 )
 
-// Lift translates the program described by g into a PIR module.
-func Lift(img *image.Image, g *cfg.Graph, opts Options) (*Lifted, error) {
+// NewSkeleton builds the module skeleton shared by every lifting strategy:
+// the virtual CPU state globals, the original image mapped at its original
+// addresses, and one empty registered function per CFG function (created in
+// ascending entry order so module layout is independent of how — and in what
+// order — function bodies are later produced). Bodies are filled in by
+// LiftFunc, or replayed from a function cache (internal/core).
+func NewSkeleton(img *image.Image, g *cfg.Graph) *Lifted {
 	m := ir.NewModule(img.Name)
 	lf := &Lifted{Mod: m, FuncByAddr: map[uint64]*ir.Func{}, Img: img, Graph: g}
 
@@ -113,20 +118,78 @@ func Lift(img *image.Image, g *cfg.Graph, opts Options) (*Lifted, error) {
 	}
 
 	// Create all functions first so calls can reference them.
-	funcs := append([]*cfg.Func(nil), g.Funcs...)
-	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Entry < funcs[j].Entry })
-	for _, cf := range funcs {
+	for _, cf := range SortedFuncs(g) {
 		f := m.NewFunc(fmt.Sprintf("lifted_%x", cf.Entry))
 		f.External = true // conservatively a possible callback entry (§3.3.3)
 		f.OrigEntry = cf.Entry
 		lf.FuncByAddr[cf.Entry] = f
 	}
-	for _, cf := range funcs {
-		if err := lf.liftFunc(cf, opts); err != nil {
-			return nil, fmt.Errorf("lifter: func %#x: %w", cf.Entry, err)
-		}
+	return lf
+}
+
+// SortedFuncs returns g's functions in lift order (ascending entry address),
+// the order skeleton functions are registered in and site-ID bases are
+// assigned in.
+func SortedFuncs(g *cfg.Graph) []*cfg.Func {
+	funcs := append([]*cfg.Func(nil), g.Funcs...)
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Entry < funcs[j].Entry })
+	return funcs
+}
+
+// LiftFunc lifts the single CFG function cf into its skeleton function,
+// numbering memory-access SiteIDs locally from 1, and returns how many sites
+// it emitted. It touches only cf's own function and reads the shared
+// image/graph/skeleton, so distinct functions may be lifted concurrently;
+// FinalizeSites rebases the local site numbers into the module-wide
+// numbering once every body exists.
+func (lf *Lifted) LiftFunc(cf *cfg.Func, opts Options) (int, error) {
+	sites, err := lf.liftFunc(cf, opts)
+	if err != nil {
+		return 0, fmt.Errorf("lifter: func %#x: %w", cf.Entry, err)
 	}
-	if err := ir.Verify(m); err != nil {
+	return sites, nil
+}
+
+// FinalizeSites rewrites per-function-local SiteIDs into the global
+// numbering: functions are visited in entry order and each gets the running
+// total of prior functions' lift-time site counts as its base — exactly the
+// IDs a serial whole-module lift assigns. counts maps function entry to the
+// site count its body was lifted with (whether lifted now or replayed from
+// cache). NumSites is set to the total.
+func (lf *Lifted) FinalizeSites(counts map[uint64]int) {
+	base := 0
+	for _, cf := range SortedFuncs(lf.Graph) {
+		f := lf.FuncByAddr[cf.Entry]
+		if f == nil {
+			continue
+		}
+		if base > 0 {
+			for _, b := range f.Blocks {
+				for _, v := range b.Insts {
+					if v.SiteID > 0 {
+						v.SiteID += base
+					}
+				}
+			}
+		}
+		base += counts[cf.Entry]
+	}
+	lf.NumSites = base
+}
+
+// Lift translates the program described by g into a PIR module.
+func Lift(img *image.Image, g *cfg.Graph, opts Options) (*Lifted, error) {
+	lf := NewSkeleton(img, g)
+	counts := make(map[uint64]int, len(g.Funcs))
+	for _, cf := range SortedFuncs(g) {
+		sites, err := lf.LiftFunc(cf, opts)
+		if err != nil {
+			return nil, err
+		}
+		counts[cf.Entry] = sites
+	}
+	lf.FinalizeSites(counts)
+	if err := ir.Verify(lf.Mod); err != nil {
 		return nil, fmt.Errorf("lifter: verification failed: %w", err)
 	}
 	return lf, nil
@@ -147,6 +210,7 @@ type fnLifter struct {
 	nextPC  uint64
 	dead    bool // an unreachable was emitted; skip the rest of the block
 	naux    int
+	sites   int // function-local site counter; rebased by FinalizeSites
 
 	// lastFlag tracks, within a block, the operation that last set the
 	// flags, so conditions can be lifted as direct comparisons on the SSA
@@ -175,11 +239,11 @@ type flagState struct {
 	v    *ir.Value // flagsBool 0/1 value
 }
 
-func (lf *Lifted) liftFunc(cf *cfg.Func, opts Options) error {
+func (lf *Lifted) liftFunc(cf *cfg.Func, opts Options) (int, error) {
 	f := lf.FuncByAddr[cf.Entry]
 	taint, err := stackTaint(lf.Img, lf.Graph, cf)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	n := &fnLifter{lf: lf, opts: opts, f: f, cfgF: cf, taint: taint,
 		blocks: map[uint64]*ir.Block{}}
@@ -202,10 +266,10 @@ func (lf *Lifted) liftFunc(cf *cfg.Func, opts Options) error {
 	}
 	for _, a := range addrs {
 		if err := n.liftBlock(a); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	return nil
+	return n.sites, nil
 }
 
 // --- small emission helpers -------------------------------------------------
@@ -269,8 +333,8 @@ func (n *fnLifter) fence(o ir.Order) {
 func (n *fnLifter) barrier() { n.emit(ir.OpBarrier) }
 
 func (n *fnLifter) newSite() int {
-	n.lf.NumSites++
-	return n.lf.NumSites
+	n.sites++
+	return n.sites
 }
 
 // gload emits an original-program memory load with fence insertion.

@@ -56,6 +56,25 @@ type Options struct {
 // Run applies the standard pipeline to every function of m until fixpoint
 // (or MaxIters, default 4).
 func Run(m *ir.Module, opts Options) error {
+	for _, f := range m.Funcs {
+		if err := RunFunc(f, opts); err != nil {
+			return err
+		}
+	}
+	if opts.Verify {
+		return ir.Verify(m)
+	}
+	return nil
+}
+
+// RunFunc applies the standard pipeline to the single function f until
+// fixpoint (or MaxIters, default 4). Every standard pass transforms only f
+// and reads nothing mutable outside it, so distinct functions may be
+// optimized concurrently — the parallel recompilation pipeline
+// (internal/core) fans RunFunc out over a worker pool. Interprocedural
+// transformations (Inline) are not part of the standard pipeline and must
+// run serially between lifting and RunFunc.
+func RunFunc(f *ir.Func, opts Options) error {
 	max := opts.MaxIters
 	if max <= 0 {
 		max = 4
@@ -65,29 +84,24 @@ func Run(m *ir.Module, opts Options) error {
 		skip[n] = true
 	}
 	passes := passesWith(opts.NoCallbacks)
-	for _, f := range m.Funcs {
-		for iter := 0; iter < max; iter++ {
-			changed := false
-			for _, p := range passes {
-				if skip[p.Name] {
-					continue
-				}
-				if p.Run(f) {
-					changed = true
-					if opts.Verify {
-						if err := ir.VerifyFunc(f); err != nil {
-							return fmt.Errorf("opt: after %s on @%s: %w", p.Name, f.Name, err)
-						}
+	for iter := 0; iter < max; iter++ {
+		changed := false
+		for _, p := range passes {
+			if skip[p.Name] {
+				continue
+			}
+			if p.Run(f) {
+				changed = true
+				if opts.Verify {
+					if err := ir.VerifyFunc(f); err != nil {
+						return fmt.Errorf("opt: after %s on @%s: %w", p.Name, f.Name, err)
 					}
 				}
 			}
-			if !changed {
-				break
-			}
 		}
-	}
-	if opts.Verify {
-		return ir.Verify(m)
+		if !changed {
+			break
+		}
 	}
 	return nil
 }

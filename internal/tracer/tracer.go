@@ -28,7 +28,9 @@ type Run struct {
 // Result summarizes a tracing session.
 type Result struct {
 	// ICFTs is the number of unique (site, target) indirect control
-	// transfers recorded across all runs (the Table 4 metric).
+	// transfers recorded across all runs and merged into the graph (the
+	// Table 4 metric). Records whose site block is unknown statically are
+	// not counted: they were not merged and stay recordable by later runs.
 	ICFTs int
 	// NewTargets is how many recorded targets were not already known to the
 	// static CFG.
@@ -43,10 +45,16 @@ type Result struct {
 // merges all recorded indirect targets into g. Unknown targets are
 // integrated with a static recursive descent from the discovery point, the
 // same integration step additive lifting uses.
+//
+// A faulted run is still a run that executed real control flow: everything
+// it recorded up to the fault is merged before the error is reported, and
+// the returned Result carries the counts accumulated so far (the fault may
+// well sit on the very path whose targets the caller is tracing toward).
 func Trace(img *image.Image, g *cfg.Graph, runs []Run, fuel uint64) (*Result, error) {
 	res := &Result{}
 	type siteTarget struct{ site, target uint64 }
 	seen := map[siteTarget]bool{}
+	merged := 0
 	for _, r := range runs {
 		m, err := vm.NewWithExts(img, r.Seed, r.Exts)
 		if err != nil {
@@ -70,18 +78,19 @@ func Trace(img *image.Image, g *cfg.Graph, runs []Run, fuel uint64) (*Result, er
 		out := m.Run(fuel)
 		res.Runs++
 		res.Insts += out.Insts
-		if out.Fault != nil {
-			return nil, fmt.Errorf("tracer: run %d faulted: %v", res.Runs, out.Fault)
-		}
-		// Merge this run's records into the graph.
+		// Merge this run's records into the graph — before the fault check,
+		// so a faulted run's observations are neither lost nor left marked
+		// in seen where no later run could ever re-record them.
 		for _, rc := range recs {
 			blk := g.BlockContaining(rc.site)
 			if blk == nil {
 				// The site itself was unknown statically (e.g. code reached
-				// only through an unresolved indirect transfer). Skip — the
-				// target merge below may still discover it on a later pass.
+				// only through an unresolved indirect transfer). Unmark it so
+				// a later run can re-record the pair once the site is known.
+				delete(seen, siteTarget{rc.site, rc.target})
 				continue
 			}
+			merged++
 			if blk.HasTarget(rc.target) {
 				continue
 			}
@@ -89,10 +98,15 @@ func Trace(img *image.Image, g *cfg.Graph, runs []Run, fuel uint64) (*Result, er
 			if _, known := g.Blocks[rc.target]; known {
 				blk.AddTarget(rc.target)
 			} else if err := disasm.ExploreFrom(img, g, blk.Addr, rc.target); err != nil {
-				return nil, fmt.Errorf("tracer: integrating %#x -> %#x: %w", rc.site, rc.target, err)
+				res.ICFTs = merged
+				return res, fmt.Errorf("tracer: integrating %#x -> %#x: %w", rc.site, rc.target, err)
 			}
 		}
+		if out.Fault != nil {
+			res.ICFTs = merged
+			return res, fmt.Errorf("tracer: run %d faulted: %v", res.Runs, out.Fault)
+		}
 	}
-	res.ICFTs = len(seen)
+	res.ICFTs = merged
 	return res, nil
 }

@@ -93,6 +93,62 @@ func main() {
 	}
 }
 
+func TestTracerMergesRecordsFromFaultedRun(t *testing.T) {
+	// The run records a real ICFT (the fp call) and then faults on a null
+	// load. The fault must propagate as an error, but the target recorded
+	// before the fault must already be merged into the graph — the fault
+	// often sits on the very path whose targets the caller is tracing.
+	img, syms, err := cc.Compile(`
+func f1(x) { return x + 1; }
+func main() {
+	var fp = f1;
+	var r = fp(1);
+	var p = 0;
+	return r + *p;
+}`, cc.Config{Name: "p", Opt: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := disasm.Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tracer.Trace(img, g, []tracer.Run{{Seed: 1}}, 10_000_000)
+	if err == nil {
+		t.Fatal("expected the fault to propagate")
+	}
+	if res == nil {
+		t.Fatal("faulted session returned no partial Result")
+	}
+	if res.ICFTs != 1 {
+		t.Fatalf("ICFTs = %d, want 1 (the pair recorded before the fault)", res.ICFTs)
+	}
+	var ind *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Term == cfg.TermCallInd {
+			ind = b
+		}
+	}
+	if ind == nil {
+		t.Fatal("no indirect call block")
+	}
+	if !ind.HasTarget(syms["fn_f1"]) {
+		t.Fatalf("target recorded before the fault was lost; have %v", ind.Targets)
+	}
+	// A second session re-observes the same pair but finds it merged: the
+	// faulted run's records were not lost and not double-counted.
+	res2, err := tracer.Trace(img, g, []tracer.Run{{Seed: 2}}, 10_000_000)
+	if err == nil {
+		t.Fatal("expected the fault to propagate on the second session too")
+	}
+	if res2.NewTargets != 0 {
+		t.Fatalf("second session added %d targets; the first session's merge was lost", res2.NewTargets)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTracerFaultPropagates(t *testing.T) {
 	img, _, err := cc.Compile(`
 func main() {
