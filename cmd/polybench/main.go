@@ -16,8 +16,19 @@
 // hits/misses, cells run/failed, wall clock) goes to stderr so stdout stays
 // diffable.
 //
+// Observability (DESIGN.md §"Observability"):
+//
+//	-tracefile trace.json   record spans for every pipeline stage, bench
+//	                        cell, and guest run; written as Chrome
+//	                        trace_event JSON (chrome://tracing, Perfetto)
+//	-metrics metrics.prom   enable VM machine counters and write them plus
+//	                        the run-wide pipeline stats in Prometheus text
+//	                        format at exit
+//
 // -nocache disables the interpreter's predecoded instruction cache (the
 // differential-testing escape hatch; output is identical, only slower).
+// -nopipecache disables the per-function recompile cache — orthogonal to
+// -nocache, so trace/metrics comparisons can isolate each cache.
 // -cpuprofile/-memprofile write pprof profiles so perf work on the
 // interpreter and pipeline needs no code edits.
 package main
@@ -30,6 +41,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -40,11 +52,23 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent pipeline cells (1 = serial)")
 	jpipe := flag.Int("jpipe", runtime.NumCPU(), "concurrent per-recompile function lifts/optimizations (1 = serial)")
 	nocache := flag.Bool("nocache", false, "disable the VM predecoded instruction cache")
+	nopipecache := flag.Bool("nopipecache", false, "disable the per-function recompile cache")
+	tracefile := flag.String("tracefile", "", "write a Chrome trace_event JSON span trace to `file`")
+	metrics := flag.String("metrics", "", "enable VM counters and write Prometheus text metrics to `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to `file`")
 	flag.Parse()
 
 	vm.NoCacheDefault = *nocache
+	var tracer *obs.Tracer
+	if *tracefile != "" {
+		tracer = obs.New()
+	}
+	var sink *vm.CounterSink
+	if *metrics != "" {
+		sink = vm.NewCounterSink()
+		vm.CounterSinkDefault = sink
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -76,17 +100,51 @@ func main() {
 
 	h := bench.NewHarness(*jobs)
 	h.SetPipelineWorkers(*jpipe)
+	h.SetNoFuncCache(*nopipecache)
+	h.SetTracer(tracer)
+
+	// total accumulates every section's stats: the per-section footers reset
+	// between tables, but the metrics export covers the whole run.
+	var total bench.StageSnapshot
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		os.Exit(1)
+	}
+	// finish writes the trace and metrics files. Called explicitly on both
+	// exits (success and first failure) rather than deferred: os.Exit skips
+	// deferred calls, and a partial trace of a failed run is exactly what
+	// the flag is for.
+	finish := func() {
+		if tracer != nil {
+			if n := tracer.OpenSpans(); n != 0 {
+				fmt.Fprintf(os.Stderr, "tracefile: warning: %d span(s) still open\n", n)
+			}
+			if err := tracer.WriteFile(*tracefile); err != nil {
+				fail("tracefile: %v", err)
+			}
+		}
+		if sink != nil {
+			if err := bench.BuildMetrics(total, sink.Snapshot()).WriteFile(*metrics); err != nil {
+				fail("metrics: %v", err)
+			}
+		}
+	}
 	run := func(name string, f func() (string, error)) {
 		fmt.Printf("==== %s ====\n", name)
 		h.ResetStats()
+		sp := tracer.Begin(0, "bench", "section", obs.Arg{Key: "name", Val: name})
 		txt, err := f()
+		sp.End()
+		snap := h.Stats()
+		total.Add(snap)
 		if err != nil {
-			fmt.Fprint(os.Stderr, h.Stats().Footer(name, h.Workers(), h.PipelineWorkers()))
+			fmt.Fprint(os.Stderr, snap.Footer(name, h.Workers(), h.PipelineWorkers()))
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			finish()
 			os.Exit(1)
 		}
 		fmt.Println(txt)
-		fmt.Fprint(os.Stderr, h.Stats().Footer(name, h.Workers(), h.PipelineWorkers()))
+		fmt.Fprint(os.Stderr, snap.Footer(name, h.Workers(), h.PipelineWorkers()))
 	}
 
 	want := func(n int, kind string) bool {
@@ -131,4 +189,5 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	finish()
 }

@@ -64,6 +64,8 @@ func Figure4() ([]Fig4Point, string, error) { return NewHarness(0).Figure4() }
 func (h *Harness) coreOptions() core.Options {
 	o := core.DefaultOptions()
 	o.Workers = h.pipeWorkers
+	o.NoFuncCache = h.noFuncCache
+	o.Obs = h.tracer
 	return o
 }
 

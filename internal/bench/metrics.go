@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// BuildMetrics renders a harness pipeline snapshot and an aggregated
+// machine-counter snapshot (nil when counters were off) as a Prometheus
+// metric set — the payload behind cmd/polybench's -metrics flag. All values
+// are end-of-run totals, so counters use the _total convention and ratios
+// are gauges.
+func BuildMetrics(s StageSnapshot, c *vm.Counters) *obs.MetricSet {
+	ms := obs.NewMetricSet()
+
+	stage := ms.Gauge("pipeline_stage_seconds",
+		"Per-stage pipeline time; lift and opt sum per-function CPU time across workers, lift_opt_wall is the parallel sections' wall clock.")
+	stage.Set(s.Disasm.Seconds(), obs.Label{Key: "stage", Val: "disasm"})
+	stage.Set(s.Trace.Seconds(), obs.Label{Key: "stage", Val: "trace"})
+	stage.Set(s.Lift.Seconds(), obs.Label{Key: "stage", Val: "lift"})
+	stage.Set(s.Opt.Seconds(), obs.Label{Key: "stage", Val: "opt"})
+	stage.Set(s.Lower.Seconds(), obs.Label{Key: "stage", Val: "lower"})
+	stage.Set(s.LiftOptWall.Seconds(), obs.Label{Key: "stage", Val: "lift_opt_wall"})
+	ms.Gauge("pipeline_total_seconds",
+		"Total pipeline wall clock (serial stages + parallel lift/opt wall).").
+		Set(s.PipelineTotal().Seconds())
+	ms.Gauge("pipeline_wall_seconds",
+		"Wall clock of the table/figure runs.").Set(s.Wall.Seconds())
+	ms.Counter("pipeline_cache_hits_total",
+		"Function-cache hits (optimized bodies replayed instead of re-lifted).").
+		Set(float64(s.CacheHits))
+	ms.Counter("pipeline_cache_misses_total",
+		"Function-cache misses (functions lifted and optimized from scratch).").
+		Set(float64(s.CacheMisses))
+	ms.Gauge("pipeline_cache_hit_ratio",
+		"Function-cache hits / lookups.").Set(s.CacheHitRatio())
+	ms.Counter("pipeline_cells_total",
+		"Benchmark cells executed.").Set(float64(s.Cells))
+	ms.Counter("pipeline_cells_failed_total",
+		"Benchmark cells that returned an error.").Set(float64(s.Failed))
+	ms.Counter("pipeline_trace_insts_total",
+		"Guest instructions executed by the ICFT tracer.").Set(float64(s.TraceInsts))
+
+	if c == nil {
+		return ms
+	}
+	ms.Counter("vm_insts_total",
+		"Guest instructions retired across all machines.").Set(float64(c.Insts))
+	ms.Counter("vm_icache_hits_total",
+		"Predecoded-instruction-cache page hits.").Set(float64(c.ICacheHits))
+	ms.Counter("vm_icache_misses_total",
+		"Predecoded-instruction-cache page fills.").Set(float64(c.ICacheMisses))
+	ms.Counter("vm_icache_invalidations_total",
+		"Predecoded pages dropped because guest code was stored over.").
+		Set(float64(c.ICacheInvalidations))
+	ms.Gauge("vm_icache_hit_ratio",
+		"Icache hits / (hits + misses).").Set(c.ICacheHitRatio())
+	ms.Counter("vm_tlb_hits_total",
+		"Software-TLB hits.").Set(float64(c.TLBHits))
+	ms.Counter("vm_tlb_misses_total",
+		"Software-TLB misses (page-map walks).").Set(float64(c.TLBMisses))
+	ms.Gauge("vm_tlb_hit_ratio",
+		"TLB hits / (hits + misses).").Set(c.TLBHitRatio())
+	ms.Counter("vm_preemptions_total",
+		"Scheduler switches away from a still-runnable thread.").
+		Set(float64(c.Preemptions))
+	ms.Counter("vm_lock_rmw_total",
+		"Lock-prefixed read-modify-write instructions retired (incl. XCHG and CMPXCHG).").
+		Set(float64(c.LockRMW))
+	ms.Counter("vm_cmpxchg_total",
+		"CMPXCHG instructions retired.").Set(float64(c.Cmpxchg))
+	ms.Counter("vm_indirect_branches_total",
+		"Dynamically resolved control transfers retired (JMPR/JMPM/CALLR).").
+		Set(float64(c.IndirectBranches))
+
+	opclass := ms.Counter("vm_opclass_insts_total",
+		"Instructions retired per opcode class.")
+	for cl := vm.OpClass(0); cl < vm.NumOpClasses; cl++ {
+		opclass.Set(float64(c.OpClassCounts[cl]), obs.Label{Key: "class", Val: cl.String()})
+	}
+	ti := ms.Counter("vm_thread_insts_total",
+		"Instructions retired per guest thread ID.")
+	tc := ms.Counter("vm_thread_cycles_total",
+		"Cycles charged per guest thread ID.")
+	for tid, t := range c.Threads {
+		l := obs.Label{Key: "thread", Val: fmt.Sprintf("%d", tid)}
+		ti.Set(float64(t.Insts), l)
+		tc.Set(float64(t.Cycles), l)
+	}
+	return ms
+}

@@ -221,9 +221,10 @@ func TestPipelineBenchReportSpeedups(t *testing.T) {
 	}
 }
 
-// TestMain emits BENCH_pipeline.json when the pipeline benchmarks ran (the
-// file lands in this package directory, the test binary's working
-// directory). Plain `go test` runs record nothing and write nothing.
+// TestMain emits BENCH_pipeline.json when the pipeline benchmarks ran and
+// BENCH_obs.json when the observability differentials ran (the files land in
+// this package directory, the test binary's working directory). Plain
+// `go test` runs record nothing and write nothing.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	pipeBenchMu.Lock()
@@ -235,6 +236,20 @@ func TestMain(m *testing.M) {
 	if len(entries) > 0 {
 		if err := WritePipelineBench("BENCH_pipeline.json", entries); err != nil {
 			os.Stderr.WriteString("BENCH_pipeline.json: " + err.Error() + "\n")
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	obsBenchMu.Lock()
+	obsEntries := make([]ObsBenchEntry, 0, len(obsBenchEntries))
+	for _, e := range obsBenchEntries {
+		obsEntries = append(obsEntries, e)
+	}
+	obsBenchMu.Unlock()
+	if len(obsEntries) > 0 {
+		if err := WriteObsBench("BENCH_obs.json", obsEntries); err != nil {
+			os.Stderr.WriteString("BENCH_obs.json: " + err.Error() + "\n")
 			if code == 0 {
 				code = 1
 			}

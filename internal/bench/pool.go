@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Harness executes the table/figure generators over a bounded worker pool.
@@ -25,6 +28,12 @@ type Harness struct {
 	// pipeline. Orthogonal to workers, which fans out whole cells.
 	pipeWorkers int
 	stats       StageStats
+	// tracer, when set, records one span per cell (and is handed to every
+	// project the harness builds for its pipeline-stage spans).
+	tracer *obs.Tracer
+	// noFuncCache disables the per-function recompile cache in every
+	// project the harness builds (cmd/polybench's -nopipecache).
+	noFuncCache bool
 }
 
 // NewHarness returns a harness running up to workers concurrent cells;
@@ -51,6 +60,17 @@ func (h *Harness) PipelineWorkers() int {
 	return h.pipeWorkers
 }
 
+// SetTracer attaches an observability tracer: the harness records one span
+// per cell and every project it builds records pipeline-stage spans.
+func (h *Harness) SetTracer(t *obs.Tracer) { h.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (h *Harness) Tracer() *obs.Tracer { return h.tracer }
+
+// SetNoFuncCache disables the per-function recompile cache in every project
+// the harness builds (orthogonal to the VM predecode cache).
+func (h *Harness) SetNoFuncCache(v bool) { h.noFuncCache = v }
+
 // forEach runs f(i) for every i in [0,n), at most h.workers cells at a
 // time, and accounts every executed cell in the harness stats.
 //
@@ -61,9 +81,16 @@ func (h *Harness) PipelineWorkers() int {
 // is the erroring cell with the lowest index: the same error the serial run
 // would have surfaced first.
 func (h *Harness) forEach(n int, f func(i int) error) error {
+	tr := h.tracer
 	if h.workers <= 1 || n <= 1 {
+		ctid := int64(0)
+		if tr.Enabled() {
+			ctid = tr.AllocTID("cells")
+		}
 		for i := 0; i < n; i++ {
+			sp := tr.Begin(ctid, "bench", "cell", obs.Arg{Key: "cell", Val: i})
 			err := f(i)
+			sp.Arg("failed", err != nil).End()
 			h.stats.cellDone(err)
 			if err != nil {
 				return err
@@ -75,22 +102,37 @@ func (h *Harness) forEach(n int, f func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	// Per-worker trace tracks: a worker's cell spans are sequential on its
+	// track, so complete events never overlap within one track.
+	var wtids []int64
+	if tr.Enabled() {
+		wtids = make([]int64, workers)
+		for w := range wtids {
+			wtids[w] = tr.AllocTID(fmt.Sprintf("cell-worker %d", w))
+		}
+	}
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			ctid := int64(0)
+			if len(wtids) > 0 {
+				ctid = wtids[w]
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
+				sp := tr.Begin(ctid, "bench", "cell", obs.Arg{Key: "cell", Val: i})
 				errs[i] = f(i)
+				sp.Arg("failed", errs[i] != nil).End()
 				h.stats.cellDone(errs[i])
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -86,10 +86,41 @@ func (h *Harness) ResetStats() {
 // trackWall is deferred by the table generators: defer h.trackWall(time.Now()).
 func (h *Harness) trackWall(t0 time.Time) { h.stats.addWall(time.Since(t0)) }
 
-// PipelineTotal is the sum of the per-stage times. With several workers this
-// is CPU time spread across goroutines and exceeds Wall.
+// Add accumulates o into s; cmd/polybench sums the per-section snapshots
+// into one run-wide snapshot for metrics export.
+func (s *StageSnapshot) Add(o StageSnapshot) {
+	s.Disasm += o.Disasm
+	s.Trace += o.Trace
+	s.Lift += o.Lift
+	s.Opt += o.Opt
+	s.Lower += o.Lower
+	s.LiftOptWall += o.LiftOptWall
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.TraceInsts += o.TraceInsts
+	s.Cells += o.Cells
+	s.Failed += o.Failed
+	s.Wall += o.Wall
+}
+
+// CacheHitRatio is hits/(hits+misses) of the function cache, or 0 with no
+// lookups.
+func (s StageSnapshot) CacheHitRatio() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+}
+
+// PipelineTotal is the total pipeline wall clock: the serial stages plus the
+// lift+opt sections' wall time when recorded (Lift and Opt sum per-function
+// CPU time across pipeline workers, which would overstate a parallel run).
 func (s StageSnapshot) PipelineTotal() time.Duration {
-	return s.Disasm + s.Trace + s.Lift + s.Opt + s.Lower
+	liftOpt := s.Lift + s.Opt
+	if s.LiftOptWall > 0 {
+		liftOpt = s.LiftOptWall
+	}
+	return s.Disasm + s.Trace + liftOpt + s.Lower
 }
 
 // Footer renders the per-table profiler block. cmd/polybench prints it to

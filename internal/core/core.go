@@ -26,6 +26,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/lifter"
 	"repro/internal/lower"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/spindet"
 	"repro/internal/tracer"
@@ -55,6 +56,11 @@ type Options struct {
 	// recompile lifts and optimizes every function from scratch (the
 	// differential-testing escape hatch and the benchmark baseline).
 	NoFuncCache bool
+	// Obs, when set, records a structured span for every pipeline stage
+	// (disasm, ICFT trace, per-function lift+opt, site finalize, lower) and
+	// every guest run, for Chrome-trace export. Nil — the default — costs
+	// one predictable nil check per stage.
+	Obs *obs.Tracer
 }
 
 // DefaultOptions returns the standard configuration.
@@ -111,11 +117,19 @@ func (s *Stats) update(f func()) {
 	f()
 }
 
-// Total returns the total pipeline time.
+// Total returns the total pipeline wall-clock time. LiftTime and OptTime sum
+// per-function CPU time across workers, so whenever the parallel lift+opt
+// sections recorded a wall clock (LiftOptWall), that is what counts toward
+// the total — summing CPU time alongside the serial stages would overstate
+// the pipeline by nearly the worker count.
 func (s *Stats) Total() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.DisasmTime + s.TraceTime + s.LiftTime + s.OptTime + s.LowerTime
+	liftOpt := s.LiftTime + s.OptTime
+	if s.LiftOptWall > 0 {
+		liftOpt = s.LiftOptWall
+	}
+	return s.DisasmTime + s.TraceTime + liftOpt + s.LowerTime
 }
 
 // Project is one recompilation effort over an input binary.
@@ -134,6 +148,24 @@ type Project struct {
 	// cache is the content-addressed function cache (cache.go), created on
 	// first cacheable Recompile.
 	cache *funcCache
+
+	// obsTrack is this project's serial-stage trace track, allocated on
+	// first use (concurrent bench cells each hold their own Project, so
+	// per-project tracks keep complete events from overlapping).
+	obsOnce  sync.Once
+	obsTrack int64
+}
+
+// obsTID returns the project's serial-stage trace track, or 0 when tracing
+// is off.
+func (p *Project) obsTID() int64 {
+	if p.Opts.Obs == nil {
+		return 0
+	}
+	p.obsOnce.Do(func() {
+		p.obsTrack = p.Opts.Obs.AllocTID("pipeline " + p.Img.Name)
+	})
+	return p.obsTrack
 }
 
 // CachedFuncs reports how many function bodies the content-addressed cache
@@ -148,12 +180,15 @@ func (p *Project) CachedFuncs() int {
 // NewProject disassembles the binary and prepares a project.
 func NewProject(img *image.Image, opts Options) (*Project, error) {
 	p := &Project{Img: img, Opts: opts}
+	sp := opts.Obs.Begin(p.obsTID(), "pipeline", "disasm")
 	t0 := time.Now()
 	g, err := disasm.Disassemble(img)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	d := time.Since(t0)
+	sp.Arg("funcs", len(g.Funcs)).Arg("blocks", g.NumBlocks()).End()
 	p.Graph = g
 	p.Stats.update(func() {
 		p.Stats.DisasmTime = d
@@ -173,9 +208,15 @@ func (p *Project) Trace(inputs []Input) (*tracer.Result, error) {
 	if len(runs) == 0 {
 		runs = []tracer.Run{{Seed: p.Opts.Seed}}
 	}
+	sp := p.Opts.Obs.Begin(p.obsTID(), "pipeline", "icft-trace",
+		obs.Arg{Key: "runs", Val: len(runs)})
 	t0 := time.Now()
-	res, err := tracer.Trace(p.Img, p.Graph, runs, p.Opts.Fuel)
+	res, err := tracer.TraceObs(p.Img, p.Graph, runs, p.Opts.Fuel, p.Opts.Obs, p.obsTID())
 	d := time.Since(t0)
+	if res != nil {
+		sp.Arg("icfts", res.ICFTs).Arg("new_targets", res.NewTargets)
+	}
+	sp.End()
 	p.Stats.update(func() {
 		p.Stats.TraceTime += d
 		if res != nil {
@@ -191,15 +232,22 @@ func (p *Project) Trace(inputs []Input) (*tracer.Result, error) {
 	return res, nil
 }
 
-// lift runs the lifter with the project's options over the current CFG.
+// lift runs the lifter with the project's options over the current CFG. The
+// serial whole-module lift is its own wall-clock section, so its duration
+// accumulates into LiftOptWall as well as LiftTime (Total counts the wall).
 func (p *Project) lift() (*lifter.Lifted, error) {
 	t0 := time.Now()
 	lf, err := lifter.Lift(p.Img, p.Graph, lifter.Options{
 		InsertFences: p.Opts.InsertFences,
 		NaiveAtomics: p.Opts.NaiveAtomics,
+		Obs:          p.Opts.Obs,
+		ObsTID:       p.obsTID(),
 	})
 	d := time.Since(t0)
-	p.Stats.update(func() { p.Stats.LiftTime += d })
+	p.Stats.update(func() {
+		p.Stats.LiftTime += d
+		p.Stats.LiftOptWall += d
+	})
 	return lf, err
 }
 
@@ -256,7 +304,10 @@ func (p *Project) Run(img *image.Image, in Input) (vm.Result, error) {
 	if in.Data != nil {
 		m.SetInput(in.Data)
 	}
-	return m.Run(p.Opts.Fuel), nil
+	sp := p.Opts.Obs.Begin(p.obsTID(), "guest", "guest-run")
+	res := m.Run(p.Opts.Fuel)
+	sp.Arg("insts", res.Insts).Arg("cycles", res.Cycles).End()
+	return res, nil
 }
 
 // AdditiveResult describes an additive-lifting session.
@@ -265,6 +316,20 @@ type AdditiveResult struct {
 	Recompiles int // recompilation loops triggered by misses
 	Misses     []Miss
 	Img        *image.Image // the final recompiled binary
+	// Timeline records one entry per recompiling loop iteration — the
+	// convergence history of the session (how many misses each run
+	// discovered and what the recompile that integrated them cost).
+	Timeline []AdditiveLoopStat
+}
+
+// AdditiveLoopStat is one additive-loop iteration of the convergence
+// timeline.
+type AdditiveLoopStat struct {
+	Loop          int     // iteration index (0-based)
+	Misses        int     // distinct control-flow misses this run discovered
+	Relifted      int     // functions re-lifted by the recompile (cache misses)
+	CacheHits     int     // functions replayed from the cache
+	CacheHitRatio float64 // CacheHits / (CacheHits + Relifted), 0 with no cache
 }
 
 // Miss is one recorded control-flow miss.
@@ -290,8 +355,11 @@ func (p *Project) RunAdditive(in Input, maxLoops int) (*AdditiveResult, error) {
 		return nil, err
 	}
 	for loop := 0; ; loop++ {
+		lsp := p.Opts.Obs.Begin(p.obsTID(), "additive", "additive-loop",
+			obs.Arg{Key: "loop", Val: loop})
 		m, err := vm.NewWithExts(img, in.Seed, in.Exts)
 		if err != nil {
+			lsp.End()
 			return nil, err
 		}
 		if in.Data != nil {
@@ -309,17 +377,23 @@ func (p *Project) RunAdditive(in Input, maxLoops int) (*AdditiveResult, error) {
 				misses = append(misses, ms)
 			}
 		}
+		gsp := p.Opts.Obs.Begin(p.obsTID(), "guest", "guest-run",
+			obs.Arg{Key: "loop", Val: loop})
 		res := m.Run(p.Opts.Fuel)
+		gsp.Arg("insts", res.Insts).Arg("misses", len(misses)).End()
 		if res.Fault != nil {
+			lsp.End()
 			return nil, fmt.Errorf("core: additive run faulted at loop %d (after %d recompiles, misses integrated so far %s): %w",
 				loop, out.Recompiles, formatMisses(out.Misses), res.Fault)
 		}
 		if res.ExitCode != vm.MissExitCode || len(misses) == 0 {
+			lsp.Arg("converged", true).End()
 			out.Result = res
 			out.Img = img
 			return out, nil
 		}
 		if loop >= maxLoops {
+			lsp.End()
 			return nil, fmt.Errorf("core: additive lifting did not converge after %d loops (%d recompiles; misses integrated %s; still missing %s)",
 				maxLoops, out.Recompiles, formatMisses(out.Misses), formatMisses(misses))
 		}
@@ -327,21 +401,39 @@ func (p *Project) RunAdditive(in Input, maxLoops int) (*AdditiveResult, error) {
 		for _, ms := range misses {
 			blk := p.Graph.BlockContaining(ms.Site)
 			if blk == nil {
+				lsp.End()
 				return nil, fmt.Errorf("core: loop %d: miss site %#x not in CFG", loop, ms.Site)
 			}
 			if _, known := p.Graph.Blocks[ms.Target]; known {
 				blk.AddTarget(ms.Target)
 			} else if err := disasm.ExploreFrom(p.Img, p.Graph, blk.Addr, ms.Target); err != nil {
+				lsp.End()
 				return nil, fmt.Errorf("core: loop %d: integrating miss %#x->%#x: %w", loop, ms.Site, ms.Target, err)
 			}
 		}
 		out.Misses = append(out.Misses, misses...)
+		// Snapshot the cache counters around the recompile so the timeline
+		// entry carries this iteration's delta. The pipeline calls have
+		// returned at both read points, so the direct field reads are safe.
+		h0, m0 := p.Stats.CacheHits, p.Stats.CacheMisses
 		img, err = p.Recompile()
 		if err != nil {
+			lsp.End()
 			return nil, fmt.Errorf("core: loop %d: recompile after integrating %s: %w",
 				loop, formatMisses(misses), err)
 		}
 		out.Recompiles++
+		hits, relifted := p.Stats.CacheHits-h0, p.Stats.CacheMisses-m0
+		ratio := 0.0
+		if hits+relifted > 0 {
+			ratio = float64(hits) / float64(hits+relifted)
+		}
+		out.Timeline = append(out.Timeline, AdditiveLoopStat{
+			Loop: loop, Misses: len(misses),
+			Relifted: relifted, CacheHits: hits, CacheHitRatio: ratio,
+		})
+		lsp.Arg("misses", len(misses)).Arg("relifted", relifted).
+			Arg("cache_hits", hits).End()
 	}
 }
 
@@ -440,7 +532,7 @@ func (p *Project) FenceOptimize(inputs []Input) (*spindet.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := opt.Run(lf2.Mod, opt.Options{Verify: p.Opts.VerifyIR}); err != nil {
+	if err := opt.Run(lf2.Mod, opt.Options{Verify: p.Opts.VerifyIR, Obs: p.Opts.Obs, ObsTID: p.obsTID()}); err != nil {
 		return nil, err
 	}
 	p.lastRecording = recorder.Recording()

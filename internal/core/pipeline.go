@@ -35,6 +35,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/lifter"
 	"repro/internal/lower"
+	"repro/internal/obs"
 	"repro/internal/opt"
 )
 
@@ -46,15 +47,18 @@ func (p *Project) pipeWorkers() int {
 	return runtime.NumCPU()
 }
 
-// runIndexed runs f(i) for every i in [0,n) on up to workers goroutines.
-// With one worker the calls run in index order and the first error stops the
-// remaining ones — the historical serial contract. With more workers every
-// index runs to completion and the error returned is the erroring index with
-// the lowest value: the same error a serial run would surface first.
-func runIndexed(workers, n int, f func(i int) error) error {
+// runIndexed runs f(w, i) for every i in [0,n) on up to workers goroutines;
+// w identifies the worker making the call (0 on the serial path), so callers
+// can keep per-worker state — the tracer uses it to put each worker's spans
+// on its own track. With one worker the calls run in index order and the
+// first error stops the remaining ones — the historical serial contract.
+// With more workers every index runs to completion and the error returned is
+// the erroring index with the lowest value: the same error a serial run
+// would surface first.
+func runIndexed(workers, n int, f func(w, i int) error) error {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
+			if err := f(0, i); err != nil {
 				return err
 			}
 		}
@@ -68,16 +72,16 @@ func runIndexed(workers, n int, f func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = f(i)
+				errs[i] = f(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -93,14 +97,19 @@ func runIndexed(workers, n int, f func(i int) error) error {
 // and cached per function; the output bytes are independent of the worker
 // count and of cache warmth (see the package comment above).
 func (p *Project) Recompile() (*image.Image, error) {
+	rsp := p.Opts.Obs.Begin(p.obsTID(), "pipeline", "recompile")
 	lf, err := p.buildOptimizedModule()
 	if err != nil {
+		rsp.End()
 		return nil, err
 	}
+	lsp := p.Opts.Obs.Begin(p.obsTID(), "pipeline", "lower")
 	t0 := time.Now()
 	res, err := lower.Lower(lf)
 	d := time.Since(t0)
+	lsp.End()
 	if err != nil {
+		rsp.End()
 		p.Stats.update(func() { p.Stats.LowerTime += d })
 		return nil, err
 	}
@@ -109,6 +118,7 @@ func (p *Project) Recompile() (*image.Image, error) {
 		p.Stats.CodeSize = res.CodeSize
 		p.Stats.Recompiles++
 	})
+	rsp.Arg("code_size", res.CodeSize).End()
 	return res.Img, nil
 }
 
@@ -121,13 +131,41 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 		p.Stats.update(func() { p.Stats.LiftOptWall += d })
 	}()
 
+	tr := p.Opts.Obs
+	ssp := tr.Begin(p.obsTID(), "pipeline", "skeleton")
 	lf := lifter.NewSkeleton(p.Img, p.Graph)
 	funcs := lifter.SortedFuncs(p.Graph)
+	ssp.Arg("funcs", len(funcs)).End()
 	lopts := lifter.Options{
 		InsertFences: p.Opts.InsertFences,
 		NaiveAtomics: p.Opts.NaiveAtomics,
 	}
 	oo := opt.Options{Verify: p.Opts.VerifyIR, NoCallbacks: p.noCallbacks()}
+
+	// One trace track per pool worker, allocated up front (AllocTID is safe
+	// concurrently, but allocating serially keeps track numbering stable):
+	// complete events on one track must not overlap, and each worker's
+	// per-function spans do overlap those of its siblings.
+	var wtids []int64
+	if tr.Enabled() {
+		nw := p.pipeWorkers()
+		if nw > len(funcs) {
+			nw = len(funcs)
+		}
+		if nw < 1 {
+			nw = 1
+		}
+		wtids = make([]int64, nw)
+		for w := range wtids {
+			wtids[w] = tr.AllocTID(fmt.Sprintf("pipe-worker %d", w))
+		}
+	}
+	workerTID := func(w int) int64 {
+		if len(wtids) == 0 {
+			return 0
+		}
+		return wtids[w]
+	}
 
 	// Fused per-function lift+optimize requires that no interprocedural
 	// stage runs between them; callback pruning introduces one (inlining).
@@ -151,23 +189,33 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 			verifyIR:     p.Opts.VerifyIR,
 			removeFences: p.removeFences,
 		}
+		fsp := tr.Begin(p.obsTID(), "pipeline", "fingerprint")
 		keys = make([][32]byte, len(funcs))
 		for i, cf := range funcs {
 			keys[i] = fingerprintFunc(p.Img, p.Graph, cf, isFunc, ko)
 		}
+		fsp.Arg("funcs", len(funcs)).End()
 	}
 
 	counts := make([]int, len(funcs))
 	var hits, misses atomic.Int64
-	task := func(i int) error {
+	task := func(w, i int) error {
 		cf := funcs[i]
+		sp := tr.Begin(workerTID(w), "pipeline", "func",
+			obs.Arg{Key: "entry", Val: fmt.Sprintf("%#x", cf.Entry)},
+			obs.Arg{Key: "worker", Val: w})
+		defer sp.End()
 		if cacheable {
 			if sites, ok := p.cache.replay(keys[i], lf, cf.Entry); ok {
 				counts[i] = sites
 				hits.Add(1)
+				sp.Arg("cache", "hit").Arg("sites", sites)
 				return nil
 			}
 			misses.Add(1)
+			sp.Arg("cache", "miss")
+		} else {
+			sp.Arg("cache", "off")
 		}
 		t0 := time.Now()
 		sites, err := lf.LiftFunc(cf, lopts)
@@ -177,6 +225,7 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 			return err
 		}
 		counts[i] = sites
+		sp.Arg("sites", sites).Arg("lift_us", ld.Microseconds())
 		if fused {
 			f := lf.FuncByAddr[cf.Entry]
 			if p.removeFences {
@@ -190,6 +239,7 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 				if oerr != nil {
 					return oerr
 				}
+				sp.Arg("opt_us", od.Microseconds())
 			}
 			if cacheable {
 				p.cache.put(keys[i], f, sites)
@@ -208,11 +258,13 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 		p.Stats.CacheMisses += int(misses.Load())
 	})
 
+	fssp := tr.Begin(p.obsTID(), "pipeline", "finalize-sites")
 	countByEntry := make(map[uint64]int, len(funcs))
 	for i, cf := range funcs {
 		countByEntry[cf.Entry] = counts[i]
 	}
 	lf.FinalizeSites(countByEntry)
+	fssp.End()
 
 	if fused {
 		// Record the external-entry count and fence state (the fused tasks
@@ -233,14 +285,20 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 		// per function, in parallel.
 		p.applyDynamicResults(lf)
 		if p.Opts.Optimize {
+			isp := tr.Begin(p.obsTID(), "pipeline", "inline-opt")
 			t0 := time.Now()
 			opt.Inline(lf.Mod, 300)
 			mfuncs := lf.Mod.Funcs
-			oerr := runIndexed(p.pipeWorkers(), len(mfuncs), func(i int) error {
+			oerr := runIndexed(p.pipeWorkers(), len(mfuncs), func(w, i int) error {
+				sp := tr.Begin(workerTID(w), "pipeline", "opt-func",
+					obs.Arg{Key: "name", Val: mfuncs[i].Name},
+					obs.Arg{Key: "worker", Val: w})
+				defer sp.End()
 				return opt.RunFunc(mfuncs[i], oo)
 			})
 			od := time.Since(t0)
 			p.Stats.update(func() { p.Stats.OptTime += od })
+			isp.End()
 			if oerr != nil {
 				return nil, oerr
 			}
@@ -249,7 +307,10 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 
 	// Whole-module verification catches cross-function damage no matter
 	// which path — fresh lift, cache replay, or inline — produced a body.
-	if err := ir.Verify(lf.Mod); err != nil {
+	vsp := tr.Begin(p.obsTID(), "pipeline", "verify")
+	err := ir.Verify(lf.Mod)
+	vsp.End()
+	if err != nil {
 		return nil, fmt.Errorf("core: module verification failed: %w", err)
 	}
 	return lf, nil

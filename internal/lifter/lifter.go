@@ -35,6 +35,7 @@ import (
 	"repro/internal/image"
 	"repro/internal/ir"
 	"repro/internal/mx"
+	"repro/internal/obs"
 )
 
 // Runtime external names (bound by the recompiled binary's host runtime).
@@ -56,6 +57,11 @@ type Options struct {
 	// trap: the static-only baseline behavior (unresolved indirect transfer
 	// => crash), with no additive recovery.
 	TrapOnMiss bool
+	// Obs/ObsTID, when set, record a span for the serial whole-module Lift
+	// on the given trace track. The parallel pipeline (internal/core)
+	// records its own per-function spans instead.
+	Obs    *obs.Tracer
+	ObsTID int64
 }
 
 // Lifted is the result of lifting a binary.
@@ -179,6 +185,9 @@ func (lf *Lifted) FinalizeSites(counts map[uint64]int) {
 
 // Lift translates the program described by g into a PIR module.
 func Lift(img *image.Image, g *cfg.Graph, opts Options) (*Lifted, error) {
+	sp := opts.Obs.Begin(opts.ObsTID, "lifter", "lift-module",
+		obs.Arg{Key: "funcs", Val: len(g.Funcs)})
+	defer sp.End()
 	lf := NewSkeleton(img, g)
 	counts := make(map[uint64]int, len(g.Funcs))
 	for _, cf := range SortedFuncs(g) {

@@ -1,0 +1,194 @@
+// Package obs is the observability layer threaded through the whole system:
+// structured spans over the recompilation pipeline and the bench harness
+// (exported as Chrome trace_event JSON, loadable in chrome://tracing or
+// Perfetto), and a Prometheus text exporter for machine- and pipeline-level
+// counters (prom.go).
+//
+// Every entry point is nil-receiver safe: a nil *Tracer records nothing, a
+// span begun on a nil tracer is a nil *Span whose methods are no-ops. The
+// instrumented packages (core, lifter, opt, bench, cmd/polybench) therefore
+// carry a *Tracer unconditionally and pay one predictable nil check when
+// tracing is off — the same disabled-path contract vm.Counters follows.
+//
+// Tracks: Chrome trace events live on (pid, tid) tracks, and complete events
+// on one track must not overlap. Each concurrently executing scope (a bench
+// cell worker, a pipeline worker, a project's serial stages) allocates its
+// own track with AllocTID and tags its spans with it, so spans from
+// concurrent goroutines never share a track.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Arg is one span argument (rendered under "args" in the trace JSON).
+type Arg struct {
+	Key string
+	Val any
+}
+
+// Event phases (the trace_event "ph" field).
+const (
+	PhaseComplete = "X" // a span with ts + dur
+	PhaseInstant  = "i" // a point-in-time marker
+	PhaseMetadata = "M" // track naming
+)
+
+// Event is one recorded trace event.
+type Event struct {
+	Name string
+	Cat  string
+	Ph   string
+	TS   int64 // microseconds since tracer start
+	Dur  int64 // microseconds (PhaseComplete only)
+	PID  int64
+	TID  int64
+	Args []Arg
+}
+
+// Tracer records spans and instants from any number of goroutines.
+type Tracer struct {
+	t0      time.Time
+	pid     int64
+	nextTID atomic.Int64
+	open    atomic.Int64 // begun-but-unended spans (balance invariant)
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty tracer. The zero tid (0) names the main track; worker
+// tracks come from AllocTID.
+func New() *Tracer {
+	return &Tracer{t0: time.Now(), pid: 1}
+}
+
+// Enabled reports whether the tracer records anything (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// now is the current trace timestamp in microseconds.
+func (t *Tracer) now() int64 { return time.Since(t.t0).Microseconds() }
+
+// AllocTID allocates a fresh track id and, when name is non-empty, emits the
+// thread_name metadata event Perfetto uses to label the track. Returns 0 on
+// a nil tracer.
+func (t *Tracer) AllocTID(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	tid := t.nextTID.Add(1)
+	if name != "" {
+		t.record(Event{
+			Name: "thread_name", Ph: PhaseMetadata, PID: t.pid, TID: tid,
+			Args: []Arg{{Key: "name", Val: name}},
+		})
+	}
+	return tid
+}
+
+func (t *Tracer) record(ev Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Span is one begun (and not yet ended) pipeline span.
+type Span struct {
+	t    *Tracer
+	tid  int64
+	cat  string
+	name string
+	ts   int64
+	args []Arg
+}
+
+// Begin starts a span on the given track. End records it. Nil-safe.
+func (t *Tracer) Begin(tid int64, cat, name string, args ...Arg) *Span {
+	if t == nil {
+		return nil
+	}
+	t.open.Add(1)
+	return &Span{t: t, tid: tid, cat: cat, name: name, ts: t.now(), args: args}
+}
+
+// Arg attaches an argument to the span (visible once it ends). Nil-safe;
+// returns the span for chaining.
+func (s *Span) Arg(key string, val any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.args = append(s.args, Arg{Key: key, Val: val})
+	return s
+}
+
+// End records the span as a complete ("X") event. Nil-safe; ending twice
+// records once.
+func (s *Span) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	t := s.t
+	s.t = nil
+	t.open.Add(-1)
+	end := t.now()
+	dur := end - s.ts
+	if dur < 0 {
+		dur = 0
+	}
+	t.record(Event{
+		Name: s.name, Cat: s.cat, Ph: PhaseComplete,
+		TS: s.ts, Dur: dur, PID: t.pid, TID: s.tid, Args: s.args,
+	})
+}
+
+// Instant records a point-in-time marker. Nil-safe.
+func (t *Tracer) Instant(tid int64, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.record(Event{
+		Name: name, Cat: cat, Ph: PhaseInstant,
+		TS: t.now(), PID: t.pid, TID: tid, Args: args,
+	})
+}
+
+// OpenSpans returns the number of begun-but-unended spans — the balance
+// invariant tests assert it is zero once all pipeline calls return.
+func (t *Tracer) OpenSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.open.Load()
+}
+
+// Events returns a snapshot copy of everything recorded so far.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Keys returns one "cat/name/ph" key per recorded event (metadata events
+// excluded), sorted — the canonical event *set* of a run. Two runs of the
+// same work at different worker counts record the same keys; only
+// timestamps, track ids, and track metadata differ.
+func (t *Tracer) Keys() []string {
+	evs := t.Events()
+	keys := make([]string, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Ph == PhaseMetadata {
+			continue
+		}
+		keys = append(keys, ev.Cat+"/"+ev.Name+"/"+ev.Ph)
+	}
+	sort.Strings(keys)
+	return keys
+}

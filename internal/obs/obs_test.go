@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilSafety exercises every entry point on a nil tracer/span: the
+// disabled-path contract is that instrumented code never branches on
+// "tracing on?" — it calls unconditionally and nil receivers no-op.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tid := tr.AllocTID("x"); tid != 0 {
+		t.Fatalf("nil AllocTID = %d, want 0", tid)
+	}
+	sp := tr.Begin(0, "cat", "name", Arg{Key: "k", Val: 1})
+	if sp != nil {
+		t.Fatal("nil tracer Begin returned non-nil span")
+	}
+	sp.Arg("k2", 2) // must not panic
+	sp.End()
+	tr.Instant(0, "cat", "mark")
+	if n := tr.OpenSpans(); n != 0 {
+		t.Fatalf("nil OpenSpans = %d", n)
+	}
+	if evs := tr.Events(); evs != nil {
+		t.Fatalf("nil Events = %v", evs)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	var arr []any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil || len(arr) != 0 {
+		t.Fatalf("nil trace = %q, want empty JSON array", buf.String())
+	}
+}
+
+// TestSpanBalance checks the open-span accounting: Begin increments, End
+// decrements, and a second End on the same span is a no-op (records once).
+func TestSpanBalance(t *testing.T) {
+	tr := New()
+	a := tr.Begin(0, "c", "outer")
+	b := tr.Begin(0, "c", "inner")
+	if n := tr.OpenSpans(); n != 2 {
+		t.Fatalf("open = %d, want 2", n)
+	}
+	b.End()
+	b.End() // idempotent
+	a.End()
+	if n := tr.OpenSpans(); n != 0 {
+		t.Fatalf("open after End = %d, want 0", n)
+	}
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2 (double End must record once)", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Ph != PhaseComplete {
+			t.Errorf("event %q ph = %q, want %q", ev.Name, ev.Ph, PhaseComplete)
+		}
+		if ev.Dur < 0 {
+			t.Errorf("event %q dur = %d, want >= 0", ev.Name, ev.Dur)
+		}
+	}
+}
+
+// TestChromeTraceFormat validates the wire format: a JSON array where every
+// event carries ph/ts/pid/tid, complete events carry dur, instants carry the
+// thread scope, metadata events sort first, and span args come through.
+func TestChromeTraceFormat(t *testing.T) {
+	tr := New()
+	wtid := tr.AllocTID("worker 0")
+	if wtid == 0 {
+		t.Fatal("AllocTID returned the main track")
+	}
+	tr.Begin(wtid, "pipeline", "lift", Arg{Key: "funcs", Val: 3}).
+		Arg("cache", "miss").End()
+	tr.Instant(0, "bench", "converged")
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+	}
+	if ph := evs[0]["ph"]; ph != PhaseMetadata {
+		t.Errorf("first event ph = %v, want metadata first", ph)
+	}
+	var sawSpan, sawInstant bool
+	for _, ev := range evs {
+		switch ev["ph"] {
+		case PhaseComplete:
+			sawSpan = true
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event missing dur: %v", ev)
+			}
+			args, ok := ev["args"].(map[string]any)
+			if !ok || args["funcs"] != float64(3) || args["cache"] != "miss" {
+				t.Errorf("span args = %v, want funcs=3 cache=miss", ev["args"])
+			}
+		case PhaseInstant:
+			sawInstant = true
+			if s := ev["s"]; s != "t" {
+				t.Errorf("instant scope = %v, want t", s)
+			}
+		}
+	}
+	if !sawSpan || !sawInstant {
+		t.Fatalf("missing phases: span=%v instant=%v", sawSpan, sawInstant)
+	}
+}
+
+// TestKeysExcludeMetadata checks the event-set key view: metadata (track
+// names) excluded, keys sorted, and identical regardless of which tracks the
+// spans landed on — the basis of the cross-worker-width determinism tests.
+func TestKeysExcludeMetadata(t *testing.T) {
+	shape := func(tracks int) []string {
+		tr := New()
+		tids := make([]int64, tracks)
+		for i := range tids {
+			tids[i] = tr.AllocTID("w")
+		}
+		tr.Begin(tids[1%tracks], "c", "b").End()
+		tr.Begin(tids[0], "c", "a").End()
+		tr.Instant(tids[0], "c", "i")
+		return tr.Keys()
+	}
+	one, four := shape(1), shape(4)
+	want := []string{"c/a/X", "c/b/X", "c/i/i"}
+	if strings.Join(one, ",") != strings.Join(want, ",") {
+		t.Fatalf("keys = %v, want %v", one, want)
+	}
+	if strings.Join(one, ",") != strings.Join(four, ",") {
+		t.Fatalf("keys differ across track counts: %v vs %v", one, four)
+	}
+}
+
+// TestPrometheusFormat validates the text exposition: HELP/TYPE headers,
+// label rendering with escaping, deterministic sample order, and g-format
+// values.
+func TestPrometheusFormat(t *testing.T) {
+	ms := NewMetricSet()
+	ms.Counter("vm_insts_total", "Guest instructions.").Set(12345)
+	g := ms.Gauge("pipeline_stage_seconds", `Stage "wall" time\per stage.`)
+	g.Set(0.25, Label{Key: "stage", Val: "lift"})
+	g.Set(1.5, Label{Key: "stage", Val: `dis"asm\`})
+
+	var buf bytes.Buffer
+	if err := ms.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP vm_insts_total Guest instructions.\n",
+		"# TYPE vm_insts_total counter\n",
+		"vm_insts_total 12345\n",
+		"# TYPE pipeline_stage_seconds gauge\n",
+		`pipeline_stage_seconds{stage="lift"} 0.25` + "\n",
+		`pipeline_stage_seconds{stage="dis\"asm\\"} 1.5` + "\n",
+		`Stage "wall" time\\per stage.` + "\n", // HELP escapes backslash, not quotes
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Samples within a family sort by label signature regardless of Set order.
+	if i, j := strings.Index(out, `stage="dis`), strings.Index(out, `stage="lift"`); i > j {
+		t.Errorf("samples not sorted by label signature:\n%s", out)
+	}
+}
+
+// TestPrometheusSetOverwrites checks re-Set semantics: same labels overwrite,
+// different labels append.
+func TestPrometheusSetOverwrites(t *testing.T) {
+	ms := NewMetricSet()
+	m := ms.Gauge("x", "")
+	m.Set(1, Label{Key: "a", Val: "1"})
+	m.Set(2, Label{Key: "a", Val: "1"})
+	m.Set(3, Label{Key: "a", Val: "2"})
+	var buf bytes.Buffer
+	if err := ms.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `{a="1"} 1`) || !strings.Contains(out, `{a="1"} 2`) {
+		t.Errorf("same-label Set did not overwrite:\n%s", out)
+	}
+	if !strings.Contains(out, `{a="2"} 3`) {
+		t.Errorf("distinct-label Set missing:\n%s", out)
+	}
+}
+
+// TestPrometheusInvalidNames checks that bad metric and label names are
+// rejected at Write time instead of producing corrupt output.
+func TestPrometheusInvalidNames(t *testing.T) {
+	ms := NewMetricSet()
+	ms.Counter("bad-name", "").Set(1)
+	if err := ms.Write(&bytes.Buffer{}); err == nil {
+		t.Error("invalid metric name accepted")
+	}
+	ms2 := NewMetricSet()
+	ms2.Counter("ok_name", "").Set(1, Label{Key: "bad-label", Val: "v"})
+	if err := ms2.Write(&bytes.Buffer{}); err == nil {
+		t.Error("invalid label name accepted")
+	}
+}
+
+// TestWriteChromeTraceStableOrder checks that the serialized event order is a
+// function of the event list, not of recording interleaving: same spans
+// recorded in a different order serialize identically.
+func TestWriteChromeTraceStableOrder(t *testing.T) {
+	render := func(reverse bool) string {
+		tr := New()
+		// Two spans on fixed tracks, begun together but *recorded* (ended) in
+		// opposite orders; (ts, tid, name) sorting must converge on the same
+		// serialization either way.
+		t1, t2 := tr.AllocTID("a"), tr.AllocTID("b")
+		sx := tr.Begin(t1, "c", "x")
+		sy := tr.Begin(t2, "c", "y")
+		if reverse {
+			sy.End()
+			sx.End()
+		} else {
+			sx.End()
+			sy.End()
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var evs []map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, ev := range evs {
+			if ev["ph"] == PhaseMetadata {
+				continue
+			}
+			names = append(names, ev["name"].(string))
+		}
+		return strings.Join(names, ",")
+	}
+	if a, b := render(false), render(true); a != b {
+		t.Fatalf("serialization depends on record order: %q vs %q", a, b)
+	}
+}

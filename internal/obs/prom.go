@@ -1,0 +1,180 @@
+// Prometheus text-format export (version 0.0.4): the metrics side of the
+// observability layer. A MetricSet is an ordered registry of counter/gauge
+// families; Write renders HELP/TYPE headers and samples with escaped label
+// values, samples sorted by label signature within each family, so the
+// output is deterministic for a given set of values.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric family types.
+const (
+	TypeCounter = "counter"
+	TypeGauge   = "gauge"
+)
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Label is one label pair of a sample.
+type Label struct {
+	Key, Val string
+}
+
+type sample struct {
+	labels []Label
+	val    float64
+}
+
+// Metric is one metric family (a name, a type, and any number of samples
+// distinguished by labels).
+type Metric struct {
+	name, help, typ string
+	samples         []sample
+}
+
+// Set records a sample. Calling Set again with the same labels overwrites
+// the prior value, so accumulating callers can re-export freely.
+func (m *Metric) Set(v float64, labels ...Label) *Metric {
+	sig := labelSig(labels)
+	for i := range m.samples {
+		if labelSig(m.samples[i].labels) == sig {
+			m.samples[i].val = v
+			return m
+		}
+	}
+	m.samples = append(m.samples, sample{labels: labels, val: v})
+	return m
+}
+
+// MetricSet is an ordered collection of metric families.
+type MetricSet struct {
+	metrics []*Metric
+	byName  map[string]*Metric
+}
+
+// NewMetricSet returns an empty set.
+func NewMetricSet() *MetricSet {
+	return &MetricSet{byName: map[string]*Metric{}}
+}
+
+// Counter registers (or returns the existing) counter family.
+func (s *MetricSet) Counter(name, help string) *Metric { return s.family(name, help, TypeCounter) }
+
+// Gauge registers (or returns the existing) gauge family.
+func (s *MetricSet) Gauge(name, help string) *Metric { return s.family(name, help, TypeGauge) }
+
+func (s *MetricSet) family(name, help, typ string) *Metric {
+	if m, ok := s.byName[name]; ok {
+		return m
+	}
+	m := &Metric{name: name, help: help, typ: typ}
+	s.metrics = append(s.metrics, m)
+	s.byName[name] = m
+	return m
+}
+
+// Write renders the set in Prometheus text format. Families render in
+// registration order; samples within a family sort by label signature.
+// Invalid metric or label names are an error, not silent corruption.
+func (s *MetricSet) Write(w io.Writer) error {
+	for _, m := range s.metrics {
+		if !metricNameRE.MatchString(m.name) {
+			return fmt.Errorf("obs: invalid metric name %q", m.name)
+		}
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ); err != nil {
+			return err
+		}
+		samples := append([]sample(nil), m.samples...)
+		sort.SliceStable(samples, func(i, j int) bool {
+			return labelSig(samples[i].labels) < labelSig(samples[j].labels)
+		})
+		for _, sm := range samples {
+			for _, l := range sm.labels {
+				if !labelNameRE.MatchString(l.Key) {
+					return fmt.Errorf("obs: invalid label name %q on metric %s", l.Key, m.name)
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, renderLabels(sm.labels), formatValue(sm.val)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the set to path.
+func (s *MetricSet) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	werr := s.Write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("obs: write %s: %w", path, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("obs: close %s: %w", path, cerr)
+	}
+	return nil
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, l.Key, escapeLabel(l.Val))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the text-format rules: backslash,
+// double-quote, and newline.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP line: backslash and newline only.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func labelSig(labels []Label) string {
+	var sb strings.Builder
+	for _, l := range labels {
+		sb.WriteString(l.Key)
+		sb.WriteByte('\x00')
+		sb.WriteString(l.Val)
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}

@@ -1,0 +1,89 @@
+// Chrome trace_event export: the tracer's events serialized as the JSON
+// array-of-events form of the Trace Event Format, which chrome://tracing and
+// Perfetto's JSON importer both accept. Every event carries ph/ts/pid/tid
+// (and dur for complete events); args render as a JSON object with sorted
+// keys, so the encoding of a given event list is deterministic.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// jsonEvent is the wire form of one trace event.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes every recorded event as a JSON array. Events are
+// ordered by (ts, tid, name) so the file is stable for a given event list
+// regardless of the order concurrent spans were recorded in. A nil tracer
+// writes an empty array.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	evs := t.Events()
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		// Metadata first, so track names precede their events.
+		if (a.Ph == PhaseMetadata) != (b.Ph == PhaseMetadata) {
+			return a.Ph == PhaseMetadata
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Name < b.Name
+	})
+	out := make([]jsonEvent, len(evs))
+	for i, ev := range evs {
+		je := jsonEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: ev.Ph,
+			TS: ev.TS, PID: ev.PID, TID: ev.TID,
+		}
+		if ev.Ph == PhaseComplete {
+			dur := ev.Dur
+			je.Dur = &dur
+		}
+		if ev.Ph == PhaseInstant {
+			je.S = "t" // thread-scoped instant
+		}
+		if len(ev.Args) > 0 {
+			je.Args = make(map[string]any, len(ev.Args))
+			for _, a := range ev.Args {
+				je.Args[a.Key] = a.Val
+			}
+		}
+		out[i] = je
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFile writes the Chrome trace JSON to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	werr := t.WriteChromeTrace(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("obs: write %s: %w", path, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("obs: close %s: %w", path, cerr)
+	}
+	return nil
+}

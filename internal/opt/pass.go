@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // Pass is one transformation over a function.
@@ -51,11 +52,19 @@ type Options struct {
 	// then clobber/preserve nothing of the virtual state, unlocking
 	// aggressive elimination around them.
 	NoCallbacks bool
+	// Obs/ObsTID, when set, record a span for the serial whole-module Run
+	// on the given trace track. RunFunc records nothing: the parallel
+	// pipeline (internal/core) owns per-function spans.
+	Obs    *obs.Tracer
+	ObsTID int64
 }
 
 // Run applies the standard pipeline to every function of m until fixpoint
 // (or MaxIters, default 4).
 func Run(m *ir.Module, opts Options) error {
+	sp := opts.Obs.Begin(opts.ObsTID, "opt", "opt-module",
+		obs.Arg{Key: "funcs", Val: len(m.Funcs)})
+	defer sp.End()
 	for _, f := range m.Funcs {
 		if err := RunFunc(f, opts); err != nil {
 			return err

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/disasm"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -51,11 +52,18 @@ type Result struct {
 // the returned Result carries the counts accumulated so far (the fault may
 // well sit on the very path whose targets the caller is tracing toward).
 func Trace(img *image.Image, g *cfg.Graph, runs []Run, fuel uint64) (*Result, error) {
+	return TraceObs(img, g, runs, fuel, nil, 0)
+}
+
+// TraceObs is Trace with span recording: when tr is non-nil, every concrete
+// execution records an "icft-run" span (with its instruction count and how
+// many new ICFT records it produced) on the given trace track.
+func TraceObs(img *image.Image, g *cfg.Graph, runs []Run, fuel uint64, tr *obs.Tracer, tid int64) (*Result, error) {
 	res := &Result{}
 	type siteTarget struct{ site, target uint64 }
 	seen := map[siteTarget]bool{}
 	merged := 0
-	for _, r := range runs {
+	for ri, r := range runs {
 		m, err := vm.NewWithExts(img, r.Seed, r.Exts)
 		if err != nil {
 			return nil, err
@@ -75,7 +83,9 @@ func Trace(img *image.Image, g *cfg.Graph, runs []Run, fuel uint64) (*Result, er
 				recs = append(recs, rec{from, target})
 			}
 		}
+		sp := tr.Begin(tid, "tracer", "icft-run", obs.Arg{Key: "run", Val: ri})
 		out := m.Run(fuel)
+		sp.Arg("insts", out.Insts).Arg("records", len(recs)).End()
 		res.Runs++
 		res.Insts += out.Insts
 		// Merge this run's records into the graph — before the fault check,

@@ -1,0 +1,237 @@
+package vm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/mx"
+	"repro/internal/vm"
+)
+
+// threadedCounterImage is the 4-thread lock-add workload: enough concurrent
+// execution to exercise preemption, atomic, icache, and TLB counting.
+func threadedCounterImage(t *testing.T) *image.Image {
+	return build(t, func(b *asm.Builder) {
+		b.BSS("counter", 8)
+		b.BSS("tids", 64)
+		b.Entry("main")
+		b.Label("main")
+		b.MovRI(mx.R12, 0)
+		b.Label("spawn")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.R12, Imm: 4})
+		b.Jcc(mx.CondGE, "joinloop")
+		b.MovSym(mx.RDI, "worker")
+		b.MovRI(mx.RSI, 0)
+		b.CallExt("thread_create")
+		b.MovSym(mx.RBX, "tids")
+		b.I(mx.Inst{Op: mx.STOREIDX64, Dst: mx.RAX, Base: mx.RBX, Idx: mx.R12, Scale: 8})
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.R12, Imm: 1})
+		b.Jmp("spawn")
+		b.Label("joinloop")
+		b.MovRI(mx.R12, 0)
+		b.Label("join1")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.R12, Imm: 4})
+		b.Jcc(mx.CondGE, "report")
+		b.MovSym(mx.RBX, "tids")
+		b.I(mx.Inst{Op: mx.LOADIDX64, Dst: mx.RDI, Base: mx.RBX, Idx: mx.R12, Scale: 8})
+		b.CallExt("thread_join")
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.R12, Imm: 1})
+		b.Jmp("join1")
+		b.Label("report")
+		b.MovSym(mx.RBX, "counter")
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RDI, Base: mx.RBX})
+		b.CallExt("exit")
+
+		b.Label("worker")
+		b.MovRI(mx.RCX, 0)
+		b.MovSym(mx.RBX, "counter")
+		b.MovRI(mx.RDX, 1)
+		b.Label("wloop")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.RCX, Imm: 1000})
+		b.Jcc(mx.CondGE, "wdone")
+		b.I(mx.Inst{Op: mx.LOCKADD, Dst: mx.RDX, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RCX, Imm: 1})
+		b.Jmp("wloop")
+		b.Label("wdone")
+		b.MovRI(mx.RAX, 0)
+		b.Ret()
+	})
+}
+
+func runCounted(t *testing.T, img *image.Image, seed int64) (vm.Result, *vm.Counters) {
+	t.Helper()
+	m, err := vm.New(img, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableCounters()
+	res := m.Run(50_000_000)
+	return res, m.Counters()
+}
+
+// TestCountersDeterministic runs the same threaded workload twice with the
+// same scheduler seed: the full counter snapshot — per-thread splits,
+// preemptions, cache outcomes, everything — must be identical, because the
+// counters only observe the (deterministic) execution.
+func TestCountersDeterministic(t *testing.T) {
+	img := threadedCounterImage(t)
+	res1, c1 := runCounted(t, img, 7)
+	res2, c2 := runCounted(t, img, 7)
+	mustExit(t, res1, 4000)
+	mustExit(t, res2, 4000)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("counter snapshots differ for identical seeds:\n%+v\nvs\n%+v", c1, c2)
+	}
+	if c1.Preemptions == 0 {
+		t.Error("no preemptions counted across 4 spinning threads")
+	}
+	if c1.LockRMW < 4000 {
+		t.Errorf("lock-RMW count = %d, want >= 4000 (4 threads x 1000 lock-adds)", c1.LockRMW)
+	}
+	if c1.ICacheHits == 0 || c1.TLBHits == 0 {
+		t.Errorf("icache hits = %d, tlb hits = %d, want both > 0", c1.ICacheHits, c1.TLBHits)
+	}
+	if len(c1.Threads) != 5 {
+		t.Errorf("thread slots = %d, want 5 (main + 4 workers)", len(c1.Threads))
+	}
+}
+
+// TestCountersDoNotPerturbExecution checks that enabling counters is purely
+// observational: result and retired-instruction count match the
+// uninstrumented run exactly.
+func TestCountersDoNotPerturbExecution(t *testing.T) {
+	img := threadedCounterImage(t)
+	m, err := vm.New(img, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := m.Run(50_000_000)
+	counted, c := runCounted(t, img, 3)
+	mustExit(t, plain, 4000)
+	mustExit(t, counted, 4000)
+	if plain.Insts != counted.Insts {
+		t.Fatalf("instrumentation changed execution: %d vs %d insts", plain.Insts, counted.Insts)
+	}
+	if c.Insts != counted.Insts {
+		t.Fatalf("counter insts %d != result insts %d", c.Insts, counted.Insts)
+	}
+}
+
+// TestCountersOpcodeAccounting retires a known opcode mix and checks the
+// per-kind counters exactly: 3 lock-adds + 2 cmpxchgs = 5 lock-RMWs, 1
+// indirect call, and a class histogram that sums to the retired total with
+// per-thread totals agreeing.
+func TestCountersOpcodeAccounting(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.BSS("cell", 8)
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RBX, "cell")
+		b.MovRI(mx.RDX, 1)
+		b.I(mx.Inst{Op: mx.LOCKADD, Dst: mx.RDX, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.LOCKADD, Dst: mx.RDX, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.LOCKADD, Dst: mx.RDX, Base: mx.RBX})
+		b.MovRI(mx.RAX, 0)
+		b.MovRI(mx.RCX, 7)
+		b.I(mx.Inst{Op: mx.CMPXCHG, Dst: mx.RCX, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.CMPXCHG, Dst: mx.RCX, Base: mx.RBX})
+		b.MovSym(mx.RAX, "leaf")
+		b.I(mx.Inst{Op: mx.CALLR, Dst: mx.RAX})
+		b.MovRI(mx.RDI, 0)
+		b.CallExt("exit")
+		b.Label("leaf")
+		b.Ret()
+	})
+	res, c := runCounted(t, img, 1)
+	mustExit(t, res, 0)
+	if c.LockRMW != 5 {
+		t.Errorf("LockRMW = %d, want 5", c.LockRMW)
+	}
+	if c.Cmpxchg != 2 {
+		t.Errorf("Cmpxchg = %d, want 2", c.Cmpxchg)
+	}
+	if c.IndirectBranches != 1 {
+		t.Errorf("IndirectBranches = %d, want 1", c.IndirectBranches)
+	}
+	if c.OpClassCounts[vm.OpClassAtomic] != 5 {
+		t.Errorf("atomic class = %d, want 5", c.OpClassCounts[vm.OpClassAtomic])
+	}
+	if c.OpClassCounts[vm.OpClassIndirect] != 1 {
+		t.Errorf("indirect class = %d, want 1", c.OpClassCounts[vm.OpClassIndirect])
+	}
+	var classSum, threadSum uint64
+	for _, n := range c.OpClassCounts {
+		classSum += n
+	}
+	for _, tc := range c.Threads {
+		threadSum += tc.Insts
+	}
+	if classSum != c.Insts || threadSum != c.Insts {
+		t.Errorf("class sum %d / thread sum %d, want both == Insts %d", classSum, threadSum, c.Insts)
+	}
+	if c.Insts != res.Insts {
+		t.Errorf("counter insts %d != result insts %d", c.Insts, res.Insts)
+	}
+}
+
+// TestCounterSinkAbsorbsRuns checks the machine-wide sink seam polybench
+// -metrics uses: with CounterSinkDefault installed every new machine counts,
+// each Run's totals land in the sink, and repeated Runs are deltas (no
+// double counting).
+func TestCounterSinkAbsorbsRuns(t *testing.T) {
+	sink := vm.NewCounterSink()
+	vm.CounterSinkDefault = sink
+	defer func() { vm.CounterSinkDefault = nil }()
+
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("main")
+		b.Label("main")
+		b.MovRI(mx.RDI, 9)
+		b.CallExt("exit")
+	})
+	var want uint64
+	for i := 0; i < 3; i++ {
+		m, err := vm.New(img, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.Run(1_000_000)
+		mustExit(t, res, 9)
+		want += res.Insts
+	}
+	got := sink.Snapshot()
+	if got.Insts != want {
+		t.Fatalf("sink insts = %d, want %d (3 machines, one Run each)", got.Insts, want)
+	}
+	var threadSum uint64
+	for _, tc := range got.Threads {
+		threadSum += tc.Insts
+	}
+	if threadSum != want {
+		t.Fatalf("sink per-thread sum = %d, want %d", threadSum, want)
+	}
+}
+
+// TestCountersMergeAndClone checks snapshot arithmetic used by the sink.
+func TestCountersMergeAndClone(t *testing.T) {
+	a := vm.NewCounters()
+	b := vm.NewCounters()
+	img := threadedCounterImage(t)
+	_, c := runCounted(t, img, 5)
+	a.Merge(c)
+	a.Merge(c)
+	b.Merge(c)
+	if a.Insts != 2*b.Insts || a.LockRMW != 2*b.LockRMW {
+		t.Fatalf("double merge: %d/%d insts, %d/%d lockRMW", a.Insts, b.Insts, a.LockRMW, b.LockRMW)
+	}
+	cl := c.Clone()
+	if !reflect.DeepEqual(cl, c) {
+		t.Fatal("clone differs from original")
+	}
+	cl.Threads[0].Insts++
+	if c.Threads[0].Insts == cl.Threads[0].Insts {
+		t.Fatal("clone shares thread slice with original")
+	}
+}

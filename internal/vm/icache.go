@@ -46,8 +46,15 @@ func (m *Machine) fetchInst(pc uint64) (*mx.Inst, int, bool) {
 		if cp == nil {
 			cp = m.fillCodePage(base)
 			m.icache[base] = cp
+			if m.ctr != nil {
+				m.ctr.ICacheMisses++
+			}
+		} else if m.ctr != nil {
+			m.ctr.ICacheHits++
 		}
 		m.icBase, m.icPage = base, cp
+	} else if m.ctr != nil {
+		m.ctr.ICacheHits++
 	}
 	off := pc & (pageSize - 1)
 	n := cp.lens[off]
@@ -127,6 +134,14 @@ func (m *Machine) decodeUncached(pc uint64) (*mx.Inst, int, bool) {
 // page straddles into this one). Registered as the Memory write watcher over
 // the image's executable ranges.
 func (m *Machine) invalidateCode(pageBase uint64) {
+	if m.ctr != nil {
+		if _, ok := m.icache[pageBase]; ok {
+			m.ctr.ICacheInvalidations++
+		}
+		if _, ok := m.icache[pageBase-pageSize]; ok {
+			m.ctr.ICacheInvalidations++
+		}
+	}
 	delete(m.icache, pageBase)
 	delete(m.icache, pageBase-pageSize)
 	if m.icBase == pageBase || m.icBase == pageBase-pageSize {

@@ -45,6 +45,10 @@ type Memory struct {
 	watchLo, watchHi uint64
 	watchRanges      [][2]uint64
 	onWrite          func(pageBase uint64)
+
+	// ctr, when the owning machine has counters enabled, receives TLB
+	// hit/miss counts from page() (counters.go).
+	ctr *Counters
 }
 
 // NewMemory returns an empty address space.
@@ -102,7 +106,13 @@ func (m *Memory) page(addr uint64, create bool) ([]byte, uint64) {
 	base := addr &^ (pageSize - 1)
 	e := &m.tlb[(addr>>pageShift)&(tlbSize-1)]
 	if e.pg != nil && e.base == base {
+		if m.ctr != nil {
+			m.ctr.TLBHits++
+		}
 		return e.pg, addr - base
+	}
+	if m.ctr != nil {
+		m.ctr.TLBMisses++
 	}
 	p, ok := m.pages[base]
 	if !ok {

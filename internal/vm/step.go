@@ -145,6 +145,9 @@ func (m *Machine) stepThread(t *Thread) {
 	}
 	m.insts++
 	m.charge(t, costs[inst.Op])
+	if m.ctr != nil {
+		m.ctr.count(t.ID, inst.Op)
+	}
 	next := pc + uint64(n)
 	t.PC = next // default; control flow overrides
 

@@ -137,6 +137,11 @@ type Machine struct {
 	cycles uint64
 	insts  uint64
 
+	// machine counters (counters.go); nil when disabled, which is the
+	// uninstrumented default — every counting site is behind a nil check.
+	ctr  *Counters
+	sink *CounterSink
+
 	// predecoded instruction cache (icache.go). icBase/icPage are the
 	// last-fetched page, the common case of straight-line execution.
 	nocache      bool
@@ -221,6 +226,10 @@ func NewWithExts(img *image.Image, seed int64, exts map[string]ExtFunc) (*Machin
 	m.nocache = NoCacheDefault
 	m.icache = map[uint64]*codePage{}
 	m.icBase = noPage
+	if CounterSinkDefault != nil {
+		m.sink = CounterSinkDefault
+		m.EnableCounters()
+	}
 	var execRanges [][2]uint64
 	for _, s := range img.Sections {
 		if s.Exec && s.Size > 0 {
@@ -316,6 +325,11 @@ func (m *Machine) pickThread() *Thread {
 	for k := 0; k < n; k++ {
 		idx := (start + k) % n
 		if m.threads[idx].State == Runnable {
+			if m.ctr != nil && idx != m.curIdx && m.curIdx < n && m.threads[m.curIdx].State == Runnable {
+				// Switched away from a still-runnable thread: a preemption,
+				// as opposed to a switch forced by a block or exit.
+				m.ctr.Preemptions++
+			}
 			m.curIdx = idx
 			m.sliceLeft = m.quantum - 1
 			return m.threads[idx]
@@ -343,6 +357,14 @@ func (m *Machine) Run(fuel uint64) Result {
 	}
 	if !m.exited && m.fault == nil && m.insts >= fuel {
 		m.fault = &Fault{Reason: fmt.Sprintf("fuel exhausted after %d instructions", m.insts)}
+	}
+	if m.sink != nil && m.ctr != nil {
+		// Hand this run's deltas to the sink and start fresh, so a machine
+		// that Runs repeatedly (the additive-lifting driver) is not
+		// double-counted.
+		m.sink.Absorb(m.ctr)
+		m.ctr = NewCounters()
+		m.Mem.ctr = m.ctr
 	}
 	return Result{
 		ExitCode: m.exitCode,
@@ -387,4 +409,7 @@ func (m *Machine) charge(t *Thread, c uint64) {
 	c += m.ExtraCostPerInst
 	m.cycles += c
 	t.Cycles += c
+	if m.ctr != nil {
+		m.ctr.addCycles(t.ID, c)
+	}
 }
