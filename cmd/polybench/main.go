@@ -25,6 +25,14 @@
 //	                        the run-wide pipeline stats in Prometheus text
 //	                        format at exit
 //
+// -store DIR backs every project's artifact store with a content-addressed
+// disk tier rooted at DIR, so CFGs, trace sessions, optimized function
+// bodies, and lowered images persist across polybench invocations: a second
+// run over a warm store replays its recompiles from disk and prints
+// byte-identical tables (DESIGN.md §3, §"Artifact store"). The per-table
+// footer's "disk hits" count shows how much was replayed; corrupted or
+// truncated entries degrade to misses, never errors.
+//
 // -nocache disables the interpreter's predecoded instruction cache (the
 // differential-testing escape hatch; output is identical, only slower).
 // -nopipecache disables the per-function recompile cache — orthogonal to
@@ -42,6 +50,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/vm"
 )
 
@@ -52,7 +61,8 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent pipeline cells (1 = serial)")
 	jpipe := flag.Int("jpipe", runtime.NumCPU(), "concurrent per-recompile function lifts/optimizations (1 = serial)")
 	nocache := flag.Bool("nocache", false, "disable the VM predecoded instruction cache")
-	nopipecache := flag.Bool("nopipecache", false, "disable the per-function recompile cache")
+	nopipecache := flag.Bool("nopipecache", false, "disable the artifact store (per-function recompile cache and friends)")
+	storeDir := flag.String("store", "", "back the artifact store with a disk tier rooted at `dir` (persists across runs)")
 	tracefile := flag.String("tracefile", "", "write a Chrome trace_event JSON span trace to `file`")
 	metrics := flag.String("metrics", "", "enable VM counters and write Prometheus text metrics to `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
@@ -102,6 +112,16 @@ func main() {
 	h.SetPipelineWorkers(*jpipe)
 	h.SetNoFuncCache(*nopipecache)
 	h.SetTracer(tracer)
+	var disk *store.Disk
+	if *storeDir != "" {
+		d, err := store.OpenDisk(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store: %v\n", err)
+			os.Exit(1)
+		}
+		disk = d
+		h.SetStore(d)
+	}
 
 	// total accumulates every section's stats: the per-section footers reset
 	// between tables, but the metrics export covers the whole run.
@@ -124,7 +144,11 @@ func main() {
 			}
 		}
 		if sink != nil {
-			if err := bench.BuildMetrics(total, sink.Snapshot()).WriteFile(*metrics); err != nil {
+			var storeStats map[string]store.Counters
+			if disk != nil {
+				storeStats = disk.Stats()
+			}
+			if err := bench.BuildMetrics(total, storeStats, sink.Snapshot()).WriteFile(*metrics); err != nil {
 				fail("metrics: %v", err)
 			}
 		}

@@ -8,6 +8,16 @@
 //	polynima run     prog.pxe [-in file]    execute a binary
 //	polynima recompile prog.pxe -o out.pxe  [-trace] [-fence-opt] [-prune]
 //	polynima additive  prog.pxe [-in file]  run with the additive loop
+//
+// -store DIR backs the project's artifact store with a content-addressed
+// disk tier, so a repeated recompile of the same binary replays its CFG,
+// trace sessions, optimized function bodies, and lowered image from disk —
+// with byte-identical output (DESIGN.md §3).
+//
+// -cfg FILE (additive only) checkpoints the evolving CFG to FILE after
+// every integrated miss batch, via an atomic temp-file + rename, and
+// resumes discovery from the checkpoint on the next run — a session killed
+// mid-loop loses at most the batch in flight, never the file.
 package main
 
 import (
@@ -17,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/image"
+	"repro/internal/store"
 	"repro/internal/vm"
 )
 
@@ -32,8 +43,17 @@ func main() {
 	fenceOpt := fs.Bool("fence-opt", false, "run spinloop detection and remove fences when provable")
 	prune := fs.Bool("prune", false, "run the callback-usage analysis and prune wrappers")
 	seed := fs.Int64("seed", 1, "scheduler seed")
+	storeDir := fs.String("store", "", "back the artifact store with a disk tier rooted at `dir`")
+	cfgPath := fs.String("cfg", "", "additive: checkpoint the evolving CFG to `file` (atomic write) and resume from it")
 	imgPath := os.Args[2]
 	_ = fs.Parse(os.Args[3:])
+
+	opts := core.DefaultOptions()
+	if *storeDir != "" {
+		d, err := store.OpenDisk(*storeDir)
+		check(err)
+		opts.Store = d
+	}
 
 	data, err := os.ReadFile(imgPath)
 	check(err)
@@ -49,7 +69,7 @@ func main() {
 
 	switch cmd {
 	case "disasm":
-		p, err := core.NewProject(img, core.DefaultOptions())
+		p, err := core.NewProject(img, opts)
 		check(err)
 		out, err := p.Graph.Marshal()
 		check(err)
@@ -68,7 +88,7 @@ func main() {
 		}
 		os.Exit(res.ExitCode)
 	case "recompile":
-		p, err := core.NewProject(img, core.DefaultOptions())
+		p, err := core.NewProject(img, opts)
 		check(err)
 		if *doTrace {
 			_, err := p.Trace([]core.Input{in})
@@ -95,8 +115,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "recompiled: %d funcs, %d blocks, %d bytes of new code, pipeline %s\n",
 			p.Stats.Funcs, p.Stats.Blocks, p.Stats.CodeSize, p.Stats.Total())
 	case "additive":
-		p, err := core.NewProject(img, core.DefaultOptions())
+		p, resumed, err := resumeProject(img, *cfgPath, opts)
 		check(err)
+		if resumed {
+			fmt.Fprintf(os.Stderr, "additive: resuming from CFG checkpoint %s\n", *cfgPath)
+		}
 		res, err := p.RunAdditive(in, 64)
 		check(err)
 		fmt.Print(res.Result.Output)

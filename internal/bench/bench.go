@@ -66,6 +66,7 @@ func (h *Harness) coreOptions() core.Options {
 	o.Workers = h.pipeWorkers
 	o.NoFuncCache = h.noFuncCache
 	o.Obs = h.tracer
+	o.Store = h.store
 	return o
 }
 

@@ -2,17 +2,20 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/vm"
 )
 
-// BuildMetrics renders a harness pipeline snapshot and an aggregated
+// BuildMetrics renders a harness pipeline snapshot, the backing artifact
+// store's per-tier counters (nil when no -store), and an aggregated
 // machine-counter snapshot (nil when counters were off) as a Prometheus
 // metric set — the payload behind cmd/polybench's -metrics flag. All values
 // are end-of-run totals, so counters use the _total convention and ratios
 // are gauges.
-func BuildMetrics(s StageSnapshot, c *vm.Counters) *obs.MetricSet {
+func BuildMetrics(s StageSnapshot, st map[string]store.Counters, c *vm.Counters) *obs.MetricSet {
 	ms := obs.NewMetricSet()
 
 	stage := ms.Gauge("pipeline_stage_seconds",
@@ -42,6 +45,40 @@ func BuildMetrics(s StageSnapshot, c *vm.Counters) *obs.MetricSet {
 		"Benchmark cells that returned an error.").Set(float64(s.Failed))
 	ms.Counter("pipeline_trace_insts_total",
 		"Guest instructions executed by the ICFT tracer.").Set(float64(s.TraceInsts))
+
+	hits := ms.Counter("pipeline_store_hits_total",
+		"Artifact-store hits per tier, summed over every project the harness built.")
+	misses := ms.Counter("pipeline_store_misses_total",
+		"Artifact-store misses per tier (a memory miss falls through to the disk tier when one is attached).")
+	hits.Set(float64(s.StoreMemHits), obs.Label{Key: "tier", Val: "mem"})
+	hits.Set(float64(s.StoreDiskHits), obs.Label{Key: "tier", Val: "disk"})
+	misses.Set(float64(s.StoreMemMisses), obs.Label{Key: "tier", Val: "mem"})
+	misses.Set(float64(s.StoreDiskMisses), obs.Label{Key: "tier", Val: "disk"})
+	ms.Counter("pipeline_store_evictions_total",
+		"Memory-tier artifact entries pruned generationally.").
+		Set(float64(s.StoreEvictions))
+
+	if st != nil {
+		// The backing store's own view: unlike the pipeline_store_* counters
+		// above it includes corruption rejects and swallowed I/O errors, which
+		// the pipeline only ever sees as misses.
+		tiers := make([]string, 0, len(st))
+		for tier := range st {
+			tiers = append(tiers, tier)
+		}
+		sort.Strings(tiers)
+		ops := ms.Counter("store_tier_ops_total",
+			"Backing artifact-store operations by tier and outcome; corrupt entries are deleted and recounted as misses, errors are swallowed writes.")
+		for _, tier := range tiers {
+			c := st[tier]
+			l := obs.Label{Key: "tier", Val: tier}
+			ops.Set(float64(c.Hits), l, obs.Label{Key: "op", Val: "hit"})
+			ops.Set(float64(c.Misses), l, obs.Label{Key: "op", Val: "miss"})
+			ops.Set(float64(c.Evictions), l, obs.Label{Key: "op", Val: "eviction"})
+			ops.Set(float64(c.Corrupt), l, obs.Label{Key: "op", Val: "corrupt"})
+			ops.Set(float64(c.Errors), l, obs.Label{Key: "op", Val: "error"})
+		}
+	}
 
 	if c == nil {
 		return ms

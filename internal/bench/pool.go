@@ -3,10 +3,10 @@ package bench
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/pool"
+	"repro/internal/store"
 )
 
 // Harness executes the table/figure generators over a bounded worker pool.
@@ -18,8 +18,11 @@ import (
 // byte-identical at any worker count; only wall-clock measurements (Table 4,
 // Figure 4 durations) vary, as they do between any two runs.
 //
-// One worker reproduces the historical serial behavior exactly: cells run
-// in index order and the first failure stops the table.
+// The pool itself — and its error-ordering contract (one worker reproduces
+// the historical serial behavior exactly: cells run in index order and the
+// first failure stops the table; more workers run every cell and surface the
+// lowest-index error) — is internal/pool, shared with the recompilation
+// pipeline.
 type Harness struct {
 	workers int
 	// pipeWorkers is the per-recompile pipeline width (core.Options.Workers,
@@ -31,9 +34,13 @@ type Harness struct {
 	// tracer, when set, records one span per cell (and is handed to every
 	// project the harness builds for its pipeline-stage spans).
 	tracer *obs.Tracer
-	// noFuncCache disables the per-function recompile cache in every
-	// project the harness builds (cmd/polybench's -nopipecache).
+	// noFuncCache disables the artifact store in every project the harness
+	// builds (cmd/polybench's -nopipecache).
 	noFuncCache bool
+	// store, when set, is the shared backing artifact tier (typically a disk
+	// store, cmd/polybench's -store) handed to every project the harness
+	// builds. Each project fronts it with its own generational memory tier.
+	store store.Store
 }
 
 // NewHarness returns a harness running up to workers concurrent cells;
@@ -67,78 +74,50 @@ func (h *Harness) SetTracer(t *obs.Tracer) { h.tracer = t }
 // Tracer returns the attached tracer (nil when tracing is off).
 func (h *Harness) Tracer() *obs.Tracer { return h.tracer }
 
-// SetNoFuncCache disables the per-function recompile cache in every project
-// the harness builds (orthogonal to the VM predecode cache).
+// SetNoFuncCache disables the artifact store in every project the harness
+// builds (orthogonal to the VM predecode cache).
 func (h *Harness) SetNoFuncCache(v bool) { h.noFuncCache = v }
 
+// SetStore attaches a shared backing artifact tier (cmd/polybench's
+// -store): every project the harness builds composes its own generational
+// memory tier over st, so per-function bodies, CFGs, trace merges, and
+// lowered images persist across cells — and, with a disk store, across
+// polybench invocations.
+func (h *Harness) SetStore(st store.Store) { h.store = st }
+
+// Store returns the attached backing store (nil when none).
+func (h *Harness) Store() store.Store { return h.store }
+
 // forEach runs f(i) for every i in [0,n), at most h.workers cells at a
-// time, and accounts every executed cell in the harness stats.
-//
-// With one worker the cells run in index order and the first error returns
-// immediately, skipping the remaining cells — the serial contract. With
-// more workers every cell runs to completion regardless of other cells'
-// failures (each result occupies a distinct index), and the error returned
-// is the erroring cell with the lowest index: the same error the serial run
-// would have surfaced first.
+// time, and accounts every executed cell in the harness stats. Error
+// ordering follows the internal/pool contract (serial early exit with one
+// worker; lowest-index error otherwise).
 func (h *Harness) forEach(n int, f func(i int) error) error {
 	tr := h.tracer
-	if h.workers <= 1 || n <= 1 {
-		ctid := int64(0)
-		if tr.Enabled() {
-			ctid = tr.AllocTID("cells")
-		}
-		for i := 0; i < n; i++ {
-			sp := tr.Begin(ctid, "bench", "cell", obs.Arg{Key: "cell", Val: i})
-			err := f(i)
-			sp.Arg("failed", err != nil).End()
-			h.stats.cellDone(err)
-			if err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	workers := h.workers
-	if workers > n {
-		workers = n
-	}
 	// Per-worker trace tracks: a worker's cell spans are sequential on its
-	// track, so complete events never overlap within one track.
+	// track, so complete events never overlap within one track. Serial runs
+	// keep the historical single "cells" track.
 	var wtids []int64
 	if tr.Enabled() {
-		wtids = make([]int64, workers)
-		for w := range wtids {
-			wtids[w] = tr.AllocTID(fmt.Sprintf("cell-worker %d", w))
+		eff := pool.Clamp(h.workers, n)
+		wtids = make([]int64, eff)
+		if eff == 1 {
+			wtids[0] = tr.AllocTID("cells")
+		} else {
+			for w := range wtids {
+				wtids[w] = tr.AllocTID(fmt.Sprintf("cell-worker %d", w))
+			}
 		}
 	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ctid := int64(0)
-			if len(wtids) > 0 {
-				ctid = wtids[w]
-			}
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				sp := tr.Begin(ctid, "bench", "cell", obs.Arg{Key: "cell", Val: i})
-				errs[i] = f(i)
-				sp.Arg("failed", errs[i] != nil).End()
-				h.stats.cellDone(errs[i])
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	return pool.Run(h.workers, n, func(w, i int) error {
+		ctid := int64(0)
+		if len(wtids) > 0 {
+			ctid = wtids[w]
 		}
-	}
-	return nil
+		sp := tr.Begin(ctid, "bench", "cell", obs.Arg{Key: "cell", Val: i})
+		err := f(i)
+		sp.Arg("failed", err != nil).End()
+		h.stats.cellDone(err)
+		return err
+	})
 }

@@ -29,9 +29,16 @@ type StageSnapshot struct {
 	// replayed a cached optimized body, a miss lifted and optimized the
 	// function from scratch.
 	CacheHits, CacheMisses int
-	TraceInsts             uint64 // guest instructions executed by the ICFT tracer
-	Cells, Failed          int
-	Wall                   time.Duration // wall clock of the table/figure runs
+	// Store* aggregate artifact-store lookups per tier across every project
+	// the harness built: a memory miss falls through to the disk tier (when
+	// one is attached, cmd/polybench's -store), so StoreDiskHits > 0 means
+	// artifacts persisted from an earlier run (or cell) were replayed.
+	StoreMemHits, StoreMemMisses   int
+	StoreDiskHits, StoreDiskMisses int
+	StoreEvictions                 int    // memory-tier entries pruned generationally
+	TraceInsts                     uint64 // guest instructions executed by the ICFT tracer
+	Cells, Failed                  int
+	Wall                           time.Duration // wall clock of the table/figure runs
 }
 
 // absorb adds one project's stage timings. The calling cell owns p and its
@@ -47,6 +54,11 @@ func (st *StageStats) absorb(p *core.Project) {
 	st.s.LiftOptWall += p.Stats.LiftOptWall
 	st.s.CacheHits += p.Stats.CacheHits
 	st.s.CacheMisses += p.Stats.CacheMisses
+	st.s.StoreMemHits += p.Stats.StoreMemHits
+	st.s.StoreMemMisses += p.Stats.StoreMemMisses
+	st.s.StoreDiskHits += p.Stats.StoreDiskHits
+	st.s.StoreDiskMisses += p.Stats.StoreDiskMisses
+	st.s.StoreEvictions += p.Stats.StoreEvictions
 	st.s.TraceInsts += p.Stats.TraceInsts
 }
 
@@ -97,6 +109,11 @@ func (s *StageSnapshot) Add(o StageSnapshot) {
 	s.LiftOptWall += o.LiftOptWall
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
+	s.StoreMemHits += o.StoreMemHits
+	s.StoreMemMisses += o.StoreMemMisses
+	s.StoreDiskHits += o.StoreDiskHits
+	s.StoreDiskMisses += o.StoreDiskMisses
+	s.StoreEvictions += o.StoreEvictions
 	s.TraceInsts += o.TraceInsts
 	s.Cells += o.Cells
 	s.Failed += o.Failed
@@ -137,6 +154,8 @@ func (s StageSnapshot) Footer(name string, cellWorkers, pipeWorkers int) string 
 		roundDur(s.Opt), roundDur(s.Lower), roundDur(s.PipelineTotal()))
 	fmt.Fprintf(&sb, "lift+opt wall %s | func cache hits %d, misses %d\n",
 		roundDur(s.LiftOptWall), s.CacheHits, s.CacheMisses)
+	fmt.Fprintf(&sb, "store mem hits %d, misses %d | disk hits %d, misses %d | evictions %d\n",
+		s.StoreMemHits, s.StoreMemMisses, s.StoreDiskHits, s.StoreDiskMisses, s.StoreEvictions)
 	fmt.Fprintf(&sb, "guest instructions traced %d\n", s.TraceInsts)
 	fmt.Fprintf(&sb, "wall %s\n", roundDur(s.Wall))
 	return sb.String()

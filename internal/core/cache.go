@@ -3,131 +3,65 @@ package core
 import (
 	"crypto/sha256"
 	"encoding/binary"
-	"sync"
 
 	"repro/internal/cfg"
 	"repro/internal/image"
 	"repro/internal/ir"
 	"repro/internal/lifter"
+	"repro/internal/store"
 )
 
-// funcCache is the content-addressed function cache behind incremental
-// recompilation. An entry holds one function's fully lifted-and-optimized
-// body, keyed by a fingerprint of everything that body depends on: the
-// function's machine-code bytes, its per-function CFG shape (block extents,
-// terminators, target sets, fallthroughs), whether each outgoing target
-// resolves to a known function entry, and the lifter/optimizer options in
-// effect. A recompile after an additive discovery therefore re-lifts and
-// re-optimizes only the functions whose fingerprint changed — integrating a
-// new indirect target perturbs exactly the owning function's target set —
-// and replays every other body from cache by cloning it into the fresh
-// module skeleton.
+// Per-function artifacts: the content-addressed function cache behind
+// incremental recompilation, backed by the project's tiered artifact store.
+// An entry holds one function's fully lifted-and-optimized body in its
+// serialized form (ir.EncodeFunc — cross-references by name, the store's
+// persistent version of the old detached-stub clones), keyed by a
+// fingerprint of everything the body depends on: the function's machine-code
+// bytes, its per-function CFG shape (block extents, terminators, target
+// sets, fallthroughs), whether each outgoing target resolves to a known
+// function entry, and the lifter/optimizer options in effect. A recompile
+// after an additive discovery therefore re-lifts and re-optimizes only the
+// functions whose fingerprint changed — integrating a new indirect target
+// perturbs exactly the owning function's target set — and replays every
+// other body by decoding it into the fresh module skeleton.
 //
 // Invalidation is implicit: a changed function hashes to a new key, so its
-// stale entry simply stops being referenced. endGen prunes entries that went
-// unused for a full generation, bounding the cache to roughly one body per
-// live function.
-//
-// Cached bodies are detached clones referencing name-only stub globals and
-// functions, so an entry retains no previous module (modules are consumed by
-// lowering's phi destruction and must not leak through cache references).
-type funcCache struct {
-	mu      sync.Mutex
-	entries map[[32]byte]*cacheEntry
-	// stub objects stand in for cross-references inside detached bodies;
-	// replay resolves them by name against the destination module.
-	stubGlobals map[string]*ir.Global
-	stubFuncs   map[string]*ir.Func
-	gen         int
-}
+// stale entry simply stops being referenced. The memory tier's generational
+// pruning (store.Memory) evicts entries that went unused for a full
+// recompile generation, bounding it to roughly one body per live function;
+// a disk tier keeps everything and serves across processes.
 
-type cacheEntry struct {
-	fn      *ir.Func // detached optimized body
-	sites   int      // lift-time site count (pre-optimization), for FinalizeSites
-	lastGen int
-}
-
-func newFuncCache() *funcCache {
-	return &funcCache{
-		entries:     map[[32]byte]*cacheEntry{},
-		stubGlobals: map[string]*ir.Global{},
-		stubFuncs:   map[string]*ir.Func{},
+// replayFunc decodes the stored body for key into the skeleton function for
+// entry, resolving name references against lf's module. It reports the
+// body's lift-time site count, the tier that served it, and whether the
+// replay succeeded; any decode failure (corrupt payload, renamed or dropped
+// symbol in the fresh module) is a miss and leaves the skeleton function
+// empty for a fresh lift.
+func (p *Project) replayFunc(key store.Key, lf *lifter.Lifted, entry uint64) (int, string, bool) {
+	data, tier, ok := p.storeGet(nsFunc, key)
+	if !ok || len(data) < 8 {
+		return 0, "", false
 	}
-}
-
-// beginGen opens a recompile generation; entries replayed or stored during
-// it are marked live.
-func (c *funcCache) beginGen() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.gen++
-}
-
-// endGen evicts every entry that was neither replayed nor stored in the
-// generation that just completed (its function changed shape or vanished).
-func (c *funcCache) endGen() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for k, e := range c.entries {
-		if e.lastGen < c.gen {
-			delete(c.entries, k)
-		}
-	}
-}
-
-// len reports the number of live entries (tests, diagnostics).
-func (c *funcCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
-
-// put stores f (an optimized body still wired into its module) under key as
-// a detached clone. sites is the lift-time site count of the body.
-func (c *funcCache) put(key [32]byte, f *ir.Func, sites int) {
-	det := &ir.Func{Name: f.Name}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ir.CloneFuncInto(det, f, c.stubGlobal, c.stubFunc)
-	c.entries[key] = &cacheEntry{fn: det, sites: sites, lastGen: c.gen}
-}
-
-// replay clones the cached body for key into the skeleton function for
-// entry, resolving stub references against lf's module. It reports the
-// body's lift-time site count and whether the cache had the key.
-func (c *funcCache) replay(key [32]byte, lf *lifter.Lifted, entry uint64) (int, bool) {
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if ok {
-		e.lastGen = c.gen
-	}
-	c.mu.Unlock()
-	if !ok {
-		return 0, false
-	}
+	sites := int(binary.LittleEndian.Uint64(data))
 	dst := lf.FuncByAddr[entry]
-	ir.CloneFuncInto(dst, e.fn,
-		func(g *ir.Global) *ir.Global { return lf.Mod.Global(g.Name) },
-		func(f *ir.Func) *ir.Func { return lf.Mod.Func(f.Name) })
-	return e.sites, true
+	if err := ir.DecodeFuncInto(dst, data[8:], lf.Mod.Global, lf.Mod.Func); err != nil {
+		return 0, "", false
+	}
+	return sites, tier, true
 }
 
-func (c *funcCache) stubGlobal(g *ir.Global) *ir.Global {
-	s, ok := c.stubGlobals[g.Name]
-	if !ok {
-		s = &ir.Global{Name: g.Name}
-		c.stubGlobals[g.Name] = s
+// putFunc stores f's optimized body under key (write-through to every
+// tier). sites is the body's lift-time site count, needed by FinalizeSites
+// on replay. Encode failures just skip the entry — the pipeline keeps the
+// freshly built body either way.
+func (p *Project) putFunc(key store.Key, f *ir.Func, sites int) {
+	enc, err := ir.EncodeFunc(f)
+	if err != nil {
+		return
 	}
-	return s
-}
-
-func (c *funcCache) stubFunc(f *ir.Func) *ir.Func {
-	s, ok := c.stubFuncs[f.Name]
-	if !ok {
-		s = &ir.Func{Name: f.Name}
-		c.stubFuncs[f.Name] = s
-	}
-	return s
+	env := make([]byte, 8, 8+len(enc))
+	binary.LittleEndian.PutUint64(env, uint64(sites))
+	p.storePut(nsFunc, key, append(env, enc...))
 }
 
 // cacheKeyOpts packs every pipeline option that changes what a lifted and
@@ -172,6 +106,9 @@ func (k cacheKeyOpts) bits() byte {
 // target against isFunc, the current set of function entries. Per-function
 // CFG membership (which blocks belong to cf, used for intra-function
 // dispatch) is covered by hashing cf.Blocks in order.
+//
+// A store key additionally folds in the whole-image fingerprint (funcKey,
+// stages.go): bodies read image data these per-block bytes don't cover.
 func fingerprintFunc(img *image.Image, g *cfg.Graph, cf *cfg.Func, isFunc map[uint64]bool, opts cacheKeyOpts) [32]byte {
 	h := sha256.New()
 	var w [8]byte

@@ -1,0 +1,169 @@
+package core
+
+// Internal edge-case tests for the store-backed function cache: generational
+// pruning keeps the memory tier bounded to the live bodies across an additive
+// session, and a stored body whose symbol references no longer resolve in a
+// fresh module degrades to a counted miss that the recompile then repairs.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/ir"
+	"repro/internal/lifter"
+)
+
+const edgeFptrSrc = `
+extern input_byte;
+func h_add(x) { return x + 10; }
+func h_mul(x) { return x * 10; }
+func h_neg(x) { return -x; }
+var table[3];
+func main() {
+	store64(table, h_add);
+	store64(table + 8, h_mul);
+	store64(table + 16, h_neg);
+	var sum = 0;
+	var c = input_byte();
+	while (c != -1) {
+		var f = load64(table + (c - '0') * 8);
+		sum = sum + f(7);
+		c = input_byte();
+	}
+	return sum;
+}`
+
+func edgeProject(t *testing.T) *Project {
+	t.Helper()
+	img, _, err := cc.Compile(edgeFptrSrc, cc.Config{Name: "t", Opt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.VerifyIR = true
+	p, err := NewProject(img, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestStorePruningBoundsMemoryTier drives the additive session, whose every
+// discovery changes one function's fingerprint and strands its old body. The
+// generational bracket around each recompile must evict a stranded entry the
+// first generation it goes unused, so the function namespace ends holding
+// exactly one body per live function — not one per (function, graph version).
+func TestStorePruningBoundsMemoryTier(t *testing.T) {
+	p := edgeProject(t)
+	res, err := p.RunAdditive(Input{Data: []byte("012"), Seed: 3}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recompiles < 3 {
+		t.Fatalf("recompiles = %d, want >= 3", res.Recompiles)
+	}
+	if p.Stats.StoreEvictions == 0 {
+		t.Fatal("additive session stranded bodies but evicted nothing")
+	}
+	if got, want := p.store.Mem().Len(nsFunc), p.Stats.Funcs; got != want {
+		t.Fatalf("function namespace holds %d bodies after convergence, want %d (one per live function)", got, want)
+	}
+}
+
+// TestStaleFuncArtifactDegradesToMiss plants a well-formed body artifact
+// under a function's exact store key whose serialized references name a
+// symbol the fresh module does not define — the persisted analogue of a
+// module that renamed or dropped a global. Replay must reject it as a miss,
+// the recompile must produce the same bytes a cache-less run does, and the
+// poisoned entry must end up overwritten by the freshly built body.
+func TestStaleFuncArtifactDegradesToMiss(t *testing.T) {
+	p := edgeProject(t)
+
+	funcs := lifter.SortedFuncs(p.Graph)
+	if len(funcs) == 0 {
+		t.Fatal("no functions in graph")
+	}
+	isFunc := make(map[uint64]bool, len(funcs))
+	for _, cf := range funcs {
+		isFunc[cf.Entry] = true
+	}
+	ko := cacheKeyOpts{
+		insertFences: p.Opts.InsertFences,
+		naiveAtomics: p.Opts.NaiveAtomics,
+		optimize:     p.Opts.Optimize,
+		verifyIR:     p.Opts.VerifyIR,
+		removeFences: p.removeFences,
+	}
+	key, ok := p.funcKey(fingerprintFunc(p.Img, p.Graph, funcs[0], isFunc, ko))
+	if !ok {
+		t.Fatal("funcKey unavailable")
+	}
+
+	pm := ir.NewModule("poison")
+	pg := pm.NewGlobal("no_such_global", 8)
+	pf := pm.NewFunc("poison")
+	pb := pf.NewBlock("entry")
+	ga := pb.Append(ir.OpGlobalAddr)
+	ga.Global = pg
+	pb.Append(ir.OpRet)
+	enc, err := ir.EncodeFunc(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := make([]byte, 8, 8+len(enc))
+	binary.LittleEndian.PutUint64(poison, 0)
+	poison = append(poison, enc...)
+	p.storePut(nsFunc, key, poison)
+
+	rec, err := p.Recompile()
+	if err != nil {
+		t.Fatalf("recompile over stale artifact errored: %v", err)
+	}
+	got, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.CacheHits != 0 {
+		t.Fatalf("stale artifact was replayed as %d hits", p.Stats.CacheHits)
+	}
+	if p.Stats.CacheMisses != p.Stats.Funcs {
+		t.Fatalf("misses = %d, want %d (every function freshly lifted)", p.Stats.CacheMisses, p.Stats.Funcs)
+	}
+
+	// Baseline: same image, cache off, serial.
+	img2, _, err := cc.Compile(edgeFptrSrc, cc.Config{Name: "t", Opt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.VerifyIR = true
+	o.Workers = 1
+	o.NoFuncCache = true
+	p2, err := NewProject(img2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := p2.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rec2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("recompile over stale artifact diverged from cache-less baseline")
+	}
+
+	// The entry was repaired: the stored payload is now the fresh body, not
+	// the poison.
+	data, _, ok := p.store.Get(nsFunc, key)
+	if !ok {
+		t.Fatal("function entry missing after recompile")
+	}
+	if bytes.Equal(data, poison) {
+		t.Fatal("poisoned artifact survived the recompile")
+	}
+}

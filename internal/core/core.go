@@ -29,6 +29,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/spindet"
+	"repro/internal/store"
 	"repro/internal/tracer"
 	"repro/internal/vm"
 )
@@ -52,10 +53,17 @@ type Options struct {
 	// per Recompile (0 = runtime.NumCPU(); 1 = the historical serial
 	// path). Output bytes are identical at any setting (pipeline.go).
 	Workers int
-	// NoFuncCache disables the content-addressed function cache — every
-	// recompile lifts and optimizes every function from scratch (the
-	// differential-testing escape hatch and the benchmark baseline).
+	// NoFuncCache disables the artifact store entirely — every stage of
+	// every recompile runs from scratch (the differential-testing escape
+	// hatch and the benchmark baseline). The name predates the staged
+	// store; it now gates CFG, trace, function, and image artifacts alike.
 	NoFuncCache bool
+	// Store, when set, is a backing artifact tier (typically store.Disk,
+	// the -store flag) composed under this project's private generational
+	// memory tier. Artifacts written there survive the process and may be
+	// shared between projects — keys are content addresses over each
+	// stage's full input set, so sharing can never alias (stages.go).
+	Store store.Store
 	// Obs, when set, records a structured span for every pipeline stage
 	// (disasm, ICFT trace, per-function lift+opt, site finalize, lower) and
 	// every guest run, for Chrome-trace export. Nil — the default — costs
@@ -99,7 +107,17 @@ type Stats struct {
 	// lifts and optimizes the function from scratch).
 	CacheHits   int
 	CacheMisses int
-	ICFTs       int
+	// Per-tier artifact-store outcomes across every namespace (functions,
+	// CFGs, trace sessions, lowered images). A memory miss that a disk
+	// tier serves counts as StoreMemMisses + StoreDiskHits; disk counters
+	// stay zero when no backing store is configured. StoreEvictions counts
+	// memory-tier entries dropped by generational pruning.
+	StoreMemHits    int
+	StoreMemMisses  int
+	StoreDiskHits   int
+	StoreDiskMisses int
+	StoreEvictions  int
+	ICFTs           int
 	Recompiles  int
 	Funcs       int
 	Blocks      int
@@ -139,15 +157,29 @@ type Project struct {
 	Opts  Options
 	Stats Stats
 
+	// OnCFGUpdate, when set, is invoked by RunAdditive after each batch of
+	// control-flow misses is integrated into Graph and before the recompile
+	// that consumes it — the crash-safe persistence hook: a caller that
+	// writes the graph out here (atomically) never loses a discovery to a
+	// crash mid-recompile. Returning an error aborts the session.
+	OnCFGUpdate func(*cfg.Graph) error
+
 	// dynamic-analysis state
 	removeFences  bool
 	callbackSet   map[uint64]bool // observed external entries; nil = not pruned
 	spinReport    *spindet.Report
 	lastRecording *spindet.Recording
 
-	// cache is the content-addressed function cache (cache.go), created on
-	// first cacheable Recompile.
-	cache *funcCache
+	// store is the project's tiered artifact store (stages.go): a private
+	// generational memory tier over the optional shared Opts.Store backing.
+	// Nil when Opts.NoFuncCache is set — every stage then recomputes.
+	store *store.Tiered
+
+	// imgFP caches the input-image fingerprint, the root of every artifact
+	// key (computed once; imgFPOK false disables all artifact traffic).
+	imgFPOnce sync.Once
+	imgFP     store.Key
+	imgFPOK   bool
 
 	// obsTrack is this project's serial-stage trace track, allocated on
 	// first use (concurrent bench cells each hold their own Project, so
@@ -168,27 +200,54 @@ func (p *Project) obsTID() int64 {
 	return p.obsTrack
 }
 
-// CachedFuncs reports how many function bodies the content-addressed cache
-// currently holds (tests, diagnostics).
+// CachedFuncs reports how many function bodies the memory tier of the
+// artifact store currently holds (tests, diagnostics).
 func (p *Project) CachedFuncs() int {
-	if p.cache == nil {
+	if p.store == nil {
 		return 0
 	}
-	return p.cache.len()
+	return p.store.Mem().Len(nsFunc)
 }
 
-// NewProject disassembles the binary and prepares a project.
+// StoreStats returns the per-tier counter snapshot of this project's
+// artifact store (nil map when the store is off). The memory tier is
+// project-private; a disk tier may be shared, so its counters aggregate
+// every sharer.
+func (p *Project) StoreStats() map[string]store.Counters {
+	if p.store == nil {
+		return nil
+	}
+	return p.store.Stats()
+}
+
+// NewProject disassembles the binary and prepares a project. Disassembly is
+// the first pipeline stage: its artifact (the static CFG) is a pure
+// function of the image bytes, so with a store it replays instead of
+// re-running recursive descent.
 func NewProject(img *image.Image, opts Options) (*Project, error) {
-	p := &Project{Img: img, Opts: opts}
+	p := newProjectShell(img, opts)
 	sp := opts.Obs.Begin(p.obsTID(), "pipeline", "disasm")
 	t0 := time.Now()
-	g, err := disasm.Disassemble(img)
-	if err != nil {
-		sp.End()
-		return nil, err
+	g, fromTier := p.replayCFG()
+	if g == nil {
+		var err error
+		g, err = disasm.Disassemble(img)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		if key, ok := p.cfgKey(); ok {
+			if data, merr := g.Marshal(); merr == nil {
+				p.storePut(nsCFG, key, data)
+			}
+		}
 	}
 	d := time.Since(t0)
-	sp.Arg("funcs", len(g.Funcs)).Arg("blocks", g.NumBlocks()).End()
+	sp = sp.Arg("funcs", len(g.Funcs)).Arg("blocks", g.NumBlocks())
+	if fromTier != "" {
+		sp = sp.Arg("tier", fromTier)
+	}
+	sp.End()
 	p.Graph = g
 	p.Stats.update(func() {
 		p.Stats.DisasmTime = d
@@ -198,8 +257,56 @@ func NewProject(img *image.Image, opts Options) (*Project, error) {
 	return p, nil
 }
 
+// NewProjectWithGraph prepares a project over an externally supplied CFG
+// (e.g. one persisted by a previous additive session) instead of
+// disassembling the image.
+func NewProjectWithGraph(img *image.Image, g *cfg.Graph, opts Options) *Project {
+	p := newProjectShell(img, opts)
+	p.Graph = g
+	p.Stats.update(func() {
+		p.Stats.Funcs = len(g.Funcs)
+		p.Stats.Blocks = g.NumBlocks()
+	})
+	return p
+}
+
+// newProjectShell builds the project and its tiered artifact store.
+func newProjectShell(img *image.Image, opts Options) *Project {
+	p := &Project{Img: img, Opts: opts}
+	if !opts.NoFuncCache {
+		p.store = store.NewTiered(store.NewMemory(), opts.Store)
+	}
+	return p
+}
+
+// replayCFG probes the store for the image's static CFG; ("", nil) on miss
+// or any decode failure.
+func (p *Project) replayCFG() (*cfg.Graph, string) {
+	key, ok := p.cfgKey()
+	if !ok {
+		return nil, ""
+	}
+	data, tier, ok := p.storeGet(nsCFG, key)
+	if !ok {
+		return nil, ""
+	}
+	g, err := cfg.Unmarshal(data)
+	if err != nil {
+		return nil, ""
+	}
+	return g, tier
+}
+
 // Trace augments the CFG with dynamically observed indirect targets (§3.2
 // "Dynamic": the ICFT tracer, run upfront over concrete inputs).
+//
+// A trace session is a pipeline stage with a replayable artifact: its whole
+// effect on the graph is the ordered list of merged (site, target) pairs,
+// and its key covers the image, the pre-trace graph, the fuel bound, and
+// every run's identity. On a store hit the pairs are re-applied to the
+// graph — same merge, no execution — and the stored counts are reported, so
+// a replayed session is indistinguishable from a live one. Only sessions
+// that completed without error are persisted.
 func (p *Project) Trace(inputs []Input) (*tracer.Result, error) {
 	runs := make([]tracer.Run, len(inputs))
 	for i, in := range inputs {
@@ -208,13 +315,34 @@ func (p *Project) Trace(inputs []Input) (*tracer.Result, error) {
 	if len(runs) == 0 {
 		runs = []tracer.Run{{Seed: p.Opts.Seed}}
 	}
+	// The key fingerprints the graph the session starts from, so it must be
+	// computed before any merging mutates it.
+	traceKey, keyOK := p.traceKey(runs)
 	sp := p.Opts.Obs.Begin(p.obsTID(), "pipeline", "icft-trace",
 		obs.Arg{Key: "runs", Val: len(runs)})
 	t0 := time.Now()
-	res, err := tracer.TraceObs(p.Img, p.Graph, runs, p.Opts.Fuel, p.Opts.Obs, p.obsTID())
+	var res *tracer.Result
+	var err error
+	replayed := ""
+	if keyOK {
+		if data, tier, ok := p.storeGet(nsTrace, traceKey); ok {
+			if stored, sok := decodeTraceArtifact(data); sok && p.applyTraceMerges(stored.Merged) {
+				res, replayed = stored, tier
+			}
+		}
+	}
+	if res == nil {
+		res, err = tracer.TraceObs(p.Img, p.Graph, runs, p.Opts.Fuel, p.Opts.Obs, p.obsTID())
+		if err == nil && res != nil && keyOK {
+			p.storePut(nsTrace, traceKey, encodeTraceArtifact(res))
+		}
+	}
 	d := time.Since(t0)
 	if res != nil {
 		sp.Arg("icfts", res.ICFTs).Arg("new_targets", res.NewTargets)
+	}
+	if replayed != "" {
+		sp.Arg("tier", replayed)
 	}
 	sp.End()
 	p.Stats.update(func() {
@@ -230,6 +358,30 @@ func (p *Project) Trace(inputs []Input) (*tracer.Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// applyTraceMerges re-applies a stored trace session's merged pairs to the
+// graph, in the order the live session merged them (target sets stay in
+// their canonical sorted order either way, but recursive descent from a
+// discovery point depends on what is already known). Reports false if any
+// pair no longer applies — then the caller falls back to a live trace,
+// which re-merges idempotently.
+func (p *Project) applyTraceMerges(pairs []tracer.SiteTarget) bool {
+	for _, st := range pairs {
+		blk := p.Graph.BlockContaining(st.Site)
+		if blk == nil {
+			return false
+		}
+		if blk.HasTarget(st.Target) {
+			continue
+		}
+		if _, known := p.Graph.Blocks[st.Target]; known {
+			blk.AddTarget(st.Target)
+		} else if err := disasm.ExploreFrom(p.Img, p.Graph, blk.Addr, st.Target); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // lift runs the lifter with the project's options over the current CFG. The
@@ -412,6 +564,12 @@ func (p *Project) RunAdditive(in Input, maxLoops int) (*AdditiveResult, error) {
 			}
 		}
 		out.Misses = append(out.Misses, misses...)
+		if p.OnCFGUpdate != nil {
+			if err := p.OnCFGUpdate(p.Graph); err != nil {
+				lsp.End()
+				return nil, fmt.Errorf("core: loop %d: persisting updated CFG: %w", loop, err)
+			}
+		}
 		// Snapshot the cache counters around the recompile so the timeline
 		// entry carries this iteration's delta. The pipeline calls have
 		// returned at both read points, so the direct field reads are safe.

@@ -27,7 +27,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -37,6 +36,8 @@ import (
 	"repro/internal/lower"
 	"repro/internal/obs"
 	"repro/internal/opt"
+	"repro/internal/pool"
+	"repro/internal/store"
 )
 
 // pipeWorkers resolves the configured pipeline worker count.
@@ -47,57 +48,25 @@ func (p *Project) pipeWorkers() int {
 	return runtime.NumCPU()
 }
 
-// runIndexed runs f(w, i) for every i in [0,n) on up to workers goroutines;
-// w identifies the worker making the call (0 on the serial path), so callers
-// can keep per-worker state — the tracer uses it to put each worker's spans
-// on its own track. With one worker the calls run in index order and the
-// first error stops the remaining ones — the historical serial contract.
-// With more workers every index runs to completion and the error returned is
-// the erroring index with the lowest value: the same error a serial run
-// would surface first.
-func runIndexed(workers, n int, f func(w, i int) error) error {
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			if err := f(0, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if workers > n {
-		workers = n
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				errs[i] = f(w, i)
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // Recompile runs lift -> optimize -> lower over the current CFG and returns
 // the standalone recompiled binary. Lifting and optimization are parallel
 // and cached per function; the output bytes are independent of the worker
 // count and of cache warmth (see the package comment above).
+//
+// The final lowered image is itself an artifact, keyed by the input image
+// bytes, the merged-CFG fingerprint, the option bits, and the
+// dynamic-analysis state (stages.go). A store hit short-circuits the whole
+// pipeline — no generation is opened, so the memory tier's function bodies
+// stay live for the next recompile that does run.
 func (p *Project) Recompile() (*image.Image, error) {
 	rsp := p.Opts.Obs.Begin(p.obsTID(), "pipeline", "recompile")
+	imgKey, imgKeyOK := p.imageKey()
+	if imgKeyOK {
+		if img, tier, ok := p.replayImage(imgKey); ok {
+			rsp.Arg("code_size", p.Stats.CodeSize).Arg("tier", tier).End()
+			return img, nil
+		}
+	}
 	lf, err := p.buildOptimizedModule()
 	if err != nil {
 		rsp.End()
@@ -113,13 +82,43 @@ func (p *Project) Recompile() (*image.Image, error) {
 		p.Stats.update(func() { p.Stats.LowerTime += d })
 		return nil, err
 	}
+	var numExternal int
+	var fencesGone bool
 	p.Stats.update(func() {
 		p.Stats.LowerTime += d
 		p.Stats.CodeSize = res.CodeSize
 		p.Stats.Recompiles++
+		numExternal = p.Stats.NumExternal
+		fencesGone = p.Stats.FencesGone
 	})
+	if imgKeyOK {
+		if env, ok := encodeImageArtifact(res.Img, res.CodeSize, numExternal, fencesGone); ok {
+			p.storePut(nsImage, imgKey, env)
+		}
+	}
 	rsp.Arg("code_size", res.CodeSize).End()
 	return res.Img, nil
+}
+
+// replayImage probes the store for the final lowered image and, on a hit,
+// restores the scalar stats a full pipeline run would have produced so cold
+// and replayed recompiles report identically.
+func (p *Project) replayImage(key store.Key) (*image.Image, string, bool) {
+	data, tier, ok := p.storeGet(nsImage, key)
+	if !ok {
+		return nil, "", false
+	}
+	img, codeSize, numExternal, fencesGone, ok := decodeImageArtifact(data)
+	if !ok {
+		return nil, "", false
+	}
+	p.Stats.update(func() {
+		p.Stats.CodeSize = codeSize
+		p.Stats.NumExternal = numExternal
+		p.Stats.FencesGone = fencesGone
+		p.Stats.Recompiles++
+	})
+	return img, tier, true
 }
 
 // buildOptimizedModule produces the fully optimized module for the current
@@ -148,13 +147,7 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 	// per-function spans do overlap those of its siblings.
 	var wtids []int64
 	if tr.Enabled() {
-		nw := p.pipeWorkers()
-		if nw > len(funcs) {
-			nw = len(funcs)
-		}
-		if nw < 1 {
-			nw = 1
-		}
+		nw := pool.Clamp(p.pipeWorkers(), len(funcs))
 		wtids = make([]int64, nw)
 		for w := range wtids {
 			wtids[w] = tr.AllocTID(fmt.Sprintf("pipe-worker %d", w))
@@ -170,14 +163,11 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 	// Fused per-function lift+optimize requires that no interprocedural
 	// stage runs between them; callback pruning introduces one (inlining).
 	fused := p.callbackSet == nil
-	cacheable := fused && !p.Opts.NoFuncCache
+	cacheable := fused && p.store != nil
 
-	var keys [][32]byte
+	var keys []store.Key
 	if cacheable {
-		if p.cache == nil {
-			p.cache = newFuncCache()
-		}
-		p.cache.beginGen()
+		p.store.BeginGen()
 		isFunc := make(map[uint64]bool, len(funcs))
 		for _, cf := range funcs {
 			isFunc[cf.Entry] = true
@@ -190,9 +180,14 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 			removeFences: p.removeFences,
 		}
 		fsp := tr.Begin(p.obsTID(), "pipeline", "fingerprint")
-		keys = make([][32]byte, len(funcs))
+		keys = make([]store.Key, len(funcs))
 		for i, cf := range funcs {
-			keys[i] = fingerprintFunc(p.Img, p.Graph, cf, isFunc, ko)
+			fk, ok := p.funcKey(fingerprintFunc(p.Img, p.Graph, cf, isFunc, ko))
+			if !ok {
+				cacheable = false
+				break
+			}
+			keys[i] = fk
 		}
 		fsp.Arg("funcs", len(funcs)).End()
 	}
@@ -206,10 +201,10 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 			obs.Arg{Key: "worker", Val: w})
 		defer sp.End()
 		if cacheable {
-			if sites, ok := p.cache.replay(keys[i], lf, cf.Entry); ok {
+			if sites, tier, ok := p.replayFunc(keys[i], lf, cf.Entry); ok {
 				counts[i] = sites
 				hits.Add(1)
-				sp.Arg("cache", "hit").Arg("sites", sites)
+				sp.Arg("cache", "hit").Arg("tier", tier).Arg("sites", sites)
 				return nil
 			}
 			misses.Add(1)
@@ -242,20 +237,22 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 				sp.Arg("opt_us", od.Microseconds())
 			}
 			if cacheable {
-				p.cache.put(keys[i], f, sites)
+				p.putFunc(keys[i], f, sites)
 			}
 		}
 		return nil
 	}
-	if err := runIndexed(p.pipeWorkers(), len(funcs), task); err != nil {
+	if err := pool.Run(p.pipeWorkers(), len(funcs), task); err != nil {
 		return nil, err
 	}
+	var evicted int
 	if cacheable {
-		p.cache.endGen()
+		evicted = p.store.EndGen()
 	}
 	p.Stats.update(func() {
 		p.Stats.CacheHits += int(hits.Load())
 		p.Stats.CacheMisses += int(misses.Load())
+		p.Stats.StoreEvictions += evicted
 	})
 
 	fssp := tr.Begin(p.obsTID(), "pipeline", "finalize-sites")
@@ -289,7 +286,7 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 			t0 := time.Now()
 			opt.Inline(lf.Mod, 300)
 			mfuncs := lf.Mod.Funcs
-			oerr := runIndexed(p.pipeWorkers(), len(mfuncs), func(w, i int) error {
+			oerr := pool.Run(p.pipeWorkers(), len(mfuncs), func(w, i int) error {
 				sp := tr.Begin(workerTID(w), "pipeline", "opt-func",
 					obs.Arg{Key: "name", Val: mfuncs[i].Name},
 					obs.Arg{Key: "worker", Val: w})

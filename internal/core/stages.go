@@ -1,0 +1,277 @@
+// Staged artifacts over the tiered content-addressed store.
+//
+// The pipeline is a sequence of explicit stages —
+//
+//	disasm -> ICFT trace/merge -> skeleton -> per-function lift+opt
+//	  -> finalize -> verify -> lower
+//
+// — and each stage that is worth replaying declares a typed artifact plus a
+// sha256 fingerprint over its full input set (internal/store.Key). This
+// file defines the four artifact namespaces, their key composition, and
+// their payload envelopes:
+//
+//	cfg    static disassembly CFG        key: image
+//	                                     payload: cfg.Graph JSON
+//	trace  one ICFT trace/merge session  key: image, pre-trace graph,
+//	                                          fuel, runs (seed+input+exts)
+//	                                     payload: counts + merged pairs
+//	func   one lifted+optimized body     key: fingerprintFunc (machine
+//	                                          bytes, CFG shape, option
+//	                                          bits) + image
+//	                                     payload: site count + ir.EncodeFunc
+//	image  the final lowered image       key: image, merged-CFG
+//	                                          fingerprint, option bits,
+//	                                          callback set
+//	                                     payload: stats + image JSON
+//
+// Every key starts with a schema tag, so an encoding change orphans old
+// entries instead of misreading them; every payload decode failure is a
+// miss (the stage recomputes), never an error. The determinism contract
+// (DESIGN.md §3) is what makes replay sound: a stage's output is a pure
+// function of its fingerprinted inputs, byte-identical at any worker count,
+// so recompute and replay are indistinguishable.
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/image"
+	"repro/internal/store"
+	"repro/internal/tracer"
+)
+
+// Artifact namespaces (one payload schema each).
+const (
+	nsCFG   = "cfg"
+	nsTrace = "trace"
+	nsFunc  = "func"
+	nsImage = "image"
+)
+
+// Schema tags folded into keys; bump alongside any payload format change.
+var (
+	schemaCFG   = []byte("cfg/1")
+	schemaTrace = []byte("trace/1")
+	schemaFunc  = []byte("func/1")
+	schemaImage = []byte("image/1")
+)
+
+// storeGet probes the project's artifact store and attributes the outcome
+// to the per-tier stats counters. Returns misses when the store is off.
+func (p *Project) storeGet(ns string, key store.Key) ([]byte, string, bool) {
+	if p.store == nil {
+		return nil, "", false
+	}
+	data, tier, ok := p.store.Get(ns, key)
+	p.Stats.update(func() {
+		switch {
+		case !ok:
+			p.Stats.StoreMemMisses++
+			if p.Opts.Store != nil {
+				p.Stats.StoreDiskMisses++
+			}
+		case tier == "mem":
+			p.Stats.StoreMemHits++
+		default:
+			p.Stats.StoreMemMisses++
+			p.Stats.StoreDiskHits++
+		}
+	})
+	return data, tier, ok
+}
+
+// storePut stores an artifact (write-through to every tier); no-op when the
+// store is off.
+func (p *Project) storePut(ns string, key store.Key, data []byte) {
+	if p.store != nil {
+		p.store.Put(ns, key, data)
+	}
+}
+
+// imageFP is the fingerprint of the input image bytes, the root of every
+// artifact key. Computed once per project.
+func (p *Project) imageFP() (store.Key, bool) {
+	p.imgFPOnce.Do(func() {
+		data, err := p.Img.Marshal()
+		if err != nil {
+			return // imgFPOK stays false: all artifact probes disabled
+		}
+		p.imgFP = store.KeyOf(data)
+		p.imgFPOK = true
+	})
+	return p.imgFP, p.imgFPOK
+}
+
+// graphFP fingerprints the current CFG via its canonical serialized form
+// (sorted block list, no map order anywhere).
+func (p *Project) graphFP() (store.Key, bool) {
+	data, err := p.Graph.Marshal()
+	if err != nil {
+		return store.Key{}, false
+	}
+	return store.KeyOf(data), true
+}
+
+// cfgKey keys the static-disassembly artifact: the CFG is a pure function
+// of the image bytes.
+func (p *Project) cfgKey() (store.Key, bool) {
+	imgFP, ok := p.imageFP()
+	if !ok {
+		return store.Key{}, false
+	}
+	return store.KeyOf(schemaCFG, imgFP[:]), true
+}
+
+// traceKey keys one trace/merge session: the image, the graph the session
+// started from, the fuel bound, and every run's full identity (seed, input
+// bytes, sorted host-function names — the functions themselves are code,
+// assumed stable for a given name set).
+func (p *Project) traceKey(runs []tracer.Run) (store.Key, bool) {
+	imgFP, ok := p.imageFP()
+	if !ok {
+		return store.Key{}, false
+	}
+	gFP, ok := p.graphFP()
+	if !ok {
+		return store.Key{}, false
+	}
+	parts := [][]byte{schemaTrace, imgFP[:], gFP[:], store.U64(p.Opts.Fuel), store.U64(uint64(len(runs)))}
+	for _, r := range runs {
+		parts = append(parts, store.U64(uint64(r.Seed)), r.Input)
+		names := make([]string, 0, len(r.Exts))
+		for name := range r.Exts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts = append(parts, store.U64(uint64(len(names))))
+		for _, name := range names {
+			parts = append(parts, []byte(name))
+		}
+	}
+	return store.KeyOf(parts...), true
+}
+
+// funcKey widens a per-function fingerprint (cache.go) into a store key by
+// folding in the image fingerprint: bodies reference image data beyond
+// their own machine bytes (original sections mapped as globals), so a
+// shared disk tier must never alias bodies across input images.
+func (p *Project) funcKey(fp [32]byte) (store.Key, bool) {
+	imgFP, ok := p.imageFP()
+	if !ok {
+		return store.Key{}, false
+	}
+	return store.KeyOf(schemaFunc, fp[:], imgFP[:]), true
+}
+
+// imageKey keys the final lowered image: input image bytes, merged-CFG
+// fingerprint, option bits, and the dynamic-analysis state that shapes the
+// module (callback set, fence removal — the latter is in the option bits).
+func (p *Project) imageKey() (store.Key, bool) {
+	imgFP, ok := p.imageFP()
+	if !ok {
+		return store.Key{}, false
+	}
+	gFP, ok := p.graphFP()
+	if !ok {
+		return store.Key{}, false
+	}
+	ko := cacheKeyOpts{
+		insertFences: p.Opts.InsertFences,
+		naiveAtomics: p.Opts.NaiveAtomics,
+		optimize:     p.Opts.Optimize,
+		verifyIR:     p.Opts.VerifyIR,
+		removeFences: p.removeFences,
+	}
+	parts := [][]byte{schemaImage, imgFP[:], gFP[:], {ko.bits()}}
+	if p.callbackSet == nil {
+		parts = append(parts, store.U64(^uint64(0)))
+	} else {
+		addrs := make([]uint64, 0, len(p.callbackSet))
+		for a := range p.callbackSet {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		parts = append(parts, store.U64(uint64(len(addrs))))
+		for _, a := range addrs {
+			parts = append(parts, store.U64(a))
+		}
+	}
+	return store.KeyOf(parts...), true
+}
+
+// encodeTraceArtifact serializes a trace session: the counters the caller
+// reports (Table 4 prints ICFTs, so replay must restore them exactly) and
+// the merged pairs in merge order.
+func encodeTraceArtifact(res *tracer.Result) []byte {
+	buf := make([]byte, 0, 40+16*len(res.Merged))
+	u64 := func(x uint64) { buf = binary.LittleEndian.AppendUint64(buf, x) }
+	u64(uint64(res.ICFTs))
+	u64(uint64(res.NewTargets))
+	u64(uint64(res.Runs))
+	u64(res.Insts)
+	u64(uint64(len(res.Merged)))
+	for _, st := range res.Merged {
+		u64(st.Site)
+		u64(st.Target)
+	}
+	return buf
+}
+
+// decodeTraceArtifact parses encodeTraceArtifact's form; !ok on any
+// mismatch (the caller falls back to a live trace).
+func decodeTraceArtifact(data []byte) (*tracer.Result, bool) {
+	if len(data) < 40 {
+		return nil, false
+	}
+	u64 := func(off int) uint64 { return binary.LittleEndian.Uint64(data[off:]) }
+	n := u64(32)
+	if uint64(len(data)) != 40+16*n {
+		return nil, false
+	}
+	res := &tracer.Result{
+		ICFTs:      int(u64(0)),
+		NewTargets: int(u64(8)),
+		Runs:       int(u64(16)),
+		Insts:      u64(24),
+	}
+	res.Merged = make([]tracer.SiteTarget, n)
+	for i := range res.Merged {
+		res.Merged[i] = tracer.SiteTarget{Site: u64(40 + 16*i), Target: u64(48 + 16*i)}
+	}
+	return res, true
+}
+
+// encodeImageArtifact serializes the final lowered image plus the scalar
+// stats a replayed Recompile must restore (code size, external-entry count,
+// fence state) so cold and replayed runs report identically.
+func encodeImageArtifact(img *image.Image, codeSize, numExternal int, fencesGone bool) ([]byte, bool) {
+	data, err := img.Marshal()
+	if err != nil {
+		return nil, false
+	}
+	buf := make([]byte, 0, 17+len(data))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(codeSize))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(numExternal))
+	if fencesGone {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return append(buf, data...), true
+}
+
+// decodeImageArtifact parses encodeImageArtifact's form; !ok on any
+// mismatch (the caller rebuilds the image through the full pipeline).
+func decodeImageArtifact(data []byte) (img *image.Image, codeSize, numExternal int, fencesGone, ok bool) {
+	if len(data) < 17 {
+		return nil, 0, 0, false, false
+	}
+	img, err := image.Unmarshal(data[17:])
+	if err != nil {
+		return nil, 0, 0, false, false
+	}
+	codeSize = int(binary.LittleEndian.Uint64(data))
+	numExternal = int(binary.LittleEndian.Uint64(data[8:]))
+	return img, codeSize, numExternal, data[16] != 0, true
+}

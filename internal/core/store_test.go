@@ -1,0 +1,232 @@
+package core_test
+
+// Differential tests for the staged artifact pipeline over the tiered
+// store: the recompiled bytes must be identical cold, memory-warm,
+// disk-warm (including across a process restart, modeled here as a fresh
+// Disk handle + fresh Project over the same directory), at any -jpipe
+// width, and in the face of arbitrary on-disk corruption — which must
+// degrade to counted misses, never an error or different output
+// (DESIGN.md §3).
+
+import (
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// diskProject builds a project for src over a fresh Disk handle on dir —
+// each call models a separate process attaching to the same store.
+func diskProject(t *testing.T, src string, dir string, workers int) *core.Project {
+	t.Helper()
+	d, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := options()
+	o.Workers = workers
+	o.Store = d
+	p, err := core.NewProject(compile(t, src, 2), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStoreDifferentialIdentity(t *testing.T) {
+	for _, tc := range []struct{ name, src string }{
+		{"threaded", threadedSrc},
+		{"fptr", fptrSrc},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			img := compile(t, tc.src, 2)
+			_, want := recompileWith(t, img, func(o *core.Options) {
+				o.Workers = 1
+				o.NoFuncCache = true
+			})
+
+			dir := t.TempDir()
+			// Cold run populates the disk tier.
+			cold := diskProject(t, tc.src, dir, 1)
+			rec, err := cold.Recompile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, marshalImg(t, rec)) {
+				t.Fatal("cold disk-backed recompile diverged from serial baseline")
+			}
+			if cold.Stats.StoreDiskHits != 0 {
+				t.Fatalf("cold run reported %d disk hits", cold.Stats.StoreDiskHits)
+			}
+			if cold.Stats.StoreDiskMisses == 0 {
+				t.Fatal("cold run recorded no disk misses")
+			}
+
+			// Disk-warm runs across a "restart" (fresh handle + project), at
+			// serial and parallel pipeline widths: byte-identical, served
+			// from disk.
+			for _, workers := range []int{1, 8} {
+				p := diskProject(t, tc.src, dir, workers)
+				rec, err := p.Recompile()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, marshalImg(t, rec)) {
+					t.Fatalf("disk-warm recompile (workers=%d) diverged", workers)
+				}
+				if p.Stats.StoreDiskHits == 0 {
+					t.Fatalf("disk-warm recompile (workers=%d) never hit the disk tier", workers)
+				}
+				// Memory-warm on the same project: still identical.
+				rec2, err := p.Recompile()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, marshalImg(t, rec2)) {
+					t.Fatalf("memory-warm recompile (workers=%d) diverged", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreTraceReplayAcrossRestart pins the trace artifact: a second
+// project over the same disk store replays the ICFT session — same merged
+// graph, same reported counts (Table 4 prints them) — without executing the
+// program, and the recompiled bytes match.
+func TestStoreTraceReplayAcrossRestart(t *testing.T) {
+	in := core.Input{Data: []byte("012"), Seed: 3}
+	dir := t.TempDir()
+
+	run := func(workers int) (*core.Project, []byte) {
+		p := diskProject(t, fptrSrc, dir, workers)
+		res, err := p.Trace([]core.Input{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ICFTs == 0 {
+			t.Fatal("trace merged nothing")
+		}
+		rec, err := p.Recompile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, marshalImg(t, rec)
+	}
+
+	p1, bytes1 := run(1)
+	p2, bytes2 := run(8)
+	if !bytes.Equal(bytes1, bytes2) {
+		t.Fatal("trace-replayed recompile diverged from the traced original")
+	}
+	if p2.Stats.ICFTs != p1.Stats.ICFTs || p2.Stats.TraceInsts != p1.Stats.TraceInsts {
+		t.Fatalf("replayed trace counts differ: icfts %d vs %d, insts %d vs %d",
+			p2.Stats.ICFTs, p1.Stats.ICFTs, p2.Stats.TraceInsts, p1.Stats.TraceInsts)
+	}
+	if p2.Stats.StoreDiskHits == 0 {
+		t.Fatal("second session never hit the disk tier")
+	}
+}
+
+// TestStoreAdditiveAcrossRestart replays a whole additive session against a
+// warm disk store: every loop's recompile is served as an image artifact,
+// and the converged bytes match the cold session's.
+func TestStoreAdditiveAcrossRestart(t *testing.T) {
+	in := core.Input{Data: []byte("012"), Seed: 3}
+	dir := t.TempDir()
+
+	p1 := diskProject(t, fptrSrc, dir, 0)
+	res1, err := p1.RunAdditive(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := diskProject(t, fptrSrc, dir, 0)
+	res2, err := p2.RunAdditive(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalImg(t, res1.Img), marshalImg(t, res2.Img)) {
+		t.Fatal("disk-warm additive session diverged from the cold one")
+	}
+	if res2.Recompiles != res1.Recompiles {
+		t.Fatalf("warm session took %d recompiles, cold took %d", res2.Recompiles, res1.Recompiles)
+	}
+	if p2.Stats.StoreDiskHits == 0 {
+		t.Fatal("warm additive session never hit the disk tier")
+	}
+	if p2.Stats.CacheMisses != 0 {
+		t.Fatalf("warm additive session re-lifted %d functions; every recompile should be an image replay",
+			p2.Stats.CacheMisses)
+	}
+}
+
+// TestStoreCorruptionDegradesToMiss corrupts every on-disk artifact after a
+// cold run; a fresh session over the damaged store must still produce the
+// identical bytes with zero errors, counting the rejects.
+func TestStoreCorruptionDegradesToMiss(t *testing.T) {
+	img := compile(t, threadedSrc, 2)
+	_, want := recompileWith(t, img, func(o *core.Options) {
+		o.Workers = 1
+		o.NoFuncCache = true
+	})
+	dir := t.TempDir()
+
+	cold := diskProject(t, threadedSrc, dir, 1)
+	if _, err := cold.Recompile(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte near the end of every stored entry (payload region, so
+	// the checksum check must catch it).
+	corrupted := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 {
+			return nil
+		}
+		data[len(data)-1] ^= 0xff
+		corrupted++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupted == 0 {
+		t.Fatal("cold run left nothing on disk to corrupt")
+	}
+
+	d2, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := options()
+	o.Store = d2
+	p2, err := core.NewProject(compile(t, threadedSrc, 2), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p2.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, marshalImg(t, rec)) {
+		t.Fatal("recompile over corrupted store diverged")
+	}
+	if p2.Stats.StoreDiskHits != 0 {
+		t.Fatalf("corrupted store served %d hits", p2.Stats.StoreDiskHits)
+	}
+	st := d2.Stats()["disk"]
+	if st.Corrupt == 0 {
+		t.Fatal("corrupt entries were not counted")
+	}
+}

@@ -1,0 +1,78 @@
+// Package pool provides the index-ordered bounded worker pool shared by the
+// recompilation pipeline (internal/core) and the benchmark harness
+// (internal/bench). Both packages fan independent units of work — pipeline
+// functions, bench cells — over a fixed worker count while collecting
+// results by index, so their formatted/serialized outputs are independent of
+// the worker count.
+//
+// The single error-ordering contract, shared by every caller:
+//
+//   - With one worker (or one item) the calls run serially in index order
+//     and the first error stops the remaining ones — the historical serial
+//     behavior, including early exit.
+//   - With more workers every index runs to completion regardless of other
+//     indices' failures, and the error returned is the erroring index with
+//     the lowest value: the same error a serial run would have surfaced
+//     first. Callers that preallocate per-index result slots therefore see
+//     a fully populated result set on the non-erroring indices.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Clamp returns the worker count Run will actually use for n items: at least
+// 1, at most n, and never more than workers (workers <= 0 is treated as 1 by
+// Run's serial path, so callers resolving a default — e.g. runtime.NumCPU()
+// — must do so before calling). Callers that allocate per-worker state (the
+// tracer's per-worker spans tracks) size it with Clamp so worker indices
+// passed to f always land in [0, Clamp(workers, n)).
+func Clamp(workers, n int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run executes f(w, i) for every i in [0, n) on up to workers goroutines.
+// w identifies the worker making the call (always 0 on the serial path), so
+// callers can keep per-worker state without locking. The error-ordering
+// contract is documented on the package.
+func Run(workers, n int, f func(w, i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers = Clamp(workers, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

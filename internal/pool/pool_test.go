@@ -1,0 +1,94 @@
+package pool_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pool"
+)
+
+func TestClamp(t *testing.T) {
+	for _, tc := range []struct{ workers, n, want int }{
+		{0, 5, 1}, {-3, 5, 1}, {1, 5, 1}, {8, 5, 5}, {4, 100, 4}, {2, 0, 1},
+	} {
+		if got := pool.Clamp(tc.workers, tc.n); got != tc.want {
+			t.Errorf("Clamp(%d, %d) = %d, want %d", tc.workers, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestRunCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 53
+		var done [n]atomic.Int32
+		if err := pool.Run(workers, n, func(w, i int) error {
+			done[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range done {
+			if got := done[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := pool.Run(1, 10, func(w, i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran != 4 {
+		t.Fatalf("serial run executed %d items after error at index 3, want 4", ran)
+	}
+}
+
+// TestRunParallelReturnsLowestIndexError pins the error-ordering contract:
+// the parallel path runs everything and surfaces the lowest-index error —
+// the one a serial run would have reported first.
+func TestRunParallelReturnsLowestIndexError(t *testing.T) {
+	const n = 40
+	var ran atomic.Int32
+	err := pool.Run(8, n, func(w, i int) error {
+		ran.Add(1)
+		if i == 7 || i == 31 {
+			return fmt.Errorf("err-%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "err-7" {
+		t.Fatalf("err = %v, want err-7 (lowest erroring index)", err)
+	}
+	if got := ran.Load(); got != n {
+		t.Fatalf("parallel run executed %d of %d items", got, n)
+	}
+}
+
+func TestRunWorkerIndexInRange(t *testing.T) {
+	const workers, n = 6, 100
+	max := pool.Clamp(workers, n)
+	var bad atomic.Int32
+	if err := pool.Run(workers, n, func(w, i int) error {
+		if w < 0 || w >= max {
+			bad.Add(1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() != 0 {
+		t.Fatalf("%d calls saw a worker index outside [0, %d)", bad.Load(), max)
+	}
+}

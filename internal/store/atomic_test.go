@@ -1,0 +1,116 @@
+package store_test
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func TestWriteFileAtomicBasic(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "sub", "deep", "file.json")
+	if err := store.WriteFileAtomic(p, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFileAtomic(p, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil || string(got) != "two" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// No stray temp files after clean writes.
+	ents, err := os.ReadDir(filepath.Dir(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after clean writes, want 1", len(ents))
+	}
+}
+
+// TestWriteFileAtomicSurvivesKill kills a child process that is overwriting
+// the same target in a tight loop, mid-stream, and asserts the target is
+// always one complete payload — never truncated or interleaved. This is the
+// crash-safety contract cmd/polynima's additive CFG persistence relies on.
+func TestWriteFileAtomicSurvivesKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a helper process")
+	}
+	dir := t.TempDir()
+	target := filepath.Join(dir, "target")
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperProcessAtomicWriter")
+	cmd.Env = append(os.Environ(),
+		"STORE_ATOMIC_HELPER=1",
+		"STORE_ATOMIC_TARGET="+target,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the child has completed one full write and is mid-loop.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() || sc.Text() != "READY" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("helper did not report READY (got %q, err %v)", sc.Text(), sc.Err())
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatalf("target unreadable after kill: %v", err)
+	}
+	if len(got) != helperPayloadLen {
+		t.Fatalf("target is %d bytes after kill, want a complete %d-byte payload", len(got), helperPayloadLen)
+	}
+	first := got[0]
+	if first != 'a' && first != 'b' {
+		t.Fatalf("target starts with %q, want 'a' or 'b'", first)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{first}, helperPayloadLen)) {
+		t.Fatal("target interleaves two payloads: write was not atomic")
+	}
+}
+
+const helperPayloadLen = 1 << 20
+
+// TestHelperProcessAtomicWriter is not a real test: it is the child body
+// for TestWriteFileAtomicSurvivesKill, alternating two large payloads into
+// the target until killed.
+func TestHelperProcessAtomicWriter(t *testing.T) {
+	if os.Getenv("STORE_ATOMIC_HELPER") != "1" {
+		t.Skip("helper process body")
+	}
+	target := os.Getenv("STORE_ATOMIC_TARGET")
+	a := bytes.Repeat([]byte{'a'}, helperPayloadLen)
+	b := bytes.Repeat([]byte{'b'}, helperPayloadLen)
+	if err := store.WriteFileAtomic(target, a, 0o644); err != nil {
+		fmt.Println("ERR", err)
+		os.Exit(1)
+	}
+	fmt.Println("READY")
+	for {
+		if err := store.WriteFileAtomic(target, b, 0o644); err != nil {
+			os.Exit(1)
+		}
+		if err := store.WriteFileAtomic(target, a, 0o644); err != nil {
+			os.Exit(1)
+		}
+	}
+}

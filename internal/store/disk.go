@@ -1,0 +1,122 @@
+package store
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// diskMagic opens every on-disk entry. The trailing digit is the container
+// format version; bumping it (or diskVersion below) orphans old entries,
+// which then read as misses and are rewritten — never misparsed.
+const diskMagic = "PNSTORE1"
+
+// diskVersion is the key-namespace version directory. Artifact encoding
+// schema changes bump this so a new binary never decodes an old binary's
+// payloads.
+const diskVersion = "v1"
+
+// diskHeaderLen is magic + 8-byte little-endian payload length + 32-byte
+// sha256 of the payload.
+const diskHeaderLen = len(diskMagic) + 8 + sha256.Size
+
+// Disk is the persistent store tier. Entries live at
+//
+//	dir/v1/<ns>/<first two key hex digits>/<full key hex>
+//
+// and are framed as magic ++ len ++ sha256(payload) ++ payload. Writes are
+// atomic (temp file + rename), so a crashed writer leaves no partial entry.
+// On read, anything unexpected — short file, bad magic, length mismatch,
+// checksum mismatch, trailing garbage — is a counted miss, never an error:
+// the store is an accelerator, and a bad entry must only ever cost a
+// recompute.
+type Disk struct {
+	dir string
+	mu  sync.Mutex
+	c   Counters
+}
+
+// OpenDisk returns a disk tier rooted at dir, creating the versioned root
+// if needed.
+func OpenDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(filepath.Join(dir, diskVersion), 0o755); err != nil {
+		return nil, err
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir reports the store root.
+func (d *Disk) Dir() string { return d.dir }
+
+func (d *Disk) path(ns string, key Key) string {
+	hex := key.Hex()
+	return filepath.Join(d.dir, diskVersion, ns, hex[:2], hex)
+}
+
+// Get implements Store. Every failure mode is a miss; corrupt entries are
+// additionally counted and removed so they are rewritten on the next Put.
+func (d *Disk) Get(ns string, key Key) ([]byte, string, bool) {
+	raw, err := os.ReadFile(d.path(ns, key))
+	if err != nil {
+		d.count(func(c *Counters) { c.Misses++ })
+		return nil, "", false
+	}
+	payload, ok := decodeDiskEntry(raw)
+	if !ok {
+		os.Remove(d.path(ns, key))
+		d.count(func(c *Counters) { c.Misses++; c.Corrupt++ })
+		return nil, "", false
+	}
+	d.count(func(c *Counters) { c.Hits++ })
+	return payload, "disk", true
+}
+
+func decodeDiskEntry(raw []byte) ([]byte, bool) {
+	if len(raw) < diskHeaderLen {
+		return nil, false
+	}
+	if string(raw[:len(diskMagic)]) != diskMagic {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(raw[len(diskMagic):])
+	payload := raw[diskHeaderLen:]
+	if uint64(len(payload)) != n {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	want := raw[len(diskMagic)+8 : diskHeaderLen]
+	if subtle.ConstantTimeCompare(sum[:], want) != 1 {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put implements Store. Write failures are counted and swallowed — the
+// caller keeps its freshly computed artifact either way.
+func (d *Disk) Put(ns string, key Key, data []byte) {
+	buf := make([]byte, diskHeaderLen+len(data))
+	copy(buf, diskMagic)
+	binary.LittleEndian.PutUint64(buf[len(diskMagic):], uint64(len(data)))
+	sum := sha256.Sum256(data)
+	copy(buf[len(diskMagic)+8:], sum[:])
+	copy(buf[diskHeaderLen:], data)
+	if err := WriteFileAtomic(d.path(ns, key), buf, 0o644); err != nil {
+		d.count(func(c *Counters) { c.Errors++ })
+	}
+}
+
+// Stats implements Store.
+func (d *Disk) Stats() map[string]Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return map[string]Counters{"disk": d.c}
+}
+
+func (d *Disk) count(f func(*Counters)) {
+	d.mu.Lock()
+	f(&d.c)
+	d.mu.Unlock()
+}

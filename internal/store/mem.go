@@ -1,0 +1,99 @@
+package store
+
+import "sync"
+
+// Memory is the in-process store tier: a content-addressed map with
+// generational pruning. It generalizes core's original function cache — the
+// owner brackets each unit of reuse (one Recompile pass) with BeginGen /
+// EndGen, every Get or Put within the bracket marks its entry live, and
+// EndGen drops entries not touched for a full generation. An entry reused
+// every pass therefore lives forever; one that goes unused for exactly one
+// complete generation is evicted (additive workflows re-lift only what the
+// new trace invalidated, so anything untouched for a whole pass is stale).
+//
+// Outside a generation bracket (gen 0, e.g. a shared harness-level tier)
+// nothing is ever evicted.
+//
+// Memory is safe for concurrent use.
+type Memory struct {
+	mu      sync.Mutex
+	gen     uint64
+	entries map[string]map[Key]*memEntry
+	c       Counters
+}
+
+type memEntry struct {
+	data []byte
+	gen  uint64 // last generation that touched the entry
+}
+
+// NewMemory returns an empty memory tier.
+func NewMemory() *Memory {
+	return &Memory{entries: map[string]map[Key]*memEntry{}}
+}
+
+// BeginGen opens a new generation: subsequent Get/Put calls mark their
+// entries as live in it.
+func (m *Memory) BeginGen() {
+	m.mu.Lock()
+	m.gen++
+	m.mu.Unlock()
+}
+
+// EndGen closes the current generation, evicting every entry that was not
+// touched during it, and returns the number of entries evicted.
+func (m *Memory) EndGen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	evicted := 0
+	for _, ents := range m.entries {
+		for k, e := range ents {
+			if e.gen != m.gen {
+				delete(ents, k)
+				evicted++
+			}
+		}
+	}
+	m.c.Evictions += int64(evicted)
+	return evicted
+}
+
+// Len reports the number of live entries in namespace ns.
+func (m *Memory) Len(ns string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries[ns])
+}
+
+// Get implements Store.
+func (m *Memory) Get(ns string, key Key) ([]byte, string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[ns][key]
+	if !ok {
+		m.c.Misses++
+		return nil, "", false
+	}
+	e.gen = m.gen
+	m.c.Hits++
+	return e.data, "mem", true
+}
+
+// Put implements Store.
+func (m *Memory) Put(ns string, key Key, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ents := m.entries[ns]
+	if ents == nil {
+		ents = map[Key]*memEntry{}
+		m.entries[ns] = ents
+	}
+	ents[key] = &memEntry{data: data, gen: m.gen}
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() map[string]Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return map[string]Counters{"mem": m.c}
+}

@@ -1,0 +1,96 @@
+// Package store is the tiered content-addressed artifact store behind the
+// staged recompilation pipeline (internal/core).
+//
+// Every pipeline stage declares a typed artifact — the static CFG, an ICFT
+// trace merge, a lifted+optimized function body, the final lowered image —
+// and a sha256 fingerprint over that artifact's full input set. The
+// fingerprint is the store key: artifacts are content-addressed, so
+// invalidation is implicit (a changed input hashes to a new key and the
+// stale entry simply stops being referenced).
+//
+// Two tiers implement the Store interface:
+//
+//   - Memory (mem.go): a process-local map with generational pruning — the
+//     generalization of core's original content-addressed function cache.
+//     Each core.Project owns one, so pruning semantics stay project-local.
+//   - Disk (disk.go): a persistent tier under a versioned key namespace,
+//     written atomically (temp file + rename, atomic.go). Any corrupt,
+//     short, or version-mismatched entry is treated as a miss and counted —
+//     never surfaced as an error and never able to produce a wrong output,
+//     because payloads are checksummed and artifacts are content-addressed.
+//
+// Tiered (tiered.go) composes a memory tier over an optional backing tier
+// and promotes backing hits into memory. The determinism contract
+// (DESIGN.md §3): recompiled bytes are identical whether an artifact is
+// recomputed, replayed from memory, or replayed from disk.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Key is a content-address: a sha256 fingerprint over an artifact's full
+// input set.
+type Key [32]byte
+
+// Hex renders the key for paths and diagnostics.
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
+
+// KeyOf hashes the parts in order into a Key. Each part is framed by its
+// length, so distinct part boundaries can never collide by concatenation.
+func KeyOf(parts ...[]byte) Key {
+	h := sha256.New()
+	var w [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(w[:], uint64(len(p)))
+		h.Write(w[:])
+		h.Write(p)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// U64 renders x as a little-endian KeyOf part.
+func U64(x uint64) []byte {
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], x)
+	return w[:]
+}
+
+// Counters is a point-in-time snapshot of one tier's outcome counts.
+type Counters struct {
+	Hits      int64 // Get served from this tier
+	Misses    int64 // Get that this tier could not serve
+	Evictions int64 // entries dropped by generational pruning (memory tier)
+	Corrupt   int64 // on-disk entries rejected as corrupt/short/mismatched
+	Errors    int64 // I/O errors swallowed by best-effort writes
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Hits += o.Hits
+	c.Misses += o.Misses
+	c.Evictions += o.Evictions
+	c.Corrupt += o.Corrupt
+	c.Errors += o.Errors
+}
+
+// Store is a content-addressed blob store. Namespaces separate artifact
+// types (one encoding schema each); ns must be non-empty and match
+// [A-Za-z0-9._-]+ so it can double as a directory name.
+//
+// Get returns the stored bytes, the name of the tier that served them
+// ("mem", "disk"), and whether the key was present. The returned slice is
+// shared — callers must treat it as immutable. Put stores data under
+// (ns, key); the store takes ownership of the slice. Puts are best-effort:
+// a tier that cannot persist (I/O error) counts the failure and stays
+// usable.
+type Store interface {
+	Get(ns string, key Key) (data []byte, tier string, ok bool)
+	Put(ns string, key Key, data []byte)
+	// Stats returns per-tier counter snapshots, keyed by tier name.
+	Stats() map[string]Counters
+}

@@ -1,0 +1,201 @@
+package store_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestKeyOfFraming(t *testing.T) {
+	// Length framing: moving a byte across a part boundary changes the key.
+	a := store.KeyOf([]byte("ab"), []byte("c"))
+	b := store.KeyOf([]byte("a"), []byte("bc"))
+	if a == b {
+		t.Fatal("KeyOf collides across part boundaries")
+	}
+	if a != store.KeyOf([]byte("ab"), []byte("c")) {
+		t.Fatal("KeyOf is not deterministic")
+	}
+	if len(a.Hex()) != 64 {
+		t.Fatalf("Hex length = %d, want 64", len(a.Hex()))
+	}
+}
+
+func TestMemoryGenerationalPruning(t *testing.T) {
+	m := store.NewMemory()
+	k1 := store.KeyOf([]byte("one"))
+	k2 := store.KeyOf([]byte("two"))
+
+	m.BeginGen()
+	m.Put("f", k1, []byte("b1"))
+	m.Put("f", k2, []byte("b2"))
+	if ev := m.EndGen(); ev != 0 {
+		t.Fatalf("gen 1 evicted %d, want 0", ev)
+	}
+
+	// Gen 2 touches only k1; k2 goes unused for exactly one generation and
+	// must be evicted at its close.
+	m.BeginGen()
+	if _, _, ok := m.Get("f", k1); !ok {
+		t.Fatal("k1 missing in gen 2")
+	}
+	if ev := m.EndGen(); ev != 1 {
+		t.Fatalf("gen 2 evicted %d, want 1 (the untouched entry)", ev)
+	}
+	if m.Len("f") != 1 {
+		t.Fatalf("Len = %d after eviction, want 1", m.Len("f"))
+	}
+	if _, _, ok := m.Get("f", k2); ok {
+		t.Fatal("evicted entry still readable")
+	}
+	// The entry touched every generation survives indefinitely.
+	m.BeginGen()
+	if _, _, ok := m.Get("f", k1); !ok {
+		t.Fatal("k1 evicted despite being touched every generation")
+	}
+	m.EndGen()
+
+	st := m.Stats()["mem"]
+	if st.Evictions != 1 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("counters = %+v, want 2 hits / 1 miss / 1 eviction", st)
+	}
+}
+
+func TestMemoryNamespacesAreDisjoint(t *testing.T) {
+	m := store.NewMemory()
+	k := store.KeyOf([]byte("x"))
+	m.Put("a", k, []byte("in-a"))
+	if _, _, ok := m.Get("b", k); ok {
+		t.Fatal("key leaked across namespaces")
+	}
+	if data, tier, ok := m.Get("a", k); !ok || tier != "mem" || string(data) != "in-a" {
+		t.Fatalf("Get(a) = %q, %q, %v", data, tier, ok)
+	}
+}
+
+func TestDiskRoundTripAndLayout(t *testing.T) {
+	d, err := store.OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.KeyOf([]byte("payload"))
+	want := []byte("the artifact bytes")
+	d.Put("func", k, want)
+	got, tier, ok := d.Get("func", k)
+	if !ok || tier != "disk" || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %q, %v", got, tier, ok)
+	}
+	// Versioned, sharded layout: dir/v1/<ns>/<hex2>/<hexkey>.
+	p := filepath.Join(d.Dir(), "v1", "func", k.Hex()[:2], k.Hex())
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("entry not at expected path %s: %v", p, err)
+	}
+	// Absent key: a plain miss, not corruption.
+	if _, _, ok := d.Get("func", store.KeyOf([]byte("other"))); ok {
+		t.Fatal("hit on absent key")
+	}
+	st := d.Stats()["disk"]
+	if st.Hits != 1 || st.Misses != 1 || st.Corrupt != 0 {
+		t.Fatalf("counters = %+v, want 1 hit / 1 miss / 0 corrupt", st)
+	}
+}
+
+// TestDiskCorruptionIsACountedMiss pins the acceptance criterion: a
+// truncated entry, a flipped payload byte, and a wrong version/magic prefix
+// each degrade to a counted miss — never an error, never stale data.
+func TestDiskCorruptionIsACountedMiss(t *testing.T) {
+	corruptions := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"short-header", func(b []byte) []byte { return b[:10] }},
+		{"flipped-payload-byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0xff
+			return c
+		}},
+		{"wrong-version-prefix", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			copy(c, "PNSTORE9")
+			return c
+		}},
+		{"trailing-garbage", func(b []byte) []byte { return append(append([]byte(nil), b...), 0xcc) }},
+		{"empty", func(b []byte) []byte { return nil }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := store.OpenDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := store.KeyOf([]byte(tc.name))
+			d.Put("func", k, []byte("good bytes"))
+			p := filepath.Join(d.Dir(), "v1", "func", k.Hex()[:2], k.Hex())
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, tc.mangle(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, ok := d.Get("func", k); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			st := d.Stats()["disk"]
+			if st.Corrupt != 1 || st.Misses != 1 {
+				t.Fatalf("counters = %+v, want 1 corrupt / 1 miss", st)
+			}
+			// The bad entry is dropped, so a rewrite restores service.
+			d.Put("func", k, []byte("good bytes"))
+			if got, _, ok := d.Get("func", k); !ok || string(got) != "good bytes" {
+				t.Fatalf("rewrite after corruption: Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func TestTieredPromotionAndWriteThrough(t *testing.T) {
+	disk, err := store.OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := store.NewTiered(store.NewMemory(), disk)
+	k := store.KeyOf([]byte("k"))
+	ts.Put("img", k, []byte("v"))
+
+	// Write-through: a second Tiered over the same disk sees the entry,
+	// first from disk, then (promoted) from memory.
+	ts2 := store.NewTiered(store.NewMemory(), disk)
+	if _, tier, ok := ts2.Get("img", k); !ok || tier != "disk" {
+		t.Fatalf("first Get tier = %q, %v, want disk hit", tier, ok)
+	}
+	if _, tier, ok := ts2.Get("img", k); !ok || tier != "mem" {
+		t.Fatalf("second Get tier = %q, %v, want mem hit (promoted)", tier, ok)
+	}
+	st := ts2.Stats()
+	if st["mem"].Hits != 1 || st["mem"].Misses != 1 {
+		t.Fatalf("mem counters = %+v", st["mem"])
+	}
+	if st["disk"].Hits < 1 {
+		t.Fatalf("disk counters = %+v", st["disk"])
+	}
+}
+
+func TestTieredMemoryOnly(t *testing.T) {
+	ts := store.NewTiered(nil, nil)
+	k := store.KeyOf([]byte("k"))
+	if _, _, ok := ts.Get("x", k); ok {
+		t.Fatal("hit on empty store")
+	}
+	ts.Put("x", k, []byte("v"))
+	if data, tier, ok := ts.Get("x", k); !ok || tier != "mem" || string(data) != "v" {
+		t.Fatalf("Get = %q, %q, %v", data, tier, ok)
+	}
+	if _, ok := ts.Stats()["disk"]; ok {
+		t.Fatal("memory-only store reports a disk tier")
+	}
+}

@@ -1,0 +1,74 @@
+package store
+
+// Tiered composes a memory tier over an optional backing tier (typically
+// Disk, possibly shared between owners). Gets probe memory first and
+// promote backing hits into memory; Puts write through to both, so a fresh
+// computation persists even if the process exits before it is reused.
+//
+// Generational pruning applies only to the memory tier — the backing tier
+// keeps everything — so Tiered forwards BeginGen/EndGen to its Memory.
+type Tiered struct {
+	mem  *Memory
+	back Store // nil when memory-only
+}
+
+// NewTiered returns mem composed over back; back may be nil for a
+// memory-only store.
+func NewTiered(mem *Memory, back Store) *Tiered {
+	if mem == nil {
+		mem = NewMemory()
+	}
+	return &Tiered{mem: mem, back: back}
+}
+
+// Mem exposes the memory tier (for Len in tests and diagnostics).
+func (t *Tiered) Mem() *Memory { return t.mem }
+
+// BeginGen opens a pruning generation on the memory tier.
+func (t *Tiered) BeginGen() { t.mem.BeginGen() }
+
+// EndGen closes the memory tier's generation and returns its evicted count.
+func (t *Tiered) EndGen() int { return t.mem.EndGen() }
+
+// Get implements Store; tier reports which tier served the hit ("mem" or
+// the backing tier's own name).
+func (t *Tiered) Get(ns string, key Key) ([]byte, string, bool) {
+	if data, tier, ok := t.mem.Get(ns, key); ok {
+		return data, tier, true
+	}
+	if t.back == nil {
+		return nil, "", false
+	}
+	data, tier, ok := t.back.Get(ns, key)
+	if !ok {
+		return nil, "", false
+	}
+	t.mem.Put(ns, key, data)
+	return data, tier, true
+}
+
+// Put implements Store.
+func (t *Tiered) Put(ns string, key Key, data []byte) {
+	t.mem.Put(ns, key, data)
+	if t.back != nil {
+		t.back.Put(ns, key, data)
+	}
+}
+
+// Stats implements Store, merging per-tier counters from both tiers.
+func (t *Tiered) Stats() map[string]Counters {
+	out := map[string]Counters{}
+	for name, c := range t.mem.Stats() {
+		cc := out[name]
+		cc.Add(c)
+		out[name] = cc
+	}
+	if t.back != nil {
+		for name, c := range t.back.Stats() {
+			cc := out[name]
+			cc.Add(c)
+			out[name] = cc
+		}
+	}
+	return out
+}

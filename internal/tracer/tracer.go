@@ -26,6 +26,11 @@ type Run struct {
 	Exts  map[string]vm.ExtFunc // extra host functions (app-specific)
 }
 
+// SiteTarget is one merged (site, target) indirect control transfer.
+type SiteTarget struct {
+	Site, Target uint64
+}
+
 // Result summarizes a tracing session.
 type Result struct {
 	// ICFTs is the number of unique (site, target) indirect control
@@ -40,6 +45,11 @@ type Result struct {
 	Runs int
 	// Insts is the total number of instructions executed while tracing.
 	Insts uint64
+	// Merged lists every merged pair in merge order — a replayable record of
+	// the session's whole effect on the graph. Applying the pairs to the same
+	// starting graph (internal/core's trace-artifact replay) reproduces the
+	// merged graph without executing anything, so len(Merged) == ICFTs.
+	Merged []SiteTarget
 }
 
 // Trace runs the original binary under the ICFT tracer for each run and
@@ -101,6 +111,7 @@ func TraceObs(img *image.Image, g *cfg.Graph, runs []Run, fuel uint64, tr *obs.T
 				continue
 			}
 			merged++
+			res.Merged = append(res.Merged, SiteTarget{rc.site, rc.target})
 			if blk.HasTarget(rc.target) {
 				continue
 			}
