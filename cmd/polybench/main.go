@@ -63,6 +63,8 @@ func main() {
 	nocache := flag.Bool("nocache", false, "disable the VM predecoded instruction cache")
 	nopipecache := flag.Bool("nopipecache", false, "disable the artifact store (per-function recompile cache and friends)")
 	storeDir := flag.String("store", "", "back the artifact store with a disk tier rooted at `dir` (persists across runs)")
+	storeMaxMB := flag.Int64("store-max-mb", 0, "prune the disk tier to at most `N` MiB (0 = unbounded)")
+	remoteStore := flag.String("remote-store", "", "back the artifact store with a polynimad store service at `url`")
 	tracefile := flag.String("tracefile", "", "write a Chrome trace_event JSON span trace to `file`")
 	metrics := flag.String("metrics", "", "enable VM counters and write Prometheus text metrics to `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
@@ -112,15 +114,29 @@ func main() {
 	h.SetPipelineWorkers(*jpipe)
 	h.SetNoFuncCache(*nopipecache)
 	h.SetTracer(tracer)
-	var disk *store.Disk
+	var tiers []store.Store
 	if *storeDir != "" {
 		d, err := store.OpenDisk(*storeDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "store: %v\n", err)
 			os.Exit(1)
 		}
-		disk = d
-		h.SetStore(d)
+		if *storeMaxMB > 0 {
+			d.SetMaxBytes(*storeMaxMB << 20)
+		}
+		tiers = append(tiers, d)
+	}
+	if *remoteStore != "" {
+		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "remote-store: %v\n", err)
+			os.Exit(1)
+		}
+		tiers = append(tiers, r)
+	}
+	backing := store.NewChain(tiers...)
+	if backing != nil {
+		h.SetStore(backing)
 	}
 
 	// total accumulates every section's stats: the per-section footers reset
@@ -145,8 +161,8 @@ func main() {
 		}
 		if sink != nil {
 			var storeStats map[string]store.Counters
-			if disk != nil {
-				storeStats = disk.Stats()
+			if backing != nil {
+				storeStats = backing.Stats()
 			}
 			if err := bench.BuildMetrics(total, storeStats, sink.Snapshot()).WriteFile(*metrics); err != nil {
 				fail("metrics: %v", err)

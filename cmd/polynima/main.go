@@ -12,7 +12,15 @@
 // -store DIR backs the project's artifact store with a content-addressed
 // disk tier, so a repeated recompile of the same binary replays its CFG,
 // trace sessions, optimized function bodies, and lowered image from disk —
-// with byte-identical output (DESIGN.md §3).
+// with byte-identical output (DESIGN.md §3). -store-max-mb bounds that
+// directory: the disk tier prunes its least-recently-modified entries back
+// under the limit instead of growing monotonically.
+//
+// -remote-store URL adds a polynimad store service as a further backing
+// tier, probed after the disk tier and written through alongside it, so a
+// fleet of clients shares one warm store. Every remote failure — timeout,
+// 5xx, corrupt frame — degrades to a counted miss: a dead daemon can slow
+// a recompile down, never change its bytes.
 //
 // -cfg FILE (additive only) checkpoints the evolving CFG to FILE after
 // every integrated miss batch, via an atomic temp-file + rename, and
@@ -24,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/image"
@@ -44,16 +54,28 @@ func main() {
 	prune := fs.Bool("prune", false, "run the callback-usage analysis and prune wrappers")
 	seed := fs.Int64("seed", 1, "scheduler seed")
 	storeDir := fs.String("store", "", "back the artifact store with a disk tier rooted at `dir`")
+	storeMaxMB := fs.Int64("store-max-mb", 0, "prune the disk tier to at most `N` MiB (0 = unbounded)")
+	remoteStore := fs.String("remote-store", "", "back the artifact store with a polynimad store service at `url`")
 	cfgPath := fs.String("cfg", "", "additive: checkpoint the evolving CFG to `file` (atomic write) and resume from it")
 	imgPath := os.Args[2]
 	_ = fs.Parse(os.Args[3:])
 
 	opts := core.DefaultOptions()
+	var tiers []store.Store
 	if *storeDir != "" {
 		d, err := store.OpenDisk(*storeDir)
 		check(err)
-		opts.Store = d
+		if *storeMaxMB > 0 {
+			d.SetMaxBytes(*storeMaxMB << 20)
+		}
+		tiers = append(tiers, d)
 	}
+	if *remoteStore != "" {
+		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{})
+		check(err)
+		tiers = append(tiers, r)
+	}
+	opts.Store = store.NewChain(tiers...)
 
 	data, err := os.ReadFile(imgPath)
 	check(err)
@@ -114,6 +136,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "recompiled: %d funcs, %d blocks, %d bytes of new code, pipeline %s\n",
 			p.Stats.Funcs, p.Stats.Blocks, p.Stats.CodeSize, p.Stats.Total())
+		if opts.Store != nil {
+			fmt.Fprint(os.Stderr, storeStatsLine(p, opts.Store))
+		}
 	case "additive":
 		p, resumed, err := resumeProject(img, *cfgPath, opts)
 		check(err)
@@ -129,6 +154,27 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// storeStatsLine renders this run's per-tier store outcomes: the memory
+// tier from the project's counters, the backing tiers from their own stats
+// (which also count the swallowed errors, corrupt rejects, and retries the
+// pipeline only ever observes as misses).
+func storeStatsLine(p *core.Project, backing store.Store) string {
+	parts := []string{fmt.Sprintf("mem hits %d, misses %d",
+		p.Stats.StoreMemHits, p.Stats.StoreMemMisses)}
+	st := backing.Stats()
+	tiers := make([]string, 0, len(st))
+	for tier := range st {
+		tiers = append(tiers, tier)
+	}
+	sort.Strings(tiers)
+	for _, tier := range tiers {
+		c := st[tier]
+		parts = append(parts, fmt.Sprintf("%s hits %d, misses %d, errors %d, retries %d",
+			tier, c.Hits, c.Misses, c.Errors, c.Retries))
+	}
+	return "store: " + strings.Join(parts, " | ") + "\n"
 }
 
 func check(err error) {

@@ -1,0 +1,114 @@
+// polynimad is the fleet recompile daemon: a long-running HTTP service
+// (internal/serve) holding one shared tiered artifact store, so every
+// recompile/trace/additive job any client submits warms the cache for the
+// next — across requests, not just within one process's lifetime like the
+// polynima CLI.
+//
+// Usage:
+//
+//	polynimad [-listen addr] [-store dir [-store-max-mb N]]
+//	          [-remote-store url] [-jpipe N] [-tracefile file]
+//
+// The backing tier composes -store (local disk, optionally size-pruned)
+// over -remote-store (an upstream polynimad or any server speaking the
+// /store/v1 protocol), probed in that order. Clients are the polynima and
+// polybench -remote-store flags, curl against /v1/*, or another polynimad
+// chaining through its own -remote-store.
+//
+// Shutdown is graceful: SIGINT/SIGTERM drains in-flight jobs (bounded),
+// then writes the span trace when -tracefile is set.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8473", "listen `address`")
+	storeDir := flag.String("store", "", "back the shared store with a disk tier rooted at `dir`")
+	storeMaxMB := flag.Int64("store-max-mb", 0, "prune the disk tier to at most `N` MiB (0 = unbounded)")
+	remoteStore := flag.String("remote-store", "", "chain an upstream store service at `url` under the disk tier")
+	jpipe := flag.Int("jpipe", runtime.NumCPU(), "concurrent per-job function lifts/optimizations (1 = serial)")
+	tracefile := flag.String("tracefile", "", "write a Chrome trace_event JSON span trace to `file` at shutdown")
+	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *tracefile != "" {
+		tracer = obs.New()
+	}
+
+	var tiers []store.Store
+	if *storeDir != "" {
+		d, err := store.OpenDisk(*storeDir)
+		check(err)
+		if *storeMaxMB > 0 {
+			d.SetMaxBytes(*storeMaxMB << 20)
+		}
+		tiers = append(tiers, d)
+	}
+	if *remoteStore != "" {
+		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{})
+		check(err)
+		tiers = append(tiers, r)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Workers = *jpipe
+	s := serve.New(serve.Config{
+		Opts:    opts,
+		Backing: store.NewChain(tiers...),
+		Tracer:  tracer,
+	})
+
+	srv := &http.Server{Addr: *listen, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "polynimad: listening on %s\n", *listen)
+		errc <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		check(err) // bind failure etc. — Shutdown was never reachable
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "polynimad: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "polynimad: shutdown: %v\n", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "polynimad: %v\n", err)
+		}
+	}
+
+	if tracer != nil {
+		if err := tracer.WriteFile(*tracefile); err != nil {
+			fmt.Fprintf(os.Stderr, "polynimad: tracefile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -58,12 +58,21 @@ type Options struct {
 	// hatch and the benchmark baseline). The name predates the staged
 	// store; it now gates CFG, trace, function, and image artifacts alike.
 	NoFuncCache bool
-	// Store, when set, is a backing artifact tier (typically store.Disk,
-	// the -store flag) composed under this project's private generational
-	// memory tier. Artifacts written there survive the process and may be
-	// shared between projects — keys are content addresses over each
-	// stage's full input set, so sharing can never alias (stages.go).
+	// Store, when set, is a backing artifact tier (typically store.Disk or
+	// store.Remote, the -store/-remote-store flags) composed under this
+	// project's private generational memory tier. Artifacts written there
+	// survive the process and may be shared between projects — keys are
+	// content addresses over each stage's full input set, so sharing can
+	// never alias (stages.go).
 	Store store.Store
+	// SharedStore, when set, is used directly as the project's artifact
+	// store instead of wrapping a private memory tier over Store — the
+	// fleet-daemon shape (internal/serve): one memory tier warm across
+	// every request. It should be built with store.NewSharedTiered so the
+	// pipeline's generation brackets become no-ops (a private pruning cycle
+	// must not evict entries concurrent projects still use). Takes
+	// precedence over Store; ignored when NoFuncCache is set.
+	SharedStore *store.Tiered
 	// Obs, when set, records a structured span for every pipeline stage
 	// (disasm, ICFT trace, per-function lift+opt, site finalize, lower) and
 	// every guest run, for Chrome-trace export. Nil — the default — costs
@@ -270,10 +279,16 @@ func NewProjectWithGraph(img *image.Image, g *cfg.Graph, opts Options) *Project 
 	return p
 }
 
-// newProjectShell builds the project and its tiered artifact store.
+// newProjectShell builds the project and its tiered artifact store: the
+// caller-supplied shared store when one is set (daemon mode), otherwise a
+// private generational memory tier over the optional backing store.
 func newProjectShell(img *image.Image, opts Options) *Project {
 	p := &Project{Img: img, Opts: opts}
-	if !opts.NoFuncCache {
+	switch {
+	case opts.NoFuncCache:
+	case opts.SharedStore != nil:
+		p.store = opts.SharedStore
+	default:
 		p.store = store.NewTiered(store.NewMemory(), opts.Store)
 	}
 	return p

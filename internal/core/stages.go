@@ -59,16 +59,20 @@ var (
 
 // storeGet probes the project's artifact store and attributes the outcome
 // to the per-tier stats counters. Returns misses when the store is off.
+// "Disk" in the counter names means any backing tier — disk, remote, or a
+// chain of both; the Store interface's tier string distinguishes them in
+// spans and in the per-tier Counters.
 func (p *Project) storeGet(ns string, key store.Key) ([]byte, string, bool) {
 	if p.store == nil {
 		return nil, "", false
 	}
 	data, tier, ok := p.store.Get(ns, key)
+	hasBacking := p.store.HasBacking()
 	p.Stats.update(func() {
 		switch {
 		case !ok:
 			p.Stats.StoreMemMisses++
-			if p.Opts.Store != nil {
+			if hasBacking {
 				p.Stats.StoreDiskMisses++
 			}
 		case tier == "mem":

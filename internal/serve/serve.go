@@ -1,0 +1,482 @@
+// Package serve is the fleet recompile service behind cmd/polynimad: a
+// long-running HTTP daemon that wraps core.Project over a single shared
+// store.Tiered, so the memory tier — not just the disk tier — stays warm
+// across requests, and a farm of workers pointing at one daemon shares one
+// warm artifact store.
+//
+// Job endpoints (the request body is always a marshaled PXE image):
+//
+//	POST /v1/recompile[?trace=1&prune=1&seed=N]   -> recompiled image bytes
+//	POST /v1/trace[?seed=N]                       -> ICFT session summary (JSON)
+//	POST /v1/additive[?seed=N&maxloops=N]         -> additive session result (JSON)
+//
+// An optional concrete input for the traced/additive runs rides in the
+// X-Polynima-Input header, base64-encoded.
+//
+// Store endpoints — the wire protocol store.Remote speaks, serving the
+// daemon's shared tiered store as a content-addressed blob service:
+//
+//	GET /store/v1/{ns}/{key}   -> framed entry (store.EncodeFrame) or 404
+//	PUT /store/v1/{ns}/{key}   -> 204; body must be a valid frame (else 400)
+//
+// Every stored byte a client PUTs is promoted into the daemon's memory
+// tier, so the whole fleet warms the daemon and the daemon warms the fleet.
+// The degradation contract is the client's (store.Remote): nothing this
+// server does — crash, restart, corruption, pruning — can change a
+// client's recompiled bytes; at worst a client recomputes.
+//
+// Operational endpoints: GET /metrics (Prometheus text format: per-job and
+// per-store-request counters plus the shared store's per-tier ops) and
+// GET /healthz.
+package serve
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Opts is the base project options for every job; per-request query
+	// parameters override the seed. SharedStore/Store/Obs are managed by
+	// the server and overwritten.
+	Opts core.Options
+	// Backing is the optional persistent tier (disk, remote, or a chain)
+	// composed under the shared memory tier.
+	Backing store.Store
+	// Tracer, when set, records one span per job plus the usual pipeline
+	// spans (written out by cmd/polynimad at shutdown).
+	Tracer *obs.Tracer
+	// MaxBodyBytes bounds request bodies; 0 selects 256 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the recompile service. Create with New, expose with Handler.
+type Server struct {
+	opts    core.Options
+	store   *store.Tiered
+	tracer  *obs.Tracer
+	maxBody int64
+	start   time.Time
+
+	mu         sync.Mutex
+	inflight   int64
+	jobs       map[[2]string]int64 // {kind, outcome} -> count
+	jobSecs    map[string]float64  // kind -> summed seconds
+	storeReqs  map[[2]string]int64 // {method, outcome} -> count
+	jobCounter int64               // per-job trace-track naming
+}
+
+// New returns a server over one shared tiered store (a fresh shared memory
+// tier fronting cfg.Backing).
+func New(cfg Config) *Server {
+	o := cfg.Opts
+	o.Obs = cfg.Tracer
+	o.Store = nil
+	o.NoFuncCache = false
+	s := &Server{
+		opts:      o,
+		store:     store.NewSharedTiered(store.NewMemory(), cfg.Backing),
+		tracer:    cfg.Tracer,
+		maxBody:   cfg.MaxBodyBytes,
+		start:     time.Now(),
+		jobs:      map[[2]string]int64{},
+		jobSecs:   map[string]float64{},
+		storeReqs: map[[2]string]int64{},
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = 256 << 20
+	}
+	s.opts.SharedStore = s.store
+	return s
+}
+
+// Store exposes the shared tiered store (tests, diagnostics).
+func (s *Server) Store() *store.Tiered { return s.store }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/recompile", func(w http.ResponseWriter, r *http.Request) {
+		s.job(w, r, "recompile", s.recompile)
+	})
+	mux.HandleFunc("POST /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		s.job(w, r, "trace", s.traceJob)
+	})
+	mux.HandleFunc("POST /v1/additive", func(w http.ResponseWriter, r *http.Request) {
+		s.job(w, r, "additive", s.additive)
+	})
+	mux.HandleFunc("GET /store/v1/{ns}/{key}", s.storeGet)
+	mux.HandleFunc("PUT /store/v1/{ns}/{key}", s.storePut)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// --- job plumbing -----------------------------------------------------------
+
+// httpError carries a job failure with its status code; anything else a job
+// returns maps to 500.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+func unprocessable(err error) error {
+	return &httpError{status: http.StatusUnprocessableEntity, err: err}
+}
+
+// jobRequest is a parsed job: the input image plus common parameters.
+type jobRequest struct {
+	img   *image.Image
+	seed  int64
+	input []byte // optional concrete input (X-Polynima-Input, base64)
+	query func(string) string
+}
+
+// job wraps one request: body parsing, per-job span, counters, and error
+// mapping. fn writes the success response itself.
+func (s *Server) job(w http.ResponseWriter, r *http.Request, kind string,
+	fn func(w http.ResponseWriter, req *jobRequest) error) {
+	t0 := time.Now()
+	s.count(func() { s.inflight++; s.jobCounter++ })
+	var tid int64
+	if s.tracer.Enabled() {
+		s.mu.Lock()
+		n := s.jobCounter
+		s.mu.Unlock()
+		tid = s.tracer.AllocTID(fmt.Sprintf("job %d (%s)", n, kind))
+	}
+	sp := s.tracer.Begin(tid, "serve", "job", obs.Arg{Key: "kind", Val: kind})
+	outcome := "ok"
+	defer func() {
+		d := time.Since(t0)
+		sp.Arg("outcome", outcome).End()
+		s.count(func() {
+			s.inflight--
+			s.jobs[[2]string{kind, outcome}]++
+			s.jobSecs[kind] += d.Seconds()
+		})
+	}()
+
+	req, err := s.parseJob(r)
+	if err == nil {
+		err = fn(w, req)
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if he, ok := err.(*httpError); ok {
+			status = he.status
+		}
+		if status >= 500 {
+			outcome = "error"
+		} else {
+			outcome = "client_error"
+		}
+		http.Error(w, err.Error(), status)
+	}
+}
+
+func (s *Server) parseJob(r *http.Request) (*jobRequest, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.maxBody))
+	if err != nil {
+		return nil, badRequest("reading body: %v", err)
+	}
+	img, err := image.Unmarshal(body)
+	if err != nil {
+		return nil, badRequest("not a PXE image: %v", err)
+	}
+	req := &jobRequest{img: img, seed: s.opts.Seed, query: r.URL.Query().Get}
+	if v := req.query("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, badRequest("seed %q: %v", v, err)
+		}
+		req.seed = seed
+	}
+	if v := r.Header.Get("X-Polynima-Input"); v != "" {
+		in, err := base64.StdEncoding.DecodeString(v)
+		if err != nil {
+			return nil, badRequest("X-Polynima-Input: %v", err)
+		}
+		req.input = in
+	}
+	return req, nil
+}
+
+// project builds a core.Project over the shared store for one job.
+func (s *Server) project(req *jobRequest) (*core.Project, error) {
+	o := s.opts
+	o.Seed = req.seed
+	p, err := core.NewProject(req.img, o)
+	if err != nil {
+		return nil, unprocessable(err)
+	}
+	return p, nil
+}
+
+func (req *jobRequest) coreInput() core.Input {
+	return core.Input{Data: req.input, Seed: req.seed}
+}
+
+// --- job handlers -----------------------------------------------------------
+
+// recompile runs the pipeline and answers with the recompiled image bytes.
+// Identical input, options, and store contents produce byte-identical
+// responses — the same determinism contract as the CLI (DESIGN.md §3).
+func (s *Server) recompile(w http.ResponseWriter, req *jobRequest) error {
+	p, err := s.project(req)
+	if err != nil {
+		return err
+	}
+	if req.query("trace") != "" {
+		if _, err := p.Trace([]core.Input{req.coreInput()}); err != nil {
+			return unprocessable(err)
+		}
+	}
+	if req.query("prune") != "" {
+		if err := p.PruneCallbacks([]core.Input{req.coreInput()}); err != nil {
+			return unprocessable(err)
+		}
+	}
+	rec, err := p.Recompile()
+	if err != nil {
+		return err
+	}
+	out, err := rec.Marshal()
+	if err != nil {
+		return err
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Polynima-Funcs", strconv.Itoa(p.Stats.Funcs))
+	h.Set("X-Polynima-Code-Size", strconv.Itoa(p.Stats.CodeSize))
+	h.Set("X-Polynima-Store-Mem-Hits", strconv.Itoa(p.Stats.StoreMemHits))
+	h.Set("X-Polynima-Store-Back-Hits", strconv.Itoa(p.Stats.StoreDiskHits))
+	w.Write(out)
+	return nil
+}
+
+// traceResponse is the JSON answer of POST /v1/trace.
+type traceResponse struct {
+	ICFTs      int        `json:"icfts"`
+	NewTargets int        `json:"new_targets"`
+	Runs       int        `json:"runs"`
+	Insts      uint64     `json:"insts"`
+	Merged     [][2]uint64 `json:"merged"` // (site, target) in merge order
+}
+
+func (s *Server) traceJob(w http.ResponseWriter, req *jobRequest) error {
+	p, err := s.project(req)
+	if err != nil {
+		return err
+	}
+	res, err := p.Trace([]core.Input{req.coreInput()})
+	if err != nil {
+		return unprocessable(err)
+	}
+	resp := traceResponse{
+		ICFTs:      res.ICFTs,
+		NewTargets: res.NewTargets,
+		Runs:       res.Runs,
+		Insts:      res.Insts,
+	}
+	for _, st := range res.Merged {
+		resp.Merged = append(resp.Merged, [2]uint64{st.Site, st.Target})
+	}
+	return writeJSON(w, resp)
+}
+
+// additiveResponse is the JSON answer of POST /v1/additive.
+type additiveResponse struct {
+	ExitCode   int    `json:"exit_code"`
+	Output     string `json:"output"`
+	Recompiles int    `json:"recompiles"`
+	Misses     int    `json:"misses"`
+	Image      []byte `json:"image"` // marshaled final image (base64 in JSON)
+}
+
+func (s *Server) additive(w http.ResponseWriter, req *jobRequest) error {
+	p, err := s.project(req)
+	if err != nil {
+		return err
+	}
+	maxLoops := 64
+	if v := req.query("maxloops"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return badRequest("maxloops %q", v)
+		}
+		maxLoops = n
+	}
+	res, err := p.RunAdditive(req.coreInput(), maxLoops)
+	if err != nil {
+		return unprocessable(err)
+	}
+	out, err := res.Img.Marshal()
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, additiveResponse{
+		ExitCode:   res.Result.ExitCode,
+		Output:     res.Result.Output,
+		Recompiles: res.Recompiles,
+		Misses:     len(res.Misses),
+		Image:      out,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// --- store endpoints --------------------------------------------------------
+
+// nsRE validates a namespace as both a safe path segment and a safe
+// directory name; "." and ".." are syntactically valid matches but would
+// escape the store root, so they are rejected separately.
+var nsRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+func parseStorePath(r *http.Request) (ns string, key store.Key, ok bool) {
+	ns = r.PathValue("ns")
+	if !nsRE.MatchString(ns) || ns == "." || ns == ".." {
+		return "", store.Key{}, false
+	}
+	raw, err := hex.DecodeString(r.PathValue("key"))
+	if err != nil || len(raw) != len(key) {
+		return "", store.Key{}, false
+	}
+	copy(key[:], raw)
+	return ns, key, true
+}
+
+func (s *Server) storeGet(w http.ResponseWriter, r *http.Request) {
+	ns, key, ok := parseStorePath(r)
+	if !ok {
+		s.countStoreReq("get", "bad")
+		http.Error(w, "bad namespace or key", http.StatusBadRequest)
+		return
+	}
+	data, _, ok := s.store.Get(ns, key)
+	if !ok {
+		s.countStoreReq("get", "miss")
+		http.NotFound(w, r)
+		return
+	}
+	s.countStoreReq("get", "hit")
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(store.EncodeFrame(data))
+}
+
+func (s *Server) storePut(w http.ResponseWriter, r *http.Request) {
+	ns, key, ok := parseStorePath(r)
+	if !ok {
+		s.countStoreReq("put", "bad")
+		http.Error(w, "bad namespace or key", http.StatusBadRequest)
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		s.countStoreReq("put", "bad")
+		http.Error(w, "reading body", http.StatusBadRequest)
+		return
+	}
+	payload, ok := store.DecodeFrame(raw)
+	if !ok {
+		// A client that ships a corrupt frame gets told so — unlike reads,
+		// accepting garbage here would store it for the whole fleet (it
+		// would still never be *served*, the disk tier re-checksums, but
+		// rejecting early keeps the store clean).
+		s.countStoreReq("put", "bad")
+		http.Error(w, "bad frame", http.StatusBadRequest)
+		return
+	}
+	s.store.Put(ns, key, payload)
+	s.countStoreReq("put", "ok")
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- metrics ----------------------------------------------------------------
+
+func (s *Server) count(f func()) {
+	s.mu.Lock()
+	f()
+	s.mu.Unlock()
+}
+
+func (s *Server) countStoreReq(method, outcome string) {
+	s.count(func() { s.storeReqs[[2]string{method, outcome}]++ })
+}
+
+// metrics renders the daemon's counters plus the shared store's per-tier
+// ops in Prometheus text format.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	ms := obs.NewMetricSet()
+	ms.Gauge("polynimad_uptime_seconds", "Seconds since the daemon started.").
+		Set(time.Since(s.start).Seconds())
+
+	s.mu.Lock()
+	ms.Gauge("polynimad_jobs_inflight", "Jobs currently executing.").
+		Set(float64(s.inflight))
+	jobs := ms.Counter("polynimad_jobs_total", "Jobs served, by kind and outcome.")
+	for k, v := range s.jobs {
+		jobs.Set(float64(v), obs.Label{Key: "kind", Val: k[0]}, obs.Label{Key: "outcome", Val: k[1]})
+	}
+	secs := ms.Counter("polynimad_job_seconds_total", "Summed job wall-clock seconds, by kind.")
+	for k, v := range s.jobSecs {
+		secs.Set(v, obs.Label{Key: "kind", Val: k})
+	}
+	reqs := ms.Counter("polynimad_store_requests_total",
+		"Store-protocol requests served, by method and outcome.")
+	for k, v := range s.storeReqs {
+		reqs.Set(float64(v), obs.Label{Key: "method", Val: k[0]}, obs.Label{Key: "outcome", Val: k[1]})
+	}
+	s.mu.Unlock()
+
+	st := s.store.Stats()
+	tiers := make([]string, 0, len(st))
+	for tier := range st {
+		tiers = append(tiers, tier)
+	}
+	sort.Strings(tiers)
+	ops := ms.Counter("store_tier_ops_total",
+		"Shared artifact-store operations by tier and outcome.")
+	for _, tier := range tiers {
+		c := st[tier]
+		l := obs.Label{Key: "tier", Val: tier}
+		ops.Set(float64(c.Hits), l, obs.Label{Key: "op", Val: "hit"})
+		ops.Set(float64(c.Misses), l, obs.Label{Key: "op", Val: "miss"})
+		ops.Set(float64(c.Evictions), l, obs.Label{Key: "op", Val: "eviction"})
+		ops.Set(float64(c.Corrupt), l, obs.Label{Key: "op", Val: "corrupt"})
+		ops.Set(float64(c.Errors), l, obs.Label{Key: "op", Val: "error"})
+		ops.Set(float64(c.Retries), l, obs.Label{Key: "op", Val: "retry"})
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := ms.Write(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

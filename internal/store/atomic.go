@@ -6,8 +6,17 @@ import (
 )
 
 // WriteFileAtomic writes data to path so that readers never observe a
-// partial file: the bytes land in a temp file in the same directory, which
-// is then renamed over path (rename within a directory is atomic on POSIX).
+// partial file and a completed write survives power loss: the bytes land in
+// a temp file in the same directory, the temp file is fsynced, and only
+// then is it renamed over path (rename within a directory is atomic on
+// POSIX). Without the fsync, common filesystems may persist the rename
+// before the data blocks, so a crash could surface a zero-length or garbage
+// file under the final name — the sync closes that window. After the
+// rename, the directory itself is synced best-effort so the new name is
+// durable too (some filesystems don't support fsync on directories; that
+// failure is ignored, as the rename's atomicity already guarantees the
+// reader sees either the old or the new complete file).
+//
 // A crash mid-write leaves at most a stray temp file, never a truncated
 // path. Parent directories are created as needed.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
@@ -25,6 +34,11 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		os.Remove(tmpName)
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return err
@@ -36,6 +50,12 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return err
+	}
+	// Best-effort directory sync: makes the rename itself durable where
+	// supported, and is harmless where not.
+	if df, err := os.Open(dir); err == nil {
+		df.Sync()
+		df.Close()
 	}
 	return nil
 }

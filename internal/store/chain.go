@@ -1,0 +1,60 @@
+package store
+
+// Chain composes several backing tiers in probe order: Get returns the
+// first tier's hit, Put writes through to every tier, Stats merges all of
+// them. Unlike Tiered it performs no promotion — it is meant as the backing
+// side of a Tiered (e.g. local disk probed before a shared remote store),
+// where the fronting memory tier already absorbs repeated reads and the
+// write-through keeps every tier warm.
+type Chain struct {
+	tiers []Store
+}
+
+// NewChain returns the tiers composed in probe order. Nil entries are
+// dropped; a chain of zero or one tier degenerates to that tier (nil for
+// zero), so callers can compose optional tiers unconditionally.
+func NewChain(tiers ...Store) Store {
+	var live []Store
+	for _, s := range tiers {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &Chain{tiers: live}
+}
+
+// Get implements Store: the first tier that has the key serves it.
+func (ch *Chain) Get(ns string, key Key) ([]byte, string, bool) {
+	for _, s := range ch.tiers {
+		if data, tier, ok := s.Get(ns, key); ok {
+			return data, tier, true
+		}
+	}
+	return nil, "", false
+}
+
+// Put implements Store: write-through to every tier.
+func (ch *Chain) Put(ns string, key Key, data []byte) {
+	for _, s := range ch.tiers {
+		s.Put(ns, key, data)
+	}
+}
+
+// Stats implements Store, merging per-tier counters across the chain.
+func (ch *Chain) Stats() map[string]Counters {
+	out := map[string]Counters{}
+	for _, s := range ch.tiers {
+		for name, c := range s.Stats() {
+			cc := out[name]
+			cc.Add(c)
+			out[name] = cc
+		}
+	}
+	return out
+}

@@ -1,43 +1,55 @@
 package store
 
 import (
-	"crypto/sha256"
-	"crypto/subtle"
-	"encoding/binary"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
-
-// diskMagic opens every on-disk entry. The trailing digit is the container
-// format version; bumping it (or diskVersion below) orphans old entries,
-// which then read as misses and are rewritten — never misparsed.
-const diskMagic = "PNSTORE1"
 
 // diskVersion is the key-namespace version directory. Artifact encoding
 // schema changes bump this so a new binary never decodes an old binary's
 // payloads.
 const diskVersion = "v1"
 
-// diskHeaderLen is magic + 8-byte little-endian payload length + 32-byte
-// sha256 of the payload.
-const diskHeaderLen = len(diskMagic) + 8 + sha256.Size
-
 // Disk is the persistent store tier. Entries live at
 //
 //	dir/v1/<ns>/<first two key hex digits>/<full key hex>
 //
-// and are framed as magic ++ len ++ sha256(payload) ++ payload. Writes are
-// atomic (temp file + rename), so a crashed writer leaves no partial entry.
-// On read, anything unexpected — short file, bad magic, length mismatch,
-// checksum mismatch, trailing garbage — is a counted miss, never an error:
-// the store is an accelerator, and a bad entry must only ever cost a
-// recompute.
+// and are framed as magic ++ len ++ sha256(payload) ++ payload (frame.go).
+// Writes are atomic and durable (temp file + fsync + rename, atomic.go), so
+// a crashed writer leaves no partial entry and a completed Put survives
+// power loss. On read, anything unexpected — short file, bad magic, length
+// mismatch, checksum mismatch, trailing garbage — is a counted miss, never
+// an error: the store is an accelerator, and a bad entry must only ever
+// cost a recompute. Real read failures (permissions, EIO) also degrade to
+// misses but are additionally counted under Errors, so operational problems
+// stay distinguishable from cold entries in the metrics.
+//
+// SetMaxBytes bounds the tier: once the total size of all entries exceeds
+// the limit, the least-recently-modified entries are pruned until the tier
+// is back under pruneTargetNum/pruneTargetDen of the limit — a long-lived
+// store directory no longer grows monotonically. Pruned entries read as
+// misses and are rewritten on the next Put, exactly like corrupt ones.
 type Disk struct {
 	dir string
 	mu  sync.Mutex
 	c   Counters
+
+	// pruning state, guarded by pmu (separate from the counter mutex so a
+	// prune walk never blocks counter reads).
+	pmu      sync.Mutex
+	maxBytes int64
+	size     int64 // approximate total entry bytes; exact after each prune walk
+	sizeOK   bool  // size has been initialized by a walk
 }
+
+// Prune hysteresis: prune down to 80% of the limit so every Put just over
+// the line doesn't trigger a walk.
+const (
+	pruneTargetNum = 4
+	pruneTargetDen = 5
+)
 
 // OpenDisk returns a disk tier rooted at dir, creating the versioned root
 // if needed.
@@ -51,20 +63,36 @@ func OpenDisk(dir string) (*Disk, error) {
 // Dir reports the store root.
 func (d *Disk) Dir() string { return d.dir }
 
+// SetMaxBytes enables size-based pruning: after any Put that pushes the
+// tier's total entry bytes above max, the oldest entries (by modification
+// time) are removed until the tier is back under the prune target.
+// max <= 0 disables pruning (the default).
+func (d *Disk) SetMaxBytes(max int64) {
+	d.pmu.Lock()
+	d.maxBytes = max
+	d.sizeOK = false // re-walk lazily against the new limit
+	d.pmu.Unlock()
+}
+
 func (d *Disk) path(ns string, key Key) string {
 	hex := key.Hex()
 	return filepath.Join(d.dir, diskVersion, ns, hex[:2], hex)
 }
 
 // Get implements Store. Every failure mode is a miss; corrupt entries are
-// additionally counted and removed so they are rewritten on the next Put.
+// additionally counted and removed so they are rewritten on the next Put,
+// and real I/O errors (anything but not-exist) are counted under Errors.
 func (d *Disk) Get(ns string, key Key) ([]byte, string, bool) {
 	raw, err := os.ReadFile(d.path(ns, key))
 	if err != nil {
-		d.count(func(c *Counters) { c.Misses++ })
+		if os.IsNotExist(err) {
+			d.count(func(c *Counters) { c.Misses++ })
+		} else {
+			d.count(func(c *Counters) { c.Misses++; c.Errors++ })
+		}
 		return nil, "", false
 	}
-	payload, ok := decodeDiskEntry(raw)
+	payload, ok := DecodeFrame(raw)
 	if !ok {
 		os.Remove(d.path(ns, key))
 		d.count(func(c *Counters) { c.Misses++; c.Corrupt++ })
@@ -74,38 +102,15 @@ func (d *Disk) Get(ns string, key Key) ([]byte, string, bool) {
 	return payload, "disk", true
 }
 
-func decodeDiskEntry(raw []byte) ([]byte, bool) {
-	if len(raw) < diskHeaderLen {
-		return nil, false
-	}
-	if string(raw[:len(diskMagic)]) != diskMagic {
-		return nil, false
-	}
-	n := binary.LittleEndian.Uint64(raw[len(diskMagic):])
-	payload := raw[diskHeaderLen:]
-	if uint64(len(payload)) != n {
-		return nil, false
-	}
-	sum := sha256.Sum256(payload)
-	want := raw[len(diskMagic)+8 : diskHeaderLen]
-	if subtle.ConstantTimeCompare(sum[:], want) != 1 {
-		return nil, false
-	}
-	return payload, true
-}
-
 // Put implements Store. Write failures are counted and swallowed — the
 // caller keeps its freshly computed artifact either way.
 func (d *Disk) Put(ns string, key Key, data []byte) {
-	buf := make([]byte, diskHeaderLen+len(data))
-	copy(buf, diskMagic)
-	binary.LittleEndian.PutUint64(buf[len(diskMagic):], uint64(len(data)))
-	sum := sha256.Sum256(data)
-	copy(buf[len(diskMagic)+8:], sum[:])
-	copy(buf[diskHeaderLen:], data)
+	buf := EncodeFrame(data)
 	if err := WriteFileAtomic(d.path(ns, key), buf, 0o644); err != nil {
 		d.count(func(c *Counters) { c.Errors++ })
+		return
 	}
+	d.noteWrite(int64(len(buf)))
 }
 
 // Stats implements Store.
@@ -119,4 +124,87 @@ func (d *Disk) count(f func(*Counters)) {
 	d.mu.Lock()
 	f(&d.c)
 	d.mu.Unlock()
+}
+
+// noteWrite tracks the tier size after a successful Put and prunes when the
+// configured limit is exceeded.
+func (d *Disk) noteWrite(n int64) {
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	if d.maxBytes <= 0 {
+		return
+	}
+	if !d.sizeOK {
+		d.size = d.walkSizeLocked()
+		d.sizeOK = true
+	} else {
+		d.size += n
+	}
+	if d.size > d.maxBytes {
+		d.pruneLocked()
+	}
+}
+
+// diskEntry is one on-disk entry observed by a prune walk.
+type diskEntry struct {
+	path  string
+	size  int64
+	mtime int64 // unix nanos
+}
+
+// walkEntries lists every entry under the versioned root. Walk errors are
+// tolerated (concurrent writers rename files mid-walk); unreadable entries
+// simply don't contribute.
+func (d *Disk) walkEntries() []diskEntry {
+	var out []diskEntry
+	root := filepath.Join(d.dir, diskVersion)
+	filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err != nil || info == nil || info.IsDir() {
+			return nil
+		}
+		out = append(out, diskEntry{path: p, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		return nil
+	})
+	return out
+}
+
+func (d *Disk) walkSizeLocked() int64 {
+	var total int64
+	for _, e := range d.walkEntries() {
+		total += e.size
+	}
+	return total
+}
+
+// pruneLocked removes least-recently-modified entries until the tier is
+// under the prune target, recomputing the exact size from a fresh walk (the
+// tracked counter drifts when several processes share the directory).
+// Callers hold pmu.
+func (d *Disk) pruneLocked() {
+	entries := d.walkEntries()
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	target := d.maxBytes / pruneTargetDen * pruneTargetNum
+	if total <= d.maxBytes {
+		d.size = total
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime < entries[j].mtime })
+	pruned := 0
+	for _, e := range entries {
+		if total <= target {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			continue // already gone or unremovable; skip, stay best-effort
+		}
+		total -= e.size
+		pruned++
+	}
+	d.size = total
+	if pruned > 0 {
+		d.count(func(c *Counters) { c.Evictions += int64(pruned) })
+	}
 }

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+)
+
+// Framed entry container, shared by the disk tier's on-disk format and the
+// remote tier's wire protocol:
+//
+//	magic ++ 8-byte little-endian payload length ++ sha256(payload) ++ payload
+//
+// The frame is self-validating: DecodeFrame rejects anything unexpected —
+// short input, bad magic, length mismatch, checksum mismatch, trailing
+// garbage — so a consumer can treat any undecodable frame as a miss and
+// never as data. That is what makes an untrusted tier (a remote store, a
+// disk another process scribbled on) safe to compose: corruption degrades
+// to a recompute, never to a wrong artifact.
+
+// frameMagic opens every framed entry. The trailing digit is the container
+// format version; bumping it (or diskVersion in disk.go) orphans old
+// entries, which then read as misses and are rewritten — never misparsed.
+const frameMagic = "PNSTORE1"
+
+// frameHeaderLen is magic + 8-byte little-endian payload length + 32-byte
+// sha256 of the payload.
+const frameHeaderLen = len(frameMagic) + 8 + sha256.Size
+
+// EncodeFrame wraps payload in the store frame.
+func EncodeFrame(payload []byte) []byte {
+	buf := make([]byte, frameHeaderLen+len(payload))
+	copy(buf, frameMagic)
+	binary.LittleEndian.PutUint64(buf[len(frameMagic):], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(buf[len(frameMagic)+8:], sum[:])
+	copy(buf[frameHeaderLen:], payload)
+	return buf
+}
+
+// DecodeFrame unwraps a frame, reporting !ok on any mismatch. The returned
+// payload aliases raw.
+func DecodeFrame(raw []byte) ([]byte, bool) {
+	if len(raw) < frameHeaderLen {
+		return nil, false
+	}
+	if string(raw[:len(frameMagic)]) != frameMagic {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(raw[len(frameMagic):])
+	payload := raw[frameHeaderLen:]
+	if uint64(len(payload)) != n {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	want := raw[len(frameMagic)+8 : frameHeaderLen]
+	if subtle.ConstantTimeCompare(sum[:], want) != 1 {
+		return nil, false
+	}
+	return payload, true
+}

@@ -65,7 +65,10 @@ func (m *Memory) Len(ns string) int {
 	return len(m.entries[ns])
 }
 
-// Get implements Store.
+// Get implements Store. The returned slice is a private copy: the tier's
+// internal buffer is never handed out, so a caller that mutates what it got
+// back cannot corrupt the entry for every later reader — essential once one
+// memory tier is shared across daemon requests.
 func (m *Memory) Get(ns string, key Key) ([]byte, string, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -76,7 +79,7 @@ func (m *Memory) Get(ns string, key Key) ([]byte, string, bool) {
 	}
 	e.gen = m.gen
 	m.c.Hits++
-	return e.data, "mem", true
+	return cloneBytes(e.data), "mem", true
 }
 
 // Put implements Store.

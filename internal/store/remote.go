@@ -1,0 +1,218 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Remote is a store tier backed by a content-addressed blob service over
+// HTTP — the fleet-sharing tier: a farm of workers pointing at one
+// polynimad (internal/serve) shares one warm store.
+//
+// Wire protocol: GET/PUT <base>/store/v1/<ns>/<key hex>, body framed as
+// magic ++ len ++ sha256(payload) ++ payload (frame.go), so a truncated or
+// corrupted response can never decode into data.
+//
+// Degradation contract: the remote side is untrusted and the network is
+// unreliable, and neither may ever change recompiled bytes or surface an
+// error to the pipeline. Every failure mode — timeout, connection refused,
+// 5xx, truncated body, checksum mismatch — degrades to a counted miss (Get)
+// or a counted dropped write (Put). Transient failures are retried with
+// exponential backoff a bounded number of times; a 404 is an authoritative
+// miss and is never retried. Each attempt runs under its own timeout, so a
+// hung server costs a bounded delay, not a hung pipeline.
+type Remote struct {
+	base    string // e.g. "http://stores.internal:8379", no trailing slash
+	hc      *http.Client
+	timeout time.Duration
+	retries int // attempts beyond the first
+	backoff time.Duration
+
+	// sleep is the backoff sleep, a test seam.
+	sleep func(time.Duration)
+
+	mu sync.Mutex
+	c  Counters
+}
+
+// RemoteOptions tunes a Remote tier; zero values select the defaults.
+type RemoteOptions struct {
+	// Timeout bounds each individual request attempt (default 2s).
+	Timeout time.Duration
+	// Retries is how many times a transiently failed request is retried
+	// beyond the first attempt (default 2; negative = no retries).
+	Retries int
+	// Backoff is the delay before the first retry; it doubles per retry
+	// (default 50ms).
+	Backoff time.Duration
+	// Client overrides the HTTP client (default http.DefaultTransport-based
+	// client; the per-attempt timeout comes from Timeout, not the client).
+	Client *http.Client
+}
+
+// NewRemote returns a remote tier talking to the store service at base
+// (scheme + host[:port], with or without a trailing slash). The URL is
+// validated here so a misconfigured flag fails at startup, not as an
+// eternal stream of counted errors.
+func NewRemote(base string, opts RemoteOptions) (*Remote, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote base %q: %w", base, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("store: remote base %q: scheme must be http or https", base)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("store: remote base %q: missing host", base)
+	}
+	r := &Remote{
+		base:    strings.TrimRight(base, "/"),
+		hc:      opts.Client,
+		timeout: opts.Timeout,
+		retries: opts.Retries,
+		backoff: opts.Backoff,
+		sleep:   time.Sleep,
+	}
+	if r.hc == nil {
+		r.hc = &http.Client{}
+	}
+	if r.timeout <= 0 {
+		r.timeout = 2 * time.Second
+	}
+	if r.retries == 0 {
+		r.retries = 2
+	} else if r.retries < 0 {
+		r.retries = 0
+	}
+	if r.backoff <= 0 {
+		r.backoff = 50 * time.Millisecond
+	}
+	return r, nil
+}
+
+// Base reports the service base URL.
+func (r *Remote) Base() string { return r.base }
+
+func (r *Remote) url(ns string, key Key) string {
+	return r.base + "/store/" + diskVersion + "/" + ns + "/" + key.Hex()
+}
+
+// maxRemoteEntry bounds how many bytes Get will read from a response, so a
+// misbehaving server cannot exhaust memory. Artifacts are at most a lowered
+// image; 1 GiB is far beyond any of them.
+const maxRemoteEntry = 1 << 30
+
+// Get implements Store. Every failure is a miss; see the degradation
+// contract in the type comment.
+func (r *Remote) Get(ns string, key Key) ([]byte, string, bool) {
+	for attempt := 0; ; attempt++ {
+		raw, status, err := r.do(http.MethodGet, r.url(ns, key), nil)
+		switch {
+		case err == nil && status == http.StatusOK:
+			payload, ok := DecodeFrame(raw)
+			if !ok {
+				// Truncated body, checksum mismatch, garbage: counted
+				// corruption, served as a miss. Not retried — the server
+				// answered authoritatively, it just answered garbage.
+				r.count(func(c *Counters) { c.Misses++; c.Corrupt++ })
+				return nil, "", false
+			}
+			r.count(func(c *Counters) { c.Hits++ })
+			return payload, "remote", true
+		case err == nil && status == http.StatusNotFound:
+			// Authoritative miss: the entry is not there. No retry.
+			r.count(func(c *Counters) { c.Misses++ })
+			return nil, "", false
+		case err == nil && status >= 400 && status < 500:
+			// Other 4xx: the request itself is broken (bad namespace?).
+			// Retrying cannot help.
+			r.count(func(c *Counters) { c.Misses++; c.Errors++ })
+			return nil, "", false
+		}
+		// Transport error, timeout, or 5xx: transient, retry with backoff.
+		if attempt >= r.retries {
+			r.count(func(c *Counters) { c.Misses++; c.Errors++ })
+			return nil, "", false
+		}
+		r.count(func(c *Counters) { c.Retries++ })
+		r.sleep(r.backoff << attempt)
+	}
+}
+
+// Put implements Store: best-effort write-through. Failures are counted and
+// swallowed; the caller keeps its freshly computed artifact either way.
+func (r *Remote) Put(ns string, key Key, data []byte) {
+	body := EncodeFrame(data)
+	for attempt := 0; ; attempt++ {
+		_, status, err := r.do(http.MethodPut, r.url(ns, key), body)
+		switch {
+		case err == nil && status >= 200 && status < 300:
+			return
+		case err == nil && status >= 400 && status < 500:
+			r.count(func(c *Counters) { c.Errors++ })
+			return
+		}
+		if attempt >= r.retries {
+			r.count(func(c *Counters) { c.Errors++ })
+			return
+		}
+		r.count(func(c *Counters) { c.Retries++ })
+		r.sleep(r.backoff << attempt)
+	}
+}
+
+// do runs one request attempt under the per-request timeout. It returns the
+// response body (GET only) and status; any transport or read failure is an
+// error.
+func (r *Remote) do(method, u string, body []byte) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if method != http.MethodGet || resp.StatusCode != http.StatusOK {
+		// Drain (bounded) so the connection can be reused.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return nil, resp.StatusCode, nil
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteEntry))
+	if err != nil {
+		// A read error mid-body is transport trouble, not an authoritative
+		// answer — let the caller's retry policy decide.
+		return nil, 0, err
+	}
+	return raw, resp.StatusCode, nil
+}
+
+// Stats implements Store.
+func (r *Remote) Stats() map[string]Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return map[string]Counters{"remote": r.c}
+}
+
+func (r *Remote) count(f func(*Counters)) {
+	r.mu.Lock()
+	f(&r.c)
+	r.mu.Unlock()
+}

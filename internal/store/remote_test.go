@@ -1,0 +1,279 @@
+package store_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// blobServer is a minimal in-memory store service speaking the Remote wire
+// protocol, with injectable fault behavior per request.
+type blobServer struct {
+	blobs map[string][]byte // URL path -> framed entry
+	// fault, when set, runs first and may fully handle the request
+	// (returning true) to inject timeouts, 5xx, or corrupt bodies.
+	fault func(w http.ResponseWriter, r *http.Request) bool
+}
+
+func newBlobServer() *blobServer { return &blobServer{blobs: map[string][]byte{}} }
+
+func (s *blobServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.fault != nil && s.fault(w, r) {
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		b, ok := s.blobs[r.URL.Path]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(b)
+	case http.MethodPut:
+		var buf bytes.Buffer
+		buf.ReadFrom(r.Body)
+		s.blobs[r.URL.Path] = buf.Bytes()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method", http.StatusMethodNotAllowed)
+	}
+}
+
+// newTestRemote dials srv with fast timeouts and no real sleeping.
+func newTestRemote(t *testing.T, url string, retries int) *store.Remote {
+	t.Helper()
+	r, err := store.NewRemote(url, store.RemoteOptions{
+		Timeout: 250 * time.Millisecond,
+		Retries: retries,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRemoteRoundTrip(t *testing.T) {
+	bs := newBlobServer()
+	srv := httptest.NewServer(bs)
+	defer srv.Close()
+	r := newTestRemote(t, srv.URL, 0)
+
+	k := store.KeyOf([]byte("k"))
+	want := []byte("artifact bytes")
+	r.Put("func", k, want)
+	got, tier, ok := r.Get("func", k)
+	if !ok || tier != "remote" || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %q, %v", got, tier, ok)
+	}
+	// Absent key: a plain miss, no retries (404 is authoritative).
+	if _, _, ok := r.Get("func", store.KeyOf([]byte("absent"))); ok {
+		t.Fatal("hit on absent key")
+	}
+	st := r.Stats()["remote"]
+	if st.Hits != 1 || st.Misses != 1 || st.Errors != 0 || st.Retries != 0 {
+		t.Fatalf("counters = %+v, want 1 hit / 1 miss / 0 errors / 0 retries", st)
+	}
+}
+
+// TestRemoteFaultsDegradeToMisses pins the degradation contract: timeouts,
+// 5xx, truncated bodies, and checksum mismatches are counted misses —
+// never an error surfaced to the caller, never data.
+func TestRemoteFaultsDegradeToMisses(t *testing.T) {
+	k := store.KeyOf([]byte("k"))
+	payload := []byte("good artifact")
+	frame := store.EncodeFrame(payload)
+
+	cases := []struct {
+		name        string
+		fault       func(w http.ResponseWriter, r *http.Request) bool
+		wantCorrupt bool // else counted under Errors
+		wantRetries bool
+	}{
+		{
+			name: "server-5xx",
+			fault: func(w http.ResponseWriter, r *http.Request) bool {
+				http.Error(w, "boom", http.StatusInternalServerError)
+				return true
+			},
+			wantRetries: true,
+		},
+		{
+			name: "timeout",
+			fault: func(w http.ResponseWriter, r *http.Request) bool {
+				time.Sleep(2 * time.Second)
+				return true
+			},
+			wantRetries: true,
+		},
+		{
+			name: "truncated-body",
+			fault: func(w http.ResponseWriter, r *http.Request) bool {
+				w.Write(frame[:len(frame)-3])
+				return true
+			},
+			wantCorrupt: true,
+		},
+		{
+			name: "checksum-mismatch",
+			fault: func(w http.ResponseWriter, r *http.Request) bool {
+				bad := append([]byte(nil), frame...)
+				bad[len(bad)-1] ^= 0xff
+				w.Write(bad)
+				return true
+			},
+			wantCorrupt: true,
+		},
+		{
+			name: "garbage-body",
+			fault: func(w http.ResponseWriter, r *http.Request) bool {
+				w.Write([]byte("not a frame at all"))
+				return true
+			},
+			wantCorrupt: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bs := newBlobServer()
+			bs.fault = tc.fault
+			srv := httptest.NewServer(bs)
+			defer srv.Close()
+			r := newTestRemote(t, srv.URL, 1)
+			if tc.name == "timeout" {
+				// Keep the test fast: one attempt, tight timeout.
+				r = newTestRemote(t, srv.URL, 1)
+			}
+
+			if data, _, ok := r.Get("func", k); ok {
+				t.Fatalf("faulty server served a hit: %q", data)
+			}
+			st := r.Stats()["remote"]
+			if st.Hits != 0 || st.Misses != 1 {
+				t.Fatalf("counters = %+v, want 0 hits / 1 miss", st)
+			}
+			if tc.wantCorrupt && st.Corrupt != 1 {
+				t.Fatalf("counters = %+v, want 1 corrupt", st)
+			}
+			if !tc.wantCorrupt && st.Errors != 1 {
+				t.Fatalf("counters = %+v, want 1 error", st)
+			}
+			if tc.wantRetries && st.Retries == 0 {
+				t.Fatalf("counters = %+v, want retries > 0", st)
+			}
+			if !tc.wantRetries && st.Retries != 0 {
+				t.Fatalf("counters = %+v, want no retries (authoritative answer)", st)
+			}
+		})
+	}
+}
+
+func TestRemoteConnectionRefusedIsAMiss(t *testing.T) {
+	// A dead endpoint: nothing is listening on a closed port.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	r := newTestRemote(t, url, 1)
+	if _, _, ok := r.Get("func", store.KeyOf([]byte("k"))); ok {
+		t.Fatal("hit from a dead endpoint")
+	}
+	r.Put("func", store.KeyOf([]byte("k")), []byte("v")) // must not panic or block
+	st := r.Stats()["remote"]
+	if st.Misses != 1 || st.Errors != 2 || st.Retries != 2 {
+		t.Fatalf("counters = %+v, want 1 miss / 2 errors / 2 retries", st)
+	}
+}
+
+// TestRemoteRetrySucceeds exercises the backoff path: two 5xx responses,
+// then success.
+func TestRemoteRetrySucceeds(t *testing.T) {
+	bs := newBlobServer()
+	var calls atomic.Int64
+	bs.fault = func(w http.ResponseWriter, r *http.Request) bool {
+		if r.Method == http.MethodGet && calls.Add(1) <= 2 {
+			http.Error(w, "flaky", http.StatusServiceUnavailable)
+			return true
+		}
+		return false
+	}
+	srv := httptest.NewServer(bs)
+	defer srv.Close()
+	r := newTestRemote(t, srv.URL, 2)
+
+	k := store.KeyOf([]byte("k"))
+	want := []byte("v")
+	r.Put("func", k, want)
+	got, tier, ok := r.Get("func", k)
+	if !ok || tier != "remote" || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %q, %v after retries", got, tier, ok)
+	}
+	st := r.Stats()["remote"]
+	if st.Hits != 1 || st.Retries != 2 {
+		t.Fatalf("counters = %+v, want 1 hit / 2 retries", st)
+	}
+}
+
+func TestRemotePutFailureIsCounted(t *testing.T) {
+	bs := newBlobServer()
+	bs.fault = func(w http.ResponseWriter, r *http.Request) bool {
+		if r.Method == http.MethodPut {
+			http.Error(w, "read-only", http.StatusForbidden)
+			return true
+		}
+		return false
+	}
+	srv := httptest.NewServer(bs)
+	defer srv.Close()
+	r := newTestRemote(t, srv.URL, 2)
+	r.Put("func", store.KeyOf([]byte("k")), []byte("v"))
+	st := r.Stats()["remote"]
+	if st.Errors != 1 || st.Retries != 0 {
+		t.Fatalf("counters = %+v, want 1 error / 0 retries (4xx is authoritative)", st)
+	}
+}
+
+func TestNewRemoteValidatesURL(t *testing.T) {
+	for _, bad := range []string{"", "not-a-url", "ftp://host", "http://"} {
+		if _, err := store.NewRemote(bad, store.RemoteOptions{}); err == nil {
+			t.Errorf("NewRemote(%q) accepted an invalid base", bad)
+		}
+	}
+	if _, err := store.NewRemote("http://127.0.0.1:9/", store.RemoteOptions{}); err != nil {
+		t.Errorf("NewRemote rejected a valid base: %v", err)
+	}
+}
+
+// TestTieredOverFaultyRemoteStaysCorrect: a Tiered composed over a remote
+// tier that always fails still serves every Get it can (memory) and misses
+// cleanly otherwise — the composition never errors, blocks, or corrupts.
+func TestTieredOverFaultyRemoteStaysCorrect(t *testing.T) {
+	bs := newBlobServer()
+	bs.fault = func(w http.ResponseWriter, r *http.Request) bool {
+		http.Error(w, "down", http.StatusBadGateway)
+		return true
+	}
+	srv := httptest.NewServer(bs)
+	defer srv.Close()
+	r := newTestRemote(t, srv.URL, 0)
+	ts := store.NewTiered(store.NewMemory(), r)
+
+	k := store.KeyOf([]byte("k"))
+	want := []byte("bytes")
+	ts.Put("img", k, want) // remote write fails silently
+	got, tier, ok := ts.Get("img", k)
+	if !ok || tier != "mem" || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %q, %v", got, tier, ok)
+	}
+	if _, _, ok := ts.Get("img", store.KeyOf([]byte("cold"))); ok {
+		t.Fatal("hit on cold key through a downed remote")
+	}
+	st := ts.Stats()
+	if st["remote"].Errors == 0 {
+		t.Fatalf("remote counters = %+v, want errors > 0", st["remote"])
+	}
+}

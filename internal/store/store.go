@@ -64,9 +64,10 @@ func U64(x uint64) []byte {
 type Counters struct {
 	Hits      int64 // Get served from this tier
 	Misses    int64 // Get that this tier could not serve
-	Evictions int64 // entries dropped by generational pruning (memory tier)
-	Corrupt   int64 // on-disk entries rejected as corrupt/short/mismatched
-	Errors    int64 // I/O errors swallowed by best-effort writes
+	Evictions int64 // entries dropped by pruning (memory generations, disk size limit)
+	Corrupt   int64 // entries rejected as corrupt/short/checksum-mismatched
+	Errors    int64 // I/O or transport errors swallowed (degraded to misses / dropped writes)
+	Retries   int64 // remote-tier request attempts beyond the first
 }
 
 // Add accumulates o into c.
@@ -76,21 +77,35 @@ func (c *Counters) Add(o Counters) {
 	c.Evictions += o.Evictions
 	c.Corrupt += o.Corrupt
 	c.Errors += o.Errors
+	c.Retries += o.Retries
 }
 
 // Store is a content-addressed blob store. Namespaces separate artifact
 // types (one encoding schema each); ns must be non-empty and match
-// [A-Za-z0-9._-]+ so it can double as a directory name.
+// [A-Za-z0-9._-]+ so it can double as a directory name (and a URL path
+// segment, remote.go).
 //
 // Get returns the stored bytes, the name of the tier that served them
-// ("mem", "disk"), and whether the key was present. The returned slice is
-// shared — callers must treat it as immutable. Put stores data under
-// (ns, key); the store takes ownership of the slice. Puts are best-effort:
-// a tier that cannot persist (I/O error) counts the failure and stays
-// usable.
+// ("mem", "disk", "remote"), and whether the key was present. The returned
+// slice is the caller's to use: tiers that retain internal buffers (the
+// memory tier) hand out a private copy, so mutating it can never corrupt a
+// later read. Put stores data under (ns, key); the store takes ownership of
+// the slice, so the caller must not mutate it afterwards. Puts are
+// best-effort: a tier that cannot persist (I/O error, remote outage) counts
+// the failure and stays usable.
 type Store interface {
 	Get(ns string, key Key) (data []byte, tier string, ok bool)
 	Put(ns string, key Key, data []byte)
 	// Stats returns per-tier counter snapshots, keyed by tier name.
 	Stats() map[string]Counters
+}
+
+// cloneBytes returns a private copy of b (nil stays nil).
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp
 }

@@ -1,15 +1,21 @@
 package store
 
 // Tiered composes a memory tier over an optional backing tier (typically
-// Disk, possibly shared between owners). Gets probe memory first and
-// promote backing hits into memory; Puts write through to both, so a fresh
-// computation persists even if the process exits before it is reused.
+// Disk or Remote, possibly shared between owners). Gets probe memory first
+// and promote backing hits into memory; Puts write through to both, so a
+// fresh computation persists even if the process exits before it is reused.
 //
 // Generational pruning applies only to the memory tier — the backing tier
-// keeps everything — so Tiered forwards BeginGen/EndGen to its Memory.
+// keeps everything (subject to its own size limit) — so Tiered forwards
+// BeginGen/EndGen to its Memory. A *shared* Tiered (NewSharedTiered) is one
+// memory tier serving many concurrent owners — the fleet daemon's shape —
+// where per-owner generation brackets would evict entries other owners are
+// still using; there BeginGen/EndGen are no-ops and nothing is ever evicted
+// from memory.
 type Tiered struct {
-	mem  *Memory
-	back Store // nil when memory-only
+	mem    *Memory
+	back   Store // nil when memory-only
+	shared bool  // generation brackets are no-ops (many concurrent owners)
 }
 
 // NewTiered returns mem composed over back; back may be nil for a
@@ -21,17 +27,47 @@ func NewTiered(mem *Memory, back Store) *Tiered {
 	return &Tiered{mem: mem, back: back}
 }
 
+// NewSharedTiered returns a Tiered meant to be shared across concurrent
+// owners (e.g. every request of a long-running daemon): generation brackets
+// are no-ops, so one owner's pruning cycle can never evict entries another
+// owner is relying on.
+func NewSharedTiered(mem *Memory, back Store) *Tiered {
+	t := NewTiered(mem, back)
+	t.shared = true
+	return t
+}
+
 // Mem exposes the memory tier (for Len in tests and diagnostics).
 func (t *Tiered) Mem() *Memory { return t.mem }
 
-// BeginGen opens a pruning generation on the memory tier.
-func (t *Tiered) BeginGen() { t.mem.BeginGen() }
+// HasBacking reports whether a backing tier is attached.
+func (t *Tiered) HasBacking() bool { return t.back != nil }
 
-// EndGen closes the memory tier's generation and returns its evicted count.
-func (t *Tiered) EndGen() int { return t.mem.EndGen() }
+// Shared reports whether this store is in shared (no-eviction) mode.
+func (t *Tiered) Shared() bool { return t.shared }
+
+// BeginGen opens a pruning generation on the memory tier (no-op when
+// shared).
+func (t *Tiered) BeginGen() {
+	if t.shared {
+		return
+	}
+	t.mem.BeginGen()
+}
+
+// EndGen closes the memory tier's generation and returns its evicted count
+// (always 0 when shared).
+func (t *Tiered) EndGen() int {
+	if t.shared {
+		return 0
+	}
+	return t.mem.EndGen()
+}
 
 // Get implements Store; tier reports which tier served the hit ("mem" or
-// the backing tier's own name).
+// the backing tier's own name). On a backing hit the bytes are promoted
+// into memory; the caller receives a private copy, so mutating it cannot
+// corrupt the promoted entry.
 func (t *Tiered) Get(ns string, key Key) ([]byte, string, bool) {
 	if data, tier, ok := t.mem.Get(ns, key); ok {
 		return data, tier, true
@@ -44,7 +80,7 @@ func (t *Tiered) Get(ns string, key Key) ([]byte, string, bool) {
 		return nil, "", false
 	}
 	t.mem.Put(ns, key, data)
-	return data, tier, true
+	return cloneBytes(data), tier, true
 }
 
 // Put implements Store.
