@@ -61,6 +61,7 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent pipeline cells (1 = serial)")
 	jpipe := flag.Int("jpipe", runtime.NumCPU(), "concurrent per-recompile function lifts/optimizations (1 = serial)")
 	nocache := flag.Bool("nocache", false, "disable the VM predecoded instruction cache")
+	dispatch := flag.String("dispatch", vm.DispatchDefault.String(), "VM dispatch engine: threaded or switch")
 	nopipecache := flag.Bool("nopipecache", false, "disable the artifact store (per-function recompile cache and friends)")
 	storeDir := flag.String("store", "", "back the artifact store with a disk tier rooted at `dir` (persists across runs)")
 	storeMaxMB := flag.Int64("store-max-mb", 0, "prune the disk tier to at most `N` MiB (0 = unbounded)")
@@ -72,6 +73,12 @@ func main() {
 	flag.Parse()
 
 	vm.NoCacheDefault = *nocache
+	mode, err := vm.ParseDispatchMode(*dispatch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polybench: %v\n", err)
+		os.Exit(2)
+	}
+	vm.DispatchDefault = mode
 	var tracer *obs.Tracer
 	if *tracefile != "" {
 		tracer = obs.New()

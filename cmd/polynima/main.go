@@ -57,8 +57,13 @@ func main() {
 	storeMaxMB := fs.Int64("store-max-mb", 0, "prune the disk tier to at most `N` MiB (0 = unbounded)")
 	remoteStore := fs.String("remote-store", "", "back the artifact store with a polynimad store service at `url`")
 	cfgPath := fs.String("cfg", "", "additive: checkpoint the evolving CFG to `file` (atomic write) and resume from it")
+	dispatch := fs.String("dispatch", vm.DispatchDefault.String(), "VM dispatch engine: threaded or switch")
 	imgPath := os.Args[2]
 	_ = fs.Parse(os.Args[3:])
+
+	mode, err := vm.ParseDispatchMode(*dispatch)
+	check(err)
+	vm.DispatchDefault = mode
 
 	opts := core.DefaultOptions()
 	var tiers []store.Store

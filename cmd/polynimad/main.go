@@ -35,6 +35,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -44,7 +45,12 @@ func main() {
 	remoteStore := flag.String("remote-store", "", "chain an upstream store service at `url` under the disk tier")
 	jpipe := flag.Int("jpipe", runtime.NumCPU(), "concurrent per-job function lifts/optimizations (1 = serial)")
 	tracefile := flag.String("tracefile", "", "write a Chrome trace_event JSON span trace to `file` at shutdown")
+	dispatch := flag.String("dispatch", vm.DispatchDefault.String(), "VM dispatch engine for job runs: threaded or switch")
 	flag.Parse()
+
+	mode, err := vm.ParseDispatchMode(*dispatch)
+	check(err)
+	vm.DispatchDefault = mode
 
 	var tracer *obs.Tracer
 	if *tracefile != "" {

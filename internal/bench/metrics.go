@@ -81,6 +81,13 @@ func BuildMetrics(s StageSnapshot, st map[string]store.Counters, c *vm.Counters)
 		}
 	}
 
+	// Info-style metric: constant 1 with the engine in the label, so a
+	// metrics consumer can tell which dispatch engine produced a run's
+	// numbers (threaded vs the -dispatch=switch escape hatch).
+	ms.Gauge("vm_dispatch_mode",
+		"Dispatch engine new machines use (info metric: constant 1, engine in the mode label).").
+		Set(1, obs.Label{Key: "mode", Val: vm.DispatchDefault.String()})
+
 	if c == nil {
 		return ms
 	}

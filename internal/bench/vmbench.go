@@ -9,16 +9,22 @@ import (
 
 // This file defines BENCH_vm.json, the interpreter-throughput record emitted
 // by the internal/vm micro-benchmarks (go test -bench . ./internal/vm/...).
-// CI uploads the file as a workflow artifact so the perf trajectory of the
-// MX64 step loop is tracked PR over PR.
+// The regenerated file is committed at internal/bench/BENCH_vm.json next to
+// the other BENCH records, and CI both uploads the fresh file as a workflow
+// artifact and asserts the threaded-over-switch ratio against the committed
+// baseline.
 
 // VMBenchEntry is one interpreter micro-benchmark measurement.
 type VMBenchEntry struct {
 	// Name identifies the benchmark variant, e.g. "StepLoop".
 	Name string `json:"name"`
+	// Dispatch is the dispatch engine measured: "threaded" (per-page
+	// handler tables with fused superinstructions) or "switch" (the
+	// per-step switch interpreter).
+	Dispatch string `json:"dispatch"`
 	// Cache records whether the predecoded instruction cache was on
 	// (false is the -nocache differential path, standing in for the
-	// decode-every-step interpreter).
+	// decode-every-step interpreter; it always dispatches by switch).
 	Cache bool `json:"cache"`
 	// Insts is the total number of guest instructions executed.
 	Insts uint64 `json:"insts"`
@@ -31,13 +37,15 @@ type VMBenchEntry struct {
 // VMBenchReport is the BENCH_vm.json document.
 type VMBenchReport struct {
 	Benchmarks []VMBenchEntry `json:"benchmarks"`
-	// Speedups maps each benchmark name measured both with and without
-	// the cache to cached-over-uncached instructions/sec.
+	// Speedups holds, per benchmark name measured in the relevant variants:
+	//   "<name>/icache":   switch+cache over switch+nocache (decode-once win)
+	//   "<name>/threaded": threaded+cache over switch+cache (dispatch win)
+	//   "<name>/total":    threaded+cache over switch+nocache (stacked)
 	Speedups map[string]float64 `json:"speedups,omitempty"`
 }
 
-// NewVMBenchReport assembles a report, computing the cache-on/cache-off
-// speedup for every benchmark name measured in both modes.
+// NewVMBenchReport assembles a report, computing the per-tier speedups for
+// every benchmark name measured in the variants each ratio needs.
 func NewVMBenchReport(entries []VMBenchEntry) *VMBenchReport {
 	r := &VMBenchReport{Benchmarks: append([]VMBenchEntry(nil), entries...)}
 	sort.SliceStable(r.Benchmarks, func(i, j int) bool {
@@ -45,24 +53,38 @@ func NewVMBenchReport(entries []VMBenchEntry) *VMBenchReport {
 		if a.Name != b.Name {
 			return a.Name < b.Name
 		}
+		if a.Dispatch != b.Dispatch {
+			return a.Dispatch < b.Dispatch
+		}
 		return a.Cache && !b.Cache
 	})
-	on := map[string]float64{}
-	off := map[string]float64{}
+	ips := map[string]float64{}
 	for _, e := range r.Benchmarks {
-		if e.Cache {
-			on[e.Name] = e.InstsPerSec
-		} else {
-			off[e.Name] = e.InstsPerSec
+		key := e.Name + "|" + e.Dispatch
+		if !e.Cache {
+			key += "|nocache"
 		}
+		ips[key] = e.InstsPerSec
 	}
-	for name, cached := range on {
-		if uncached, ok := off[name]; ok && uncached > 0 {
+	add := func(name, tier string, num, den float64) {
+		if num > 0 && den > 0 {
 			if r.Speedups == nil {
 				r.Speedups = map[string]float64{}
 			}
-			r.Speedups[name] = cached / uncached
+			r.Speedups[name+"/"+tier] = num / den
 		}
+	}
+	names := map[string]bool{}
+	for _, e := range r.Benchmarks {
+		names[e.Name] = true
+	}
+	for name := range names {
+		swCache := ips[name+"|switch"]
+		swNocache := ips[name+"|switch|nocache"]
+		threaded := ips[name+"|threaded"]
+		add(name, "icache", swCache, swNocache)
+		add(name, "threaded", threaded, swCache)
+		add(name, "total", threaded, swNocache)
 	}
 	return r
 }

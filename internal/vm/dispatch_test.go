@@ -1,0 +1,241 @@
+package vm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bench"
+	"repro/internal/mx"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// dispatchModes is the engine matrix for differential dispatch testing.
+var dispatchModes = []vm.DispatchMode{vm.DispatchSwitch, vm.DispatchThreaded}
+
+// TestDispatchIdentity proves the threaded engine is invisible: for every
+// workload and every scheduler seed, switch and threaded dispatch produce
+// identical Results (exit code, cycles, instruction count, output, fault).
+// With machine counters enabled the full Counters snapshot must also match
+// bit for bit — instruction totals, op-class histogram, preemptions, cache
+// and TLB attribution, per-thread cycles — which pins the block-level
+// accounting and the fused-pair/budget interactions to the per-step oracle.
+// The counters-off leg exercises the uninstrumented fast path (inline
+// micro-ops, flat runs, promoted control flow), the counters-on leg the
+// eager counted path.
+func TestDispatchIdentity(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			img, err := w.Compile(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, seed := range identitySeeds {
+				for _, counted := range []bool{false, true} {
+					in := w.Input()
+					exec := func(mode vm.DispatchMode) (vm.Result, *vm.Counters) {
+						m, err := vm.NewWithExts(img, seed, in.Exts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if in.Data != nil {
+							m.SetInput(in.Data)
+						}
+						m.SetDispatch(mode)
+						var c *vm.Counters
+						if counted {
+							c = m.EnableCounters()
+						}
+						return m.Run(bench.Fuel), c
+					}
+					sw, swc := exec(vm.DispatchSwitch)
+					th, thc := exec(vm.DispatchThreaded)
+					if !sameResult(sw, th) {
+						t.Fatalf("seed %d counted=%v: dispatch engines diverge:\n  switch:   %+v\n  threaded: %+v",
+							seed, counted, sw, th)
+					}
+					if counted && !reflect.DeepEqual(swc, thc) {
+						t.Fatalf("seed %d: counters diverge:\n  switch:   %+v\n  threaded: %+v",
+							seed, swc, thc)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDispatchSelfModifyingStore repeats the self-modifying-code contract
+// under both dispatch engines: threaded state (handler table, fused pairs,
+// flat-run metadata) compiled from stale bytes must be dropped when the
+// guest stores over its code. The patched instruction straddles a page
+// boundary with the store landing in the second page, so this also covers
+// the predecessor-page invalidation rule for compiled dispatch state.
+func TestDispatchSelfModifyingStore(t *testing.T) {
+	var results []vm.Result
+	for _, mode := range dispatchModes {
+		b := asm.NewBuilder("selfmod")
+		for i := 0; i < pagePad; i++ {
+			b.I(mx.Inst{Op: mx.NOP})
+		}
+		b.Label("patch")
+		b.MovRI(mx.RAX, 111)
+		b.Ret()
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RBX, "patch")
+		b.Call("patch") // first execution compiles the page: rax=111
+		b.I(mx.Inst{Op: mx.STOREI8, Base: mx.RBX, Disp: 2, Imm: 222})
+		b.Call("patch") // must observe the new bytes: rax=222
+		b.MovRR(mx.RDI, mx.RAX)
+		b.CallExt("exit")
+		img, _, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := vm.New(img, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetDispatch(mode)
+		res := m.Run(1_000_000)
+		if res.Fault != nil {
+			t.Fatalf("%v: fault: %v", mode, res.Fault)
+		}
+		if res.ExitCode != 222 {
+			t.Fatalf("%v: exit %d, want 222 (stale compiled code executed)", mode, res.ExitCode)
+		}
+		results = append(results, res)
+	}
+	if !sameResult(results[0], results[1]) {
+		t.Fatalf("dispatch engines diverge: %+v vs %+v", results[0], results[1])
+	}
+}
+
+// TestDispatchFlatRunSelfPatch stores over the instruction that immediately
+// follows the store in straight-line code. Under threaded dispatch both
+// instructions can sit in one precomputed flat run, so the engine must
+// observe the invalidation mid-run and refetch before executing the patched
+// instruction: executing the stale immediate (111) instead of the patched
+// one (222) means a flat run outlived its page's bytes.
+func TestDispatchFlatRunSelfPatch(t *testing.T) {
+	var results []vm.Result
+	for _, mode := range dispatchModes {
+		b := asm.NewBuilder("flatpatch")
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RBX, "tgt")
+		// Patch the low immediate byte (tgt+2) of the MOVRI directly below.
+		b.I(mx.Inst{Op: mx.STOREI8, Base: mx.RBX, Disp: 2, Imm: 222})
+		b.Label("tgt")
+		b.MovRI(mx.RDI, 111)
+		b.CallExt("exit")
+		img, _, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := vm.New(img, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetDispatch(mode)
+		res := m.Run(1_000_000)
+		if res.Fault != nil {
+			t.Fatalf("%v: fault: %v", mode, res.Fault)
+		}
+		if res.ExitCode != 222 {
+			t.Fatalf("%v: exit %d, want 222 (flat run executed stale bytes)", mode, res.ExitCode)
+		}
+		results = append(results, res)
+	}
+	if !sameResult(results[0], results[1]) {
+		t.Fatalf("dispatch engines diverge: %+v vs %+v", results[0], results[1])
+	}
+}
+
+// TestDispatchFusedPairsAtSliceBoundaries runs two threads through tight
+// loops whose bodies are dense flag-setter+JCC fusion candidates. The
+// scheduler quantum (41) is odd and coprime to the loop body length, so over
+// thousands of iterations the step budget expires at every phase of the body
+// — in particular between a flag setter and its branch, where the threaded
+// engine must retire exactly one instruction via the unfused handler rather
+// than let a superinstruction overrun the slice. Any overrun shifts every
+// later preemption boundary and shows up as diverging Counters.
+func TestDispatchFusedPairsAtSliceBoundaries(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.BSS("sum", 8)
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RDI, "w")
+		b.MovRI(mx.RSI, 0)
+		b.CallExt("thread_create")
+		b.MovRR(mx.R13, mx.RAX)
+		b.MovSym(mx.RDI, "w")
+		b.MovRI(mx.RSI, 0)
+		b.CallExt("thread_create")
+		b.MovRR(mx.R14, mx.RAX)
+		b.MovRR(mx.RDI, mx.R13)
+		b.CallExt("thread_join")
+		b.MovRR(mx.RDI, mx.R14)
+		b.CallExt("thread_join")
+		b.MovSym(mx.RBX, "sum")
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RDI, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.ANDRI, Dst: mx.RDI, Imm: 255})
+		b.CallExt("exit")
+
+		b.Label("w")
+		b.MovRI(mx.R12, 0)
+		b.MovRI(mx.RAX, 0)
+		b.Label("wl")
+		b.I(mx.Inst{Op: mx.TESTRR, Dst: mx.R12, Src: mx.R12})
+		b.Jcc(mx.CondS, "s1") // never taken: r12 stays non-negative
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RAX, Imm: 3})
+		b.Label("s1")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.R12, Imm: 700})
+		b.Jcc(mx.CondG, "s2") // taken for the tail of the loop
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RAX, Imm: 1})
+		b.Label("s2")
+		b.I(mx.Inst{Op: mx.SUBRI, Dst: mx.RAX, Imm: 1}) // SUB+JCC fusion
+		b.Jcc(mx.CondE, "s3")
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RAX, Imm: 2})
+		b.Label("s3")
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.R12, Imm: 1})
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.R12, Imm: 1500})
+		b.Jcc(mx.CondL, "wl") // backward fused pair
+		b.MovSym(mx.RBX, "sum")
+		b.I(mx.Inst{Op: mx.LOCKADD, Dst: mx.RAX, Base: mx.RBX})
+		b.MovRI(mx.RAX, 0)
+		b.Ret()
+	})
+	for _, seed := range []int64{1, 2, 3, 5, 9} {
+		for _, counted := range []bool{false, true} {
+			exec := func(mode vm.DispatchMode) (vm.Result, *vm.Counters) {
+				m, err := vm.New(img, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.SetDispatch(mode)
+				var c *vm.Counters
+				if counted {
+					c = m.EnableCounters()
+				}
+				return m.Run(50_000_000), c
+			}
+			sw, swc := exec(vm.DispatchSwitch)
+			th, thc := exec(vm.DispatchThreaded)
+			if sw.Fault != nil {
+				t.Fatalf("seed %d: fault: %v", seed, sw.Fault)
+			}
+			if !sameResult(sw, th) {
+				t.Fatalf("seed %d counted=%v: dispatch engines diverge:\n  switch:   %+v\n  threaded: %+v",
+					seed, counted, sw, th)
+			}
+			if counted && !reflect.DeepEqual(swc, thc) {
+				t.Fatalf("seed %d: counters diverge:\n  switch:   %+v\n  threaded: %+v",
+					seed, swc, thc)
+			}
+		}
+	}
+}

@@ -24,6 +24,43 @@ func TestEvalNegateOpposite(t *testing.T) {
 	}
 }
 
+// TestEvalAllCondsAllFlags checks every condition code against an
+// independently-written reference model (transcribed from the x86 Jcc
+// definitions, not from Eval) over all 16 flag combinations, so a regression
+// in either the Eval switch or a future fused/threaded fast path that
+// re-derives conditions cannot hide in an untested flag corner.
+func TestEvalAllCondsAllFlags(t *testing.T) {
+	type flags struct{ zf, sf, cf, of bool }
+	ref := map[mx.Cond]func(f flags) bool{
+		mx.CondE:  func(f flags) bool { return f.zf },
+		mx.CondNE: func(f flags) bool { return !f.zf },
+		mx.CondL:  func(f flags) bool { return f.sf != f.of },
+		mx.CondLE: func(f flags) bool { return f.zf || f.sf != f.of },
+		mx.CondG:  func(f flags) bool { return !f.zf && f.sf == f.of },
+		mx.CondGE: func(f flags) bool { return f.sf == f.of },
+		mx.CondB:  func(f flags) bool { return f.cf },
+		mx.CondBE: func(f flags) bool { return f.cf || f.zf },
+		mx.CondA:  func(f flags) bool { return !f.cf && !f.zf },
+		mx.CondAE: func(f flags) bool { return !f.cf },
+		mx.CondS:  func(f flags) bool { return f.sf },
+		mx.CondNS: func(f flags) bool { return !f.sf },
+	}
+	if len(ref) != int(mx.NumConds) {
+		t.Fatalf("reference model covers %d conditions, mx defines %d", len(ref), mx.NumConds)
+	}
+	var th Thread
+	for bits := 0; bits < 16; bits++ {
+		f := flags{bits&1 != 0, bits&2 != 0, bits&4 != 0, bits&8 != 0}
+		th.ZF, th.SF, th.CF, th.OF = f.zf, f.sf, f.cf, f.of
+		for c := mx.Cond(0); c < mx.NumConds; c++ {
+			if got, want := th.Eval(c), ref[c](f); got != want {
+				t.Errorf("flags ZF=%v SF=%v CF=%v OF=%v: Eval(%v) = %v, want %v",
+					f.zf, f.sf, f.cf, f.of, c, got, want)
+			}
+		}
+	}
+}
+
 // TestSubFlagsMatchComparisons pins the flag-setting rules against direct
 // integer comparisons for a grid of interesting values.
 func TestSubFlagsMatchComparisons(t *testing.T) {

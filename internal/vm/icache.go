@@ -18,12 +18,21 @@ import (
 // are clamped to the owning section's end, so a final truncated instruction
 // decodes as BAD exactly as a byte-exact uncached fetch would see it.
 
-// codePage is the predecoded form of one executable guest page.
+// codePage is the predecoded form of one executable guest page. Under
+// threaded dispatch (step_threaded.go) it additionally carries a per-offset
+// dispatch table, compiled lazily by compile() on the page's first threaded
+// execution; the switch engine ignores it. Write invalidation drops the
+// whole codePage, so fused superinstruction choices and flat-run metadata
+// can never outlive the bytes they were compiled from.
 type codePage struct {
 	insts [pageSize]mx.Inst
 	// lens[off] is the encoded length of insts[off]; 0 means the address
 	// is outside every executable section and fetching it faults.
 	lens [pageSize]uint8
+
+	// threaded-dispatch state (see step_threaded.go)
+	compiled bool
+	disp     [pageSize]dispatchEnt
 }
 
 // noPage is the icBase sentinel for "no page cached" (never a page base:

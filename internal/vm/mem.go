@@ -277,6 +277,91 @@ func (m *Memory) Store(addr uint64, v uint64, width int) bool {
 	return true
 }
 
+// Width-specialized accessors: the TLB probe and bounds check inline into
+// the caller, specialized to a constant width, so the dominant single-page
+// access pays no call and no width switch. Every fallback (TLB miss, page
+// straddle, watched store) routes through the generic path, which also owns
+// all counter attribution for those cases — TLB hit/miss counts are
+// identical to calling Load/Store directly.
+
+func (m *Memory) load8(addr uint64) (uint64, bool) {
+	e := &m.tlb[(addr>>pageShift)&(tlbSize-1)]
+	off := addr & (pageSize - 1)
+	if e.pg != nil && e.base == addr-off {
+		if m.ctr != nil {
+			m.ctr.TLBHits++
+		}
+		return uint64(e.pg[off]), true
+	}
+	return m.Load(addr, 1)
+}
+
+func (m *Memory) load32(addr uint64) (uint64, bool) {
+	e := &m.tlb[(addr>>pageShift)&(tlbSize-1)]
+	off := addr & (pageSize - 1)
+	if e.pg != nil && e.base == addr-off && off <= pageSize-4 {
+		if m.ctr != nil {
+			m.ctr.TLBHits++
+		}
+		return uint64(binary.LittleEndian.Uint32(e.pg[off:])), true
+	}
+	return m.Load(addr, 4)
+}
+
+func (m *Memory) load64(addr uint64) (uint64, bool) {
+	e := &m.tlb[(addr>>pageShift)&(tlbSize-1)]
+	off := addr & (pageSize - 1)
+	if e.pg != nil && e.base == addr-off && off <= pageSize-8 {
+		if m.ctr != nil {
+			m.ctr.TLBHits++
+		}
+		return binary.LittleEndian.Uint64(e.pg[off:]), true
+	}
+	return m.Load(addr, 8)
+}
+
+func (m *Memory) store8(addr, v uint64) bool {
+	e := &m.tlb[(addr>>pageShift)&(tlbSize-1)]
+	off := addr & (pageSize - 1)
+	if e.pg != nil && e.base == addr-off &&
+		(m.onWrite == nil || addr >= m.watchHi || addr+1 <= m.watchLo) {
+		if m.ctr != nil {
+			m.ctr.TLBHits++
+		}
+		e.pg[off] = byte(v)
+		return true
+	}
+	return m.Store(addr, v, 1)
+}
+
+func (m *Memory) store32(addr, v uint64) bool {
+	e := &m.tlb[(addr>>pageShift)&(tlbSize-1)]
+	off := addr & (pageSize - 1)
+	if e.pg != nil && e.base == addr-off && off <= pageSize-4 &&
+		(m.onWrite == nil || addr >= m.watchHi || addr+4 <= m.watchLo) {
+		if m.ctr != nil {
+			m.ctr.TLBHits++
+		}
+		binary.LittleEndian.PutUint32(e.pg[off:], uint32(v))
+		return true
+	}
+	return m.Store(addr, v, 4)
+}
+
+func (m *Memory) store64(addr, v uint64) bool {
+	e := &m.tlb[(addr>>pageShift)&(tlbSize-1)]
+	off := addr & (pageSize - 1)
+	if e.pg != nil && e.base == addr-off && off <= pageSize-8 &&
+		(m.onWrite == nil || addr >= m.watchHi || addr+8 <= m.watchLo) {
+		if m.ctr != nil {
+			m.ctr.TLBHits++
+		}
+		binary.LittleEndian.PutUint64(e.pg[off:], v)
+		return true
+	}
+	return m.Store(addr, v, 8)
+}
+
 // cstringMax caps CString scans, as a corrupt guest pointer would otherwise
 // walk the whole mapped address space.
 const cstringMax = 1 << 16

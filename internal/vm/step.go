@@ -510,7 +510,7 @@ func (m *Machine) aluSrc(t *Thread, inst *mx.Inst) uint64 {
 
 func (m *Machine) push(t *Thread, v uint64) bool {
 	t.Regs[mx.RSP] -= 8
-	if !m.Mem.Store(t.Regs[mx.RSP], v, 8) {
+	if !m.Mem.store64(t.Regs[mx.RSP], v) {
 		m.faultf(t, t.PC, "stack overflow: push to unmapped %#x", t.Regs[mx.RSP])
 		return false
 	}
@@ -518,7 +518,7 @@ func (m *Machine) push(t *Thread, v uint64) bool {
 }
 
 func (m *Machine) pop(t *Thread) (uint64, bool) {
-	v, ok := m.Mem.Load(t.Regs[mx.RSP], 8)
+	v, ok := m.Mem.load64(t.Regs[mx.RSP])
 	if !ok {
 		m.faultf(t, t.PC, "pop from unmapped %#x", t.Regs[mx.RSP])
 		return 0, false

@@ -142,6 +142,9 @@ type Machine struct {
 	ctr  *Counters
 	sink *CounterSink
 
+	// dispatch engine (dispatch.go / step_threaded.go)
+	dispatch DispatchMode
+
 	// predecoded instruction cache (icache.go). icBase/icPage are the
 	// last-fetched page, the common case of straight-line execution.
 	nocache      bool
@@ -181,9 +184,14 @@ type Machine struct {
 	// comparators). The callback-pruning analysis (§3.3.3) attaches here.
 	OnGuestEntry func(fn uint64)
 
-	// scheduler bookkeeping
+	// scheduler bookkeeping. runFuel and extFrom belong to the fast batch
+	// loop's sole-runnable grant extension (step_threaded.go): runFuel is
+	// the active Run's fuel limit, extFrom the batch offset at which the
+	// most recent in-batch quantum began (-1 when no extension fired).
 	sliceLeft int
 	curIdx    int
+	runFuel   uint64
+	extFrom   int
 
 	// synchronization objects keyed by guest address
 	mutexMap   map[uint64]*hostMutex
@@ -224,6 +232,7 @@ func NewWithExts(img *image.Image, seed int64, exts map[string]ExtFunc) (*Machin
 	// stores into code pages are architecturally visible; watch the
 	// executable ranges so such stores invalidate the predecode cache.
 	m.nocache = NoCacheDefault
+	m.dispatch = DispatchDefault
 	m.icache = map[uint64]*codePage{}
 	m.icBase = noPage
 	if CounterSinkDefault != nil {
@@ -341,6 +350,10 @@ func (m *Machine) pickThread() *Thread {
 // Run executes until clean exit, fault, deadlock, or the fuel limit (in
 // instructions) is exhausted.
 func (m *Machine) Run(fuel uint64) Result {
+	// Threaded dispatch needs predecoded pages; -nocache decodes per step
+	// and so always runs the switch engine.
+	threaded := m.dispatch == DispatchThreaded && !m.nocache
+	m.runFuel = fuel
 	for !m.exited && m.fault == nil && m.insts < fuel {
 		t := m.pickThread()
 		if t == nil {
@@ -353,7 +366,31 @@ func (m *Machine) Run(fuel uint64) Result {
 			m.fault = &Fault{Reason: "deadlock: no runnable threads"}
 			break
 		}
-		m.stepThread(t)
+		if !threaded {
+			m.stepThread(t)
+			continue
+		}
+		// One batch stands in for this pick plus every fast-path re-pick
+		// the scheduler would grant t before its slice expires: the fast
+		// path consumes no randomness and decrements sliceLeft once per
+		// instruction, so granting `1 + sliceLeft` up front and settling
+		// the decrement after the batch is the identical schedule.
+		budget := uint64(m.sliceLeft) + 1
+		if rem := fuel - m.insts; budget > rem {
+			budget = rem
+		}
+		m.extFrom = -1
+		if ran := m.stepBatch(t, int(budget)); ran > 0 {
+			if m.extFrom >= 0 {
+				// The batch extended past slice boundaries (sole-runnable
+				// fast path); the last fresh quantum began at batch offset
+				// extFrom, so its remainder is what a per-step scheduler
+				// would have left.
+				m.sliceLeft = m.quantum - (ran - m.extFrom)
+			} else {
+				m.sliceLeft -= ran - 1
+			}
+		}
 	}
 	if !m.exited && m.fault == nil && m.insts >= fuel {
 		m.fault = &Fault{Reason: fmt.Sprintf("fuel exhausted after %d instructions", m.insts)}
