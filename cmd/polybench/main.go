@@ -66,6 +66,7 @@ func main() {
 	storeDir := flag.String("store", "", "back the artifact store with a disk tier rooted at `dir` (persists across runs)")
 	storeMaxMB := flag.Int64("store-max-mb", 0, "prune the disk tier to at most `N` MiB (0 = unbounded)")
 	remoteStore := flag.String("remote-store", "", "back the artifact store with a polynimad store service at `url`")
+	remoteToken := flag.String("remote-store-token", "", "bearer `token` sent to the remote store service")
 	tracefile := flag.String("tracefile", "", "write a Chrome trace_event JSON span trace to `file`")
 	metrics := flag.String("metrics", "", "enable VM counters and write Prometheus text metrics to `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
@@ -134,7 +135,7 @@ func main() {
 		tiers = append(tiers, d)
 	}
 	if *remoteStore != "" {
-		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{})
+		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{AuthToken: *remoteToken})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "remote-store: %v\n", err)
 			os.Exit(1)

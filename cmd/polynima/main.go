@@ -56,6 +56,7 @@ func main() {
 	storeDir := fs.String("store", "", "back the artifact store with a disk tier rooted at `dir`")
 	storeMaxMB := fs.Int64("store-max-mb", 0, "prune the disk tier to at most `N` MiB (0 = unbounded)")
 	remoteStore := fs.String("remote-store", "", "back the artifact store with a polynimad store service at `url`")
+	remoteToken := fs.String("remote-store-token", "", "bearer `token` sent to the remote store service")
 	cfgPath := fs.String("cfg", "", "additive: checkpoint the evolving CFG to `file` (atomic write) and resume from it")
 	dispatch := fs.String("dispatch", vm.DispatchDefault.String(), "VM dispatch engine: threaded or switch")
 	imgPath := os.Args[2]
@@ -76,7 +77,7 @@ func main() {
 		tiers = append(tiers, d)
 	}
 	if *remoteStore != "" {
-		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{})
+		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{AuthToken: *remoteToken})
 		check(err)
 		tiers = append(tiers, r)
 	}

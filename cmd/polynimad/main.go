@@ -7,13 +7,24 @@
 // Usage:
 //
 //	polynimad [-listen addr] [-store dir [-store-max-mb N]]
-//	          [-remote-store url] [-jpipe N] [-tracefile file]
+//	          [-remote-store url [-remote-store-token tok]]
+//	          [-auth-token tok] [-max-inflight N [-max-queue N]]
+//	          [-max-inflight-store N [-max-queue-store N]]
+//	          [-quota-rps R [-quota-burst N]]
+//	          [-jpipe N] [-tracefile file]
 //
 // The backing tier composes -store (local disk, optionally size-pruned)
 // over -remote-store (an upstream polynimad or any server speaking the
 // /store/v1 protocol), probed in that order. Clients are the polynima and
 // polybench -remote-store flags, curl against /v1/*, or another polynimad
 // chaining through its own -remote-store.
+//
+// The hardening flags (DESIGN.md §7): -auth-token requires clients to
+// present the token as "Authorization: Bearer"; -max-inflight/-max-queue
+// bound concurrent jobs (overload is shed as 429 + Retry-After), with the
+// -store variants bounding /store/v1/* blob requests separately; -quota-rps
+// rate-limits each client. A client that disconnects mid-job has its
+// pipeline cancelled and its worker slot freed.
 //
 // Shutdown is graceful: SIGINT/SIGTERM drains in-flight jobs (bounded),
 // then writes the span trace when -tracefile is set.
@@ -43,6 +54,14 @@ func main() {
 	storeDir := flag.String("store", "", "back the shared store with a disk tier rooted at `dir`")
 	storeMaxMB := flag.Int64("store-max-mb", 0, "prune the disk tier to at most `N` MiB (0 = unbounded)")
 	remoteStore := flag.String("remote-store", "", "chain an upstream store service at `url` under the disk tier")
+	remoteToken := flag.String("remote-store-token", "", "bearer `token` sent to the upstream store service")
+	authToken := flag.String("auth-token", "", "require clients to present this bearer `token` (401 otherwise)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing jobs, 0 = unlimited")
+	maxQueue := flag.Int("max-queue", 0, "over-limit jobs that wait for a slot instead of a 429, 0 = shed immediately")
+	maxInflightStore := flag.Int("max-inflight-store", 0, "max concurrent /store/v1 requests, 0 = unlimited")
+	maxQueueStore := flag.Int("max-queue-store", 0, "over-limit store requests that wait, 0 = shed immediately")
+	quotaRPS := flag.Float64("quota-rps", 0, "per-client sustained requests/second, 0 = no quotas")
+	quotaBurst := flag.Int("quota-burst", 0, "per-client burst capacity, 0 = 2x quota-rps")
 	jpipe := flag.Int("jpipe", runtime.NumCPU(), "concurrent per-job function lifts/optimizations (1 = serial)")
 	tracefile := flag.String("tracefile", "", "write a Chrome trace_event JSON span trace to `file` at shutdown")
 	dispatch := flag.String("dispatch", vm.DispatchDefault.String(), "VM dispatch engine for job runs: threaded or switch")
@@ -67,7 +86,7 @@ func main() {
 		tiers = append(tiers, d)
 	}
 	if *remoteStore != "" {
-		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{})
+		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{AuthToken: *remoteToken})
 		check(err)
 		tiers = append(tiers, r)
 	}
@@ -75,9 +94,16 @@ func main() {
 	opts := core.DefaultOptions()
 	opts.Workers = *jpipe
 	s := serve.New(serve.Config{
-		Opts:    opts,
-		Backing: store.NewChain(tiers...),
-		Tracer:  tracer,
+		Opts:             opts,
+		Backing:          store.NewChain(tiers...),
+		Tracer:           tracer,
+		AuthToken:        *authToken,
+		MaxInflightJobs:  *maxInflight,
+		MaxQueueJobs:     *maxQueue,
+		MaxInflightStore: *maxInflightStore,
+		MaxQueueStore:    *maxQueueStore,
+		QuotaRPS:         *quotaRPS,
+		QuotaBurst:       *quotaBurst,
 	})
 
 	srv := &http.Server{Addr: *listen, Handler: s.Handler()}

@@ -78,6 +78,7 @@ func BuildMetrics(s StageSnapshot, st map[string]store.Counters, c *vm.Counters)
 			ops.Set(float64(c.Corrupt), l, obs.Label{Key: "op", Val: "corrupt"})
 			ops.Set(float64(c.Errors), l, obs.Label{Key: "op", Val: "error"})
 			ops.Set(float64(c.Retries), l, obs.Label{Key: "op", Val: "retry"})
+			ops.Set(float64(c.Throttled), l, obs.Label{Key: "op", Val: "throttled"})
 		}
 	}
 

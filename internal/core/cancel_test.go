@@ -1,0 +1,106 @@
+package core_test
+
+// Cancellation tests for Options.Ctx: a done context must stop guest runs
+// within a bounded number of instructions and stop the pipeline from
+// starting, surfacing an error that wraps the context's error — the
+// contract internal/serve relies on to free a disconnected client's
+// workers.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// longLoopSrc runs far past any reasonable test duration without
+// cancellation (the full loop is ~10^10 instructions against default fuel).
+const longLoopSrc = `
+func main() {
+	var i;
+	for (i = 0; i < 2000000000; i = i + 1) { }
+	return 0;
+}`
+
+// TestRunAdditiveCancelled: cancelling mid guest run stops the additive
+// session promptly with an error wrapping context.Canceled.
+func TestRunAdditiveCancelled(t *testing.T) {
+	img := compile(t, longLoopSrc, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	o := core.DefaultOptions()
+	o.Ctx = ctx
+	p, err := core.NewProject(img, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err = p.RunAdditive(core.Input{Seed: 1}, 8)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want an error wrapping context.Canceled", err)
+	}
+	// Bounded stop: the cancel poll fires within a few thousand
+	// instructions, not at fuel exhaustion (which takes tens of seconds).
+	if d := time.Since(t0); d > 30*time.Second {
+		t.Fatalf("cancelled run took %v to stop", d)
+	}
+}
+
+// TestRecompileCancelledUpFront: a context that is already done stops
+// Recompile before any work.
+func TestRecompileCancelledUpFront(t *testing.T) {
+	img := compile(t, threadedSrc, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := core.DefaultOptions()
+	o.Ctx = ctx
+	p, err := core.NewProject(img, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Recompile(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Recompile err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelledRunDoesNotAffectUncancelled: the same project options with a
+// never-cancelled context produce exactly the bytes of a no-context run —
+// the cancel seam costs nothing and changes nothing (determinism contract).
+func TestCancelledRunDoesNotAffectUncancelled(t *testing.T) {
+	img := compile(t, threadedSrc, 2)
+	plain, err := core.NewProject(img, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := want.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := core.DefaultOptions()
+	o.Ctx = context.Background()
+	withCtx, err := core.NewProject(img, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := withCtx.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := got.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBytes) != string(wantBytes) {
+		t.Fatal("a live context changed the recompiled bytes")
+	}
+}

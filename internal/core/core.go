@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -78,6 +79,14 @@ type Options struct {
 	// every guest run, for Chrome-trace export. Nil — the default — costs
 	// one predictable nil check per stage.
 	Obs *obs.Tracer
+	// Ctx, when set, makes the project's work cancellable: once the context
+	// is done, the per-function worker pool stops dispatching, guest runs
+	// (pipeline-internal and additive) stop within a bounded number of
+	// instructions, and the interrupted call surfaces an error wrapping
+	// ctx.Err(). The fleet daemon (internal/serve) threads each request's
+	// context here so a disconnected or timed-out client frees its workers.
+	// Nil — the default — is never cancelled and costs nil checks only.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the standard configuration.
@@ -103,11 +112,11 @@ type Input struct {
 type Stats struct {
 	mu sync.Mutex
 
-	DisasmTime  time.Duration
-	TraceTime   time.Duration
-	LiftTime    time.Duration // summed per-function lift CPU time
-	OptTime     time.Duration // summed per-function optimization CPU time
-	LowerTime   time.Duration
+	DisasmTime time.Duration
+	TraceTime  time.Duration
+	LiftTime   time.Duration // summed per-function lift CPU time
+	OptTime    time.Duration // summed per-function optimization CPU time
+	LowerTime  time.Duration
 	// LiftOptWall is the wall-clock time of the (parallel) lift+optimize
 	// sections; with several workers it is well below LiftTime+OptTime.
 	LiftOptWall time.Duration
@@ -127,13 +136,13 @@ type Stats struct {
 	StoreDiskMisses int
 	StoreEvictions  int
 	ICFTs           int
-	Recompiles  int
-	Funcs       int
-	Blocks      int
-	CodeSize    int
-	TraceInsts  uint64
-	FencesGone  bool
-	NumExternal int
+	Recompiles      int
+	Funcs           int
+	Blocks          int
+	CodeSize        int
+	TraceInsts      uint64
+	FencesGone      bool
+	NumExternal     int
 }
 
 // update runs f with the stats lock held; every pipeline-side mutation goes
@@ -207,6 +216,37 @@ func (p *Project) obsTID() int64 {
 		p.obsTrack = p.Opts.Obs.AllocTID("pipeline " + p.Img.Name)
 	})
 	return p.obsTrack
+}
+
+// ctxDone returns the project's cancellation channel (nil — never polled —
+// when no request context is attached).
+func (p *Project) ctxDone() <-chan struct{} {
+	if p.Opts.Ctx == nil {
+		return nil
+	}
+	return p.Opts.Ctx.Done()
+}
+
+// ctxErr surfaces the project's cancellation state (nil when no context is
+// attached or it is still live).
+func (p *Project) ctxErr() error {
+	if p.Opts.Ctx == nil {
+		return nil
+	}
+	return p.Opts.Ctx.Err()
+}
+
+// cancelErr maps a guest-run result to the project's cancellation error
+// when the fault was forced by the request context; nil otherwise.
+func (p *Project) cancelErr(res vm.Result, what string) error {
+	if res.Fault == nil || !res.Fault.Cancelled {
+		return nil
+	}
+	cerr := p.ctxErr()
+	if cerr == nil {
+		cerr = context.Canceled
+	}
+	return fmt.Errorf("core: %s cancelled: %w", what, cerr)
 }
 
 // CachedFuncs reports how many function bodies the memory tier of the
@@ -347,7 +387,7 @@ func (p *Project) Trace(inputs []Input) (*tracer.Result, error) {
 		}
 	}
 	if res == nil {
-		res, err = tracer.TraceObs(p.Img, p.Graph, runs, p.Opts.Fuel, p.Opts.Obs, p.obsTID())
+		res, err = tracer.TraceObs(p.Img, p.Graph, runs, p.Opts.Fuel, p.Opts.Obs, p.obsTID(), p.ctxDone())
 		if err == nil && res != nil && keyOK {
 			p.storePut(nsTrace, traceKey, encodeTraceArtifact(res))
 		}
@@ -370,6 +410,9 @@ func (p *Project) Trace(inputs []Input) (*tracer.Result, error) {
 		}
 	})
 	if err != nil {
+		if cerr := p.ctxErr(); cerr != nil {
+			return nil, fmt.Errorf("core: trace cancelled: %w", cerr)
+		}
 		return nil, err
 	}
 	return res, nil
@@ -468,6 +511,7 @@ func (p *Project) Run(img *image.Image, in Input) (vm.Result, error) {
 	if err != nil {
 		return vm.Result{}, err
 	}
+	m.SetCancel(p.ctxDone())
 	if in.Data != nil {
 		m.SetInput(in.Data)
 	}
@@ -530,6 +574,7 @@ func (p *Project) RunAdditive(in Input, maxLoops int) (*AdditiveResult, error) {
 			lsp.End()
 			return nil, err
 		}
+		m.SetCancel(p.ctxDone())
 		if in.Data != nil {
 			m.SetInput(in.Data)
 		}
@@ -552,6 +597,9 @@ func (p *Project) RunAdditive(in Input, maxLoops int) (*AdditiveResult, error) {
 		gsp.Arg("insts", res.Insts).Arg("misses", len(misses)).End()
 		if res.Fault != nil {
 			lsp.End()
+			if cerr := p.cancelErr(res, "additive run"); cerr != nil {
+				return nil, cerr
+			}
 			return nil, fmt.Errorf("core: additive run faulted at loop %d (after %d recompiles, misses integrated so far %s): %w",
 				loop, out.Recompiles, formatMisses(out.Misses), res.Fault)
 		}
@@ -646,12 +694,16 @@ func (p *Project) PruneCallbacks(inputs []Input) error {
 		if err != nil {
 			return err
 		}
+		m.SetCancel(p.ctxDone())
 		if in.Data != nil {
 			m.SetInput(in.Data)
 		}
 		m.OnGuestEntry = func(fn uint64) { set[fn] = true }
 		res := m.Run(p.Opts.Fuel)
 		if res.Fault != nil {
+			if cerr := p.cancelErr(res, "callback analysis run"); cerr != nil {
+				return cerr
+			}
 			return fmt.Errorf("core: callback analysis run faulted: %w", res.Fault)
 		}
 	}
@@ -692,11 +744,15 @@ func (p *Project) FenceOptimize(inputs []Input) (*spindet.Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.SetCancel(p.ctxDone())
 		if in.Data != nil {
 			m.SetInput(in.Data)
 		}
 		r := m.Run(p.Opts.Fuel)
 		if r.Fault != nil {
+			if cerr := p.cancelErr(r, "instrumented run"); cerr != nil {
+				return nil, cerr
+			}
 			return nil, fmt.Errorf("core: instrumented run faulted: %w", r.Fault)
 		}
 	}

@@ -59,6 +59,9 @@ func (p *Project) pipeWorkers() int {
 // pipeline — no generation is opened, so the memory tier's function bodies
 // stay live for the next recompile that does run.
 func (p *Project) Recompile() (*image.Image, error) {
+	if err := p.ctxErr(); err != nil {
+		return nil, fmt.Errorf("core: recompile cancelled: %w", err)
+	}
 	rsp := p.Opts.Obs.Begin(p.obsTID(), "pipeline", "recompile")
 	imgKey, imgKeyOK := p.imageKey()
 	if imgKeyOK {
@@ -242,7 +245,7 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 		}
 		return nil
 	}
-	if err := pool.Run(p.pipeWorkers(), len(funcs), task); err != nil {
+	if err := pool.RunCtx(p.Opts.Ctx, p.pipeWorkers(), len(funcs), task); err != nil {
 		return nil, err
 	}
 	var evicted int
@@ -286,7 +289,7 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 			t0 := time.Now()
 			opt.Inline(lf.Mod, 300)
 			mfuncs := lf.Mod.Funcs
-			oerr := pool.Run(p.pipeWorkers(), len(mfuncs), func(w, i int) error {
+			oerr := pool.RunCtx(p.Opts.Ctx, p.pipeWorkers(), len(mfuncs), func(w, i int) error {
 				sp := tr.Begin(workerTID(w), "pipeline", "opt-func",
 					obs.Arg{Key: "name", Val: mfuncs[i].Name},
 					obs.Arg{Key: "worker", Val: w})

@@ -18,6 +18,7 @@
 package pool
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -43,8 +44,38 @@ func Clamp(workers, n int) int {
 // callers can keep per-worker state without locking. The error-ordering
 // contract is documented on the package.
 func Run(workers, n int, f func(w, i int) error) error {
+	return RunCtx(nil, workers, n, f)
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done, no new
+// index is dispatched — indices already running finish normally, so f never
+// observes a half-executed call — and, when no dispatched index returned
+// its own error, ctx's error is returned so a cancelled caller cannot
+// mistake a partial sweep for success. Per the error-ordering contract,
+// an error from a dispatched index still wins over the cancellation error
+// (it is what a serial run would have surfaced first). A nil or
+// never-cancellable ctx is exactly Run.
+func RunCtx(ctx context.Context, workers, n int, f func(w, i int) error) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if cancelled() {
+				return ctx.Err()
+			}
 			if err := f(0, i); err != nil {
 				return err
 			}
@@ -59,7 +90,7 @@ func Run(workers, n int, f func(w, i int) error) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
+			for !cancelled() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -73,6 +104,9 @@ func Run(workers, n int, f func(w, i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if ctx != nil {
+		return ctx.Err()
 	}
 	return nil
 }

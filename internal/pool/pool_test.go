@@ -1,6 +1,7 @@
 package pool_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -73,6 +74,80 @@ func TestRunParallelReturnsLowestIndexError(t *testing.T) {
 	}
 	if got := ran.Load(); got != n {
 		t.Fatalf("parallel run executed %d of %d items", got, n)
+	}
+}
+
+// TestRunCtxPreCancelled: an already-cancelled context dispatches nothing
+// and the cancellation error surfaces, on both the serial and parallel
+// paths.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 8} {
+		var ran atomic.Int32
+		err := pool.RunCtx(ctx, workers, 50, func(w, i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got != 0 {
+			t.Fatalf("workers=%d: %d items ran under a pre-cancelled context", workers, got)
+		}
+	}
+}
+
+// TestRunCtxStopsDispatching: cancelling mid-sweep stops new dispatches and
+// returns the context's error when no dispatched index failed.
+func TestRunCtxStopsDispatching(t *testing.T) {
+	const n = 10_000
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := pool.RunCtx(ctx, 4, n, func(w, i int) error {
+		if ran.Add(1) == 16 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers already past their cancellation check may finish one more
+	// item each, but the sweep must not run to completion.
+	if got := ran.Load(); got >= n {
+		t.Fatalf("all %d items ran despite cancellation at item 16", n)
+	}
+}
+
+// TestRunCtxDispatchedErrorWins: per the error-ordering contract, an error
+// from a dispatched index beats the cancellation error.
+func TestRunCtxDispatchedErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	err := pool.RunCtx(ctx, 4, 100, func(w, i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the dispatched index's error", err)
+	}
+}
+
+// TestRunCtxNilIsRun: a nil context is exactly Run.
+func TestRunCtxNilIsRun(t *testing.T) {
+	var ran atomic.Int32
+	if err := pool.RunCtx(nil, 4, 25, func(w, i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 25 {
+		t.Fatalf("ran %d of 25", ran.Load())
 	}
 }
 

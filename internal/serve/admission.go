@@ -1,0 +1,201 @@
+// Admission control for the fleet daemon: bearer-token authn, a bounded
+// concurrency limiter with a wait queue, and per-client token-bucket quotas.
+// The layering (admit in serve.go) is auth -> quota -> limiter, so an
+// unauthenticated request can neither consume quota nor occupy a queue slot.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// limiter bounds concurrently admitted requests of one class (jobs or store
+// blobs). Up to cap(slots) requests execute at once; up to cap(queue) more
+// wait for a slot; everything beyond that is shed immediately. A nil limiter
+// admits everything.
+type limiter struct {
+	slots chan struct{} // one token per executing request
+	queue chan struct{} // one token per waiting request; nil = shed instead of waiting
+	depth atomic.Int64  // requests currently waiting (the queue-depth gauge)
+}
+
+// newLimiter builds a limiter admitting inflight concurrent requests with a
+// wait queue of queue more. inflight <= 0 means unlimited (nil limiter);
+// queue <= 0 means no queue — overload is shed immediately, which keeps a
+// tiny -max-inflight deterministic to probe (CI relies on this).
+func newLimiter(inflight, queue int) *limiter {
+	if inflight <= 0 {
+		return nil
+	}
+	l := &limiter{slots: make(chan struct{}, inflight)}
+	if queue > 0 {
+		l.queue = make(chan struct{}, queue)
+	}
+	return l
+}
+
+// acquire admits the request (returning its release) or reports that it must
+// be shed. A request that cannot get a slot immediately waits in the bounded
+// queue until a slot frees or done closes (the client gave up); with the
+// queue full — or absent — it is shed without waiting.
+func (l *limiter) acquire(done <-chan struct{}) (release func(), ok bool) {
+	if l == nil {
+		return func() {}, true
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return l.release, true
+	default:
+	}
+	if l.queue == nil {
+		return nil, false
+	}
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return nil, false
+	}
+	l.depth.Add(1)
+	defer func() {
+		l.depth.Add(-1)
+		<-l.queue
+	}()
+	select {
+	case l.slots <- struct{}{}:
+		return l.release, true
+	case <-done:
+		return nil, false
+	}
+}
+
+func (l *limiter) release() { <-l.slots }
+
+// queued reports how many requests are waiting for a slot right now.
+func (l *limiter) queued() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.depth.Load()
+}
+
+// quotas is the per-client token-bucket rate limiter: each client accrues
+// rate tokens per second up to burst, and every admitted request spends one.
+// A nil quotas admits everything.
+type quotas struct {
+	rate  float64          // tokens accrued per second
+	burst float64          // bucket capacity
+	now   func() time.Time // clock seam for tests
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time // when tokens was last brought current
+}
+
+// maxQuotaClients bounds the bucket map: at this size, fully refilled
+// buckets (clients idle long enough that forgetting them changes nothing)
+// are pruned before a new client is added, so an attacker cycling client
+// identities cannot grow the map without bound.
+const maxQuotaClients = 4096
+
+// newQuotas builds the per-client rate limiter. rps <= 0 disables quotas
+// (nil). burst <= 0 defaults to 2*rps, floored at 1.
+func newQuotas(rps float64, burst int) *quotas {
+	if rps <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = 2 * rps
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &quotas{rate: rps, burst: b, now: time.Now, m: map[string]*bucket{}}
+}
+
+// allow spends one token from client's bucket. When the bucket is empty it
+// refuses and reports how long until the next whole token accrues — the
+// Retry-After the handler should answer with.
+func (q *quotas) allow(client string) (bool, time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	bk := q.m[client]
+	if bk == nil {
+		if len(q.m) >= maxQuotaClients {
+			q.pruneLocked(now)
+		}
+		bk = &bucket{tokens: q.burst, last: now}
+		q.m[client] = bk
+	}
+	bk.tokens += now.Sub(bk.last).Seconds() * q.rate
+	if bk.tokens > q.burst {
+		bk.tokens = q.burst
+	}
+	bk.last = now
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - bk.tokens) / q.rate * float64(time.Second))
+}
+
+// pruneLocked drops every bucket that would be full if brought current —
+// forgetting such a client is indistinguishable from remembering it.
+func (q *quotas) pruneLocked(now time.Time) {
+	for k, bk := range q.m {
+		if bk.tokens+now.Sub(bk.last).Seconds()*q.rate >= q.burst {
+			delete(q.m, k)
+		}
+	}
+}
+
+// bearerToken extracts the Bearer credential from the Authorization header,
+// or "" when absent/differently-schemed.
+func bearerToken(r *http.Request) string {
+	const prefix = "Bearer "
+	h := r.Header.Get("Authorization")
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return h[len(prefix):]
+	}
+	return ""
+}
+
+// clientID names a request's client for quota keying and per-client
+// metrics: a short digest of the presented bearer token (never the token
+// itself — these IDs appear in /metrics), falling back to the remote host
+// when auth is off.
+func clientID(r *http.Request) string {
+	if tok := bearerToken(r); tok != "" {
+		sum := sha256.Sum256([]byte(tok))
+		return "tok-" + hex.EncodeToString(sum[:4])
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil && host != "" {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// retryAfterSecs renders a wait as a Retry-After value: whole seconds,
+// rounded up, at least 1 (a zero Retry-After invites an immediate retry
+// storm).
+func retryAfterSecs(wait time.Duration) int {
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -1,0 +1,206 @@
+package serve
+
+// White-box admission tests: the quota clock seam and the limiter's
+// internals are unexported, so these live in the package (the end-to-end
+// admission matrix is in serve_test.go).
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestQuotasTokenBucket drives the per-client bucket with a fake clock:
+// burst admits, an empty bucket refuses with the time to the next token,
+// and tokens accrue at the configured rate.
+func TestQuotasTokenBucket(t *testing.T) {
+	q := newQuotas(1, 2) // 1 rps, burst 2
+	now := time.Unix(1000, 0)
+	q.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.allow("a"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, wait := q.allow("a")
+	if ok {
+		t.Fatal("third request admitted with an empty bucket")
+	}
+	if wait != time.Second {
+		t.Fatalf("wait = %v, want 1s to the next token", wait)
+	}
+	// Clients are independent.
+	if ok, _ := q.allow("b"); !ok {
+		t.Fatal("a fresh client was refused by another client's empty bucket")
+	}
+	// One second accrues exactly one token.
+	now = now.Add(time.Second)
+	if ok, _ := q.allow("a"); !ok {
+		t.Fatal("request refused after a full token accrued")
+	}
+	if ok, _ := q.allow("a"); ok {
+		t.Fatal("second request admitted on one accrued token")
+	}
+	// Accrual caps at burst: a long-idle client gets burst, not unbounded.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := q.allow("a"); ok {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("long-idle client admitted %d, want burst of 2", admitted)
+	}
+}
+
+// TestQuotasDefaultsAndDisabled: rps <= 0 disables quotas; burst 0 defaults
+// to 2*rps floored at 1.
+func TestQuotasDefaultsAndDisabled(t *testing.T) {
+	if q := newQuotas(0, 5); q != nil {
+		t.Fatal("rps 0 built a limiter")
+	}
+	var q *quotas
+	if ok, _ := q.allow("anyone"); !ok {
+		t.Fatal("nil quotas refused a request")
+	}
+	if q := newQuotas(4, 0); q.burst != 8 {
+		t.Fatalf("default burst = %v, want 2*rps", q.burst)
+	}
+	if q := newQuotas(0.25, 0); q.burst != 1 {
+		t.Fatalf("default burst = %v, want floor of 1", q.burst)
+	}
+}
+
+// TestQuotasPruneBoundsClients: cycling client identities cannot grow the
+// bucket map past maxQuotaClients while idle clients are prunable.
+func TestQuotasPruneBoundsClients(t *testing.T) {
+	q := newQuotas(1, 1)
+	now := time.Unix(1000, 0)
+	q.now = func() time.Time { return now }
+	for i := 0; i < 3*maxQuotaClients; i++ {
+		now = now.Add(2 * time.Second) // everyone before is fully refilled
+		q.allow(string(rune('a'+i%26)) + string(rune('0'+i%10)) + time.Duration(i).String())
+	}
+	q.mu.Lock()
+	n := len(q.m)
+	q.mu.Unlock()
+	if n > maxQuotaClients {
+		t.Fatalf("bucket map grew to %d, cap is %d", n, maxQuotaClients)
+	}
+}
+
+// TestLimiterSlotsAndQueue: the limiter admits up to inflight, queues up to
+// queue, sheds beyond, and wakes a queued waiter when a slot frees.
+func TestLimiterSlotsAndQueue(t *testing.T) {
+	l := newLimiter(1, 1)
+	rel1, ok := l.acquire(nil)
+	if !ok {
+		t.Fatal("first acquire refused")
+	}
+
+	got := make(chan func(), 1)
+	go func() {
+		rel, ok := l.acquire(nil)
+		if !ok {
+			t.Error("queued acquire was shed")
+		}
+		got <- rel
+	}()
+	waitFor(t, func() bool { return l.queued() == 1 })
+
+	// Queue is full: the next request is shed without waiting.
+	if _, ok := l.acquire(nil); ok {
+		t.Fatal("acquire admitted past inflight+queue")
+	}
+
+	rel1()
+	rel2 := <-got
+	waitFor(t, func() bool { return l.queued() == 0 })
+	rel2()
+
+	// Slot free again.
+	rel, ok := l.acquire(nil)
+	if !ok {
+		t.Fatal("acquire refused after all slots released")
+	}
+	rel()
+}
+
+// TestLimiterCancelledWaiter: a waiter whose done channel closes leaves the
+// queue without a slot.
+func TestLimiterCancelledWaiter(t *testing.T) {
+	l := newLimiter(1, 1)
+	rel, _ := l.acquire(nil)
+	done := make(chan struct{})
+	shed := make(chan bool, 1)
+	go func() {
+		_, ok := l.acquire(done)
+		shed <- !ok
+	}()
+	waitFor(t, func() bool { return l.queued() == 1 })
+	close(done)
+	if !<-shed {
+		t.Fatal("cancelled waiter got a slot")
+	}
+	waitFor(t, func() bool { return l.queued() == 0 })
+	rel()
+	// The released slot is acquirable: the cancelled waiter did not leak it.
+	if _, ok := l.acquire(nil); !ok {
+		t.Fatal("slot leaked by a cancelled waiter")
+	}
+}
+
+// TestLimiterNoQueueShedsImmediately: queue 0 means overload is shed
+// without waiting (what CI's -max-inflight 1 probe relies on).
+func TestLimiterNoQueueShedsImmediately(t *testing.T) {
+	l := newLimiter(1, 0)
+	rel, _ := l.acquire(nil)
+	defer rel()
+	start := time.Now()
+	if _, ok := l.acquire(nil); ok {
+		t.Fatal("second acquire admitted past inflight with no queue")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("queueless shed took %v, want immediate", d)
+	}
+}
+
+// TestClientID: the quota key is a token digest when a bearer token is
+// presented (never the token itself) and the remote host otherwise.
+func TestClientID(t *testing.T) {
+	r := httptest.NewRequest("GET", "/metrics", nil)
+	r.RemoteAddr = "192.0.2.7:4312"
+	if got := clientID(r); got != "192.0.2.7" {
+		t.Fatalf("clientID without auth = %q, want the remote host", got)
+	}
+	r.Header.Set("Authorization", "Bearer s3cret")
+	got := clientID(r)
+	if len(got) != len("tok-")+8 || got[:4] != "tok-" {
+		t.Fatalf("clientID with auth = %q, want tok-<8 hex digits>", got)
+	}
+	if got == "tok-s3cret" {
+		t.Fatal("clientID leaked the raw token")
+	}
+	r2 := httptest.NewRequest("GET", "/metrics", nil)
+	r2.Header.Set("Authorization", "Bearer s3cret")
+	if clientID(r2) != got {
+		t.Fatal("same token produced different client IDs")
+	}
+	r2.Header.Set("Authorization", "Bearer other")
+	if clientID(r2) == got {
+		t.Fatal("different tokens produced the same client ID")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

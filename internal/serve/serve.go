@@ -28,12 +28,24 @@
 // Operational endpoints: GET /metrics (Prometheus text format: per-job and
 // per-store-request counters plus the shared store's per-tier ops) and
 // GET /healthz.
+//
+// Production posture (admission.go, DESIGN.md §7): optional bearer-token
+// authn (401 on mismatch; /metrics and /healthz stay open), separate
+// bounded concurrency limits for jobs and store blobs that shed overload as
+// 429 + Retry-After, per-client token-bucket quotas, and request-context
+// cancellation — a client that disconnects mid-job has its pipeline
+// cancelled and its worker slot freed. None of it touches the byte-identity
+// contract: an admitted job's response bytes are identical at any
+// concurrency limit.
 package serve
 
 import (
+	"context"
+	"crypto/subtle"
 	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -63,21 +75,47 @@ type Config struct {
 	Tracer *obs.Tracer
 	// MaxBodyBytes bounds request bodies; 0 selects 256 MiB.
 	MaxBodyBytes int64
+	// AuthToken, when non-empty, requires every job and store request to
+	// present "Authorization: Bearer <token>"; mismatches are answered 401.
+	// /metrics and /healthz stay unauthenticated.
+	AuthToken string
+	// MaxInflightJobs caps concurrently executing jobs (0 = unlimited);
+	// MaxQueueJobs bounds how many over-limit job requests wait for a slot
+	// instead of being shed as 429 (0 = no queue, shed immediately).
+	MaxInflightJobs int
+	MaxQueueJobs    int
+	// MaxInflightStore / MaxQueueStore are the same knobs for /store/v1/*
+	// blob requests, limited separately so a burst of cheap blob traffic
+	// cannot starve jobs and vice versa.
+	MaxInflightStore int
+	MaxQueueStore    int
+	// QuotaRPS enables per-client token-bucket quotas: each client (keyed
+	// by token digest, or remote host when auth is off) may sustain this
+	// many requests per second (0 = no quotas). QuotaBurst is the bucket
+	// capacity (0 = 2*QuotaRPS, floored at 1).
+	QuotaRPS   float64
+	QuotaBurst int
 }
 
 // Server is the recompile service. Create with New, expose with Handler.
 type Server struct {
-	opts    core.Options
-	store   *store.Tiered
-	tracer  *obs.Tracer
-	maxBody int64
-	start   time.Time
+	opts      core.Options
+	store     *store.Tiered
+	tracer    *obs.Tracer
+	maxBody   int64
+	start     time.Time
+	authToken string
+	limJobs   *limiter
+	limStore  *limiter
+	quotas    *quotas
 
 	mu         sync.Mutex
 	inflight   int64
 	jobs       map[[2]string]int64 // {kind, outcome} -> count
 	jobSecs    map[string]float64  // kind -> summed seconds
 	storeReqs  map[[2]string]int64 // {method, outcome} -> count
+	rejected   map[[2]string]int64 // {class, reason} -> requests refused at admission
+	clientReqs map[[2]string]int64 // {client, outcome} -> admission decisions
 	jobCounter int64               // per-job trace-track naming
 }
 
@@ -89,14 +127,20 @@ func New(cfg Config) *Server {
 	o.Store = nil
 	o.NoFuncCache = false
 	s := &Server{
-		opts:      o,
-		store:     store.NewSharedTiered(store.NewMemory(), cfg.Backing),
-		tracer:    cfg.Tracer,
-		maxBody:   cfg.MaxBodyBytes,
-		start:     time.Now(),
-		jobs:      map[[2]string]int64{},
-		jobSecs:   map[string]float64{},
-		storeReqs: map[[2]string]int64{},
+		opts:       o,
+		store:      store.NewSharedTiered(store.NewMemory(), cfg.Backing),
+		tracer:     cfg.Tracer,
+		maxBody:    cfg.MaxBodyBytes,
+		start:      time.Now(),
+		authToken:  cfg.AuthToken,
+		limJobs:    newLimiter(cfg.MaxInflightJobs, cfg.MaxQueueJobs),
+		limStore:   newLimiter(cfg.MaxInflightStore, cfg.MaxQueueStore),
+		quotas:     newQuotas(cfg.QuotaRPS, cfg.QuotaBurst),
+		jobs:       map[[2]string]int64{},
+		jobSecs:    map[string]float64{},
+		storeReqs:  map[[2]string]int64{},
+		rejected:   map[[2]string]int64{},
+		clientReqs: map[[2]string]int64{},
 	}
 	if s.maxBody <= 0 {
 		s.maxBody = 256 << 20
@@ -111,22 +155,80 @@ func (s *Server) Store() *store.Tiered { return s.store }
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/recompile", func(w http.ResponseWriter, r *http.Request) {
-		s.job(w, r, "recompile", s.recompile)
-	})
-	mux.HandleFunc("POST /v1/trace", func(w http.ResponseWriter, r *http.Request) {
-		s.job(w, r, "trace", s.traceJob)
-	})
-	mux.HandleFunc("POST /v1/additive", func(w http.ResponseWriter, r *http.Request) {
-		s.job(w, r, "additive", s.additive)
-	})
-	mux.HandleFunc("GET /store/v1/{ns}/{key}", s.storeGet)
-	mux.HandleFunc("PUT /store/v1/{ns}/{key}", s.storePut)
+	mux.HandleFunc("POST /v1/recompile", s.admit("jobs", s.limJobs,
+		func(w http.ResponseWriter, r *http.Request) { s.job(w, r, "recompile", s.recompile) }))
+	mux.HandleFunc("POST /v1/trace", s.admit("jobs", s.limJobs,
+		func(w http.ResponseWriter, r *http.Request) { s.job(w, r, "trace", s.traceJob) }))
+	mux.HandleFunc("POST /v1/additive", s.admit("jobs", s.limJobs,
+		func(w http.ResponseWriter, r *http.Request) { s.job(w, r, "additive", s.additive) }))
+	mux.HandleFunc("GET /store/v1/{ns}/{key}", s.admit("store", s.limStore, s.storeGet))
+	mux.HandleFunc("PUT /store/v1/{ns}/{key}", s.admit("store", s.limStore, s.storePut))
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
 	return mux
+}
+
+// --- admission --------------------------------------------------------------
+
+// admit wraps a handler with the admission pipeline: authn, per-client
+// quota, then the class's concurrency limiter — in that order, so an
+// unauthenticated request can neither spend quota nor occupy a queue slot.
+// Refusals are counted under polynimad_rejected_total{class,reason} and the
+// per-client counters.
+func (s *Server) admit(class string, lim *limiter, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		client := clientID(r)
+		if s.authToken != "" {
+			if subtle.ConstantTimeCompare([]byte(bearerToken(r)), []byte(s.authToken)) != 1 {
+				s.reject(class, "auth", client)
+				w.Header().Set("WWW-Authenticate", `Bearer realm="polynimad"`)
+				http.Error(w, "unauthorized", http.StatusUnauthorized)
+				return
+			}
+		}
+		if ok, wait := s.quotas.allow(client); !ok {
+			s.reject(class, "quota", client)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(wait)))
+			http.Error(w, "per-client quota exceeded", http.StatusTooManyRequests)
+			return
+		}
+		release, ok := lim.acquire(r.Context().Done())
+		if !ok {
+			if r.Context().Err() != nil {
+				// The client gave up while queued; nobody is listening for
+				// a status line, but the refusal is still accounted.
+				s.reject(class, "cancelled", client)
+				return
+			}
+			s.reject(class, "overload", client)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+			return
+		}
+		defer release()
+		s.countClient(client, "admitted")
+		h(w, r)
+	}
+}
+
+func (s *Server) reject(class, reason, client string) {
+	s.count(func() { s.rejected[[2]string{class, reason}]++ })
+	s.countClient(client, reason)
+}
+
+// maxClientLabels bounds the per-client metric cardinality: once this many
+// distinct clients have been seen, further ones are folded into "other".
+const maxClientLabels = 1024
+
+func (s *Server) countClient(client, outcome string) {
+	s.count(func() {
+		if _, seen := s.clientReqs[[2]string{client, outcome}]; !seen && len(s.clientReqs) >= maxClientLabels {
+			client = "other"
+		}
+		s.clientReqs[[2]string{client, outcome}]++
+	})
 }
 
 // --- job plumbing -----------------------------------------------------------
@@ -148,12 +250,18 @@ func unprocessable(err error) error {
 	return &httpError{status: http.StatusUnprocessableEntity, err: err}
 }
 
+// statusClientClosedRequest is the conventional (nginx) status for a
+// request whose client went away before the response; nobody receives it,
+// but it keeps logs and traces honest.
+const statusClientClosedRequest = 499
+
 // jobRequest is a parsed job: the input image plus common parameters.
 type jobRequest struct {
 	img   *image.Image
 	seed  int64
 	input []byte // optional concrete input (X-Polynima-Input, base64)
 	query func(string) string
+	ctx   context.Context // the request's context; cancels the job's pipeline
 }
 
 // job wraps one request: body parsing, per-job span, counters, and error
@@ -181,7 +289,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request, kind string,
 		})
 	}()
 
-	req, err := s.parseJob(r)
+	req, err := s.parseJob(w, r)
 	if err == nil {
 		err = fn(w, req)
 	}
@@ -190,25 +298,41 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request, kind string,
 		if he, ok := err.(*httpError); ok {
 			status = he.status
 		}
-		if status >= 500 {
+		switch {
+		case r.Context().Err() != nil:
+			// The client disconnected or timed out; the error is the
+			// cancellation surfacing through the pipeline, not a job
+			// failure. Nobody reads the response, but the outcome label is
+			// how a freed slot is observed (tests, CI smoke).
+			outcome = "cancelled"
+			status = statusClientClosedRequest
+		case status >= 500:
 			outcome = "error"
-		} else {
+		default:
 			outcome = "client_error"
 		}
 		http.Error(w, err.Error(), status)
 	}
 }
 
-func (s *Server) parseJob(r *http.Request) (*jobRequest, error) {
-	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.maxBody))
+func (s *Server) parseJob(w http.ResponseWriter, r *http.Request) (*jobRequest, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			// Over-limit bodies get the specific 413, not a generic 400 —
+			// and MaxBytesReader must see the real ResponseWriter so it can
+			// close the connection (the client is still sending).
+			return nil, &httpError{status: http.StatusRequestEntityTooLarge,
+				err: fmt.Errorf("request body exceeds %d bytes", mbe.Limit)}
+		}
 		return nil, badRequest("reading body: %v", err)
 	}
 	img, err := image.Unmarshal(body)
 	if err != nil {
 		return nil, badRequest("not a PXE image: %v", err)
 	}
-	req := &jobRequest{img: img, seed: s.opts.Seed, query: r.URL.Query().Get}
+	req := &jobRequest{img: img, seed: s.opts.Seed, query: r.URL.Query().Get, ctx: r.Context()}
 	if v := req.query("seed"); v != "" {
 		seed, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
@@ -226,10 +350,13 @@ func (s *Server) parseJob(r *http.Request) (*jobRequest, error) {
 	return req, nil
 }
 
-// project builds a core.Project over the shared store for one job.
+// project builds a core.Project over the shared store for one job. The
+// request's context rides in as core's cancellation: a disconnected client
+// stops its pipeline workers and guest runs.
 func (s *Server) project(req *jobRequest) (*core.Project, error) {
 	o := s.opts
 	o.Seed = req.seed
+	o.Ctx = req.ctx
 	p, err := core.NewProject(req.img, o)
 	if err != nil {
 		return nil, unprocessable(err)
@@ -281,10 +408,10 @@ func (s *Server) recompile(w http.ResponseWriter, req *jobRequest) error {
 
 // traceResponse is the JSON answer of POST /v1/trace.
 type traceResponse struct {
-	ICFTs      int        `json:"icfts"`
-	NewTargets int        `json:"new_targets"`
-	Runs       int        `json:"runs"`
-	Insts      uint64     `json:"insts"`
+	ICFTs      int         `json:"icfts"`
+	NewTargets int         `json:"new_targets"`
+	Runs       int         `json:"runs"`
+	Insts      uint64      `json:"insts"`
 	Merged     [][2]uint64 `json:"merged"` // (site, target) in merge order
 }
 
@@ -309,10 +436,13 @@ func (s *Server) traceJob(w http.ResponseWriter, req *jobRequest) error {
 	return writeJSON(w, resp)
 }
 
-// additiveResponse is the JSON answer of POST /v1/additive.
+// additiveResponse is the JSON answer of POST /v1/additive. Output travels
+// base64 (Go marshals []byte that way), not as a JSON string: guest output
+// is raw bytes, and a string field would mangle anything non-UTF-8 into
+// U+FFFD replacement runes in transit.
 type additiveResponse struct {
 	ExitCode   int    `json:"exit_code"`
-	Output     string `json:"output"`
+	Output     []byte `json:"output_b64"`
 	Recompiles int    `json:"recompiles"`
 	Misses     int    `json:"misses"`
 	Image      []byte `json:"image"` // marshaled final image (base64 in JSON)
@@ -341,7 +471,7 @@ func (s *Server) additive(w http.ResponseWriter, req *jobRequest) error {
 	}
 	return writeJSON(w, additiveResponse{
 		ExitCode:   res.Result.ExitCode,
-		Output:     res.Result.Output,
+		Output:     []byte(res.Result.Output),
 		Recompiles: res.Recompiles,
 		Misses:     len(res.Misses),
 		Image:      out,
@@ -401,6 +531,12 @@ func (s *Server) storePut(w http.ResponseWriter, r *http.Request) {
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
 		s.countStoreReq("put", "bad")
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "reading body", http.StatusBadRequest)
 		return
 	}
@@ -454,7 +590,22 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	for k, v := range s.storeReqs {
 		reqs.Set(float64(v), obs.Label{Key: "method", Val: k[0]}, obs.Label{Key: "outcome", Val: k[1]})
 	}
+	rej := ms.Counter("polynimad_rejected_total",
+		"Requests refused at admission, by class and reason (auth, quota, overload, cancelled).")
+	for k, v := range s.rejected {
+		rej.Set(float64(v), obs.Label{Key: "class", Val: k[0]}, obs.Label{Key: "reason", Val: k[1]})
+	}
+	cli := ms.Counter("polynimad_client_requests_total",
+		"Admission decisions by client and outcome (client is a token digest or remote host).")
+	for k, v := range s.clientReqs {
+		cli.Set(float64(v), obs.Label{Key: "client", Val: k[0]}, obs.Label{Key: "outcome", Val: k[1]})
+	}
 	s.mu.Unlock()
+
+	depth := ms.Gauge("polynimad_queue_depth",
+		"Requests waiting for an admission slot right now, by class.")
+	depth.Set(float64(s.limJobs.queued()), obs.Label{Key: "class", Val: "jobs"})
+	depth.Set(float64(s.limStore.queued()), obs.Label{Key: "class", Val: "store"})
 
 	st := s.store.Stats()
 	tiers := make([]string, 0, len(st))
@@ -473,6 +624,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		ops.Set(float64(c.Corrupt), l, obs.Label{Key: "op", Val: "corrupt"})
 		ops.Set(float64(c.Errors), l, obs.Label{Key: "op", Val: "error"})
 		ops.Set(float64(c.Retries), l, obs.Label{Key: "op", Val: "retry"})
+		ops.Set(float64(c.Throttled), l, obs.Label{Key: "op", Val: "throttled"})
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -251,7 +251,7 @@ func TestServeTraceAndAdditive(t *testing.T) {
 	}
 	var ar struct {
 		ExitCode int    `json:"exit_code"`
-		Output   string `json:"output"`
+		Output   []byte `json:"output_b64"`
 		Image    []byte `json:"image"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
@@ -261,7 +261,7 @@ func TestServeTraceAndAdditive(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || ar.ExitCode != 0 {
 		t.Fatalf("additive: status %d, exit %d (%q)", resp.StatusCode, ar.ExitCode, ar.Output)
 	}
-	if !strings.Contains(ar.Output, "200") {
+	if !strings.Contains(string(ar.Output), "200") {
 		t.Fatalf("additive output = %q, want the program's printed total", ar.Output)
 	}
 	if _, err := image.Unmarshal(ar.Image); err != nil {

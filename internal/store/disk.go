@@ -106,11 +106,18 @@ func (d *Disk) Get(ns string, key Key) ([]byte, string, bool) {
 // caller keeps its freshly computed artifact either way.
 func (d *Disk) Put(ns string, key Key, data []byte) {
 	buf := EncodeFrame(data)
+	// An overwrite replaces the existing entry, so the size delta is the
+	// difference, not the full frame — otherwise repeated Puts of the same
+	// key would inflate the tracked size and trigger premature prunes.
+	var old int64
+	if fi, err := os.Stat(d.path(ns, key)); err == nil {
+		old = fi.Size()
+	}
 	if err := WriteFileAtomic(d.path(ns, key), buf, 0o644); err != nil {
 		d.count(func(c *Counters) { c.Errors++ })
 		return
 	}
-	d.noteWrite(int64(len(buf)))
+	d.noteWrite(int64(len(buf)) - old)
 }
 
 // Stats implements Store.

@@ -1,0 +1,53 @@
+package store
+
+// White-box Disk test: the overwrite accounting fix is only directly
+// observable through the unexported tracked size, so this lives in the
+// package.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDiskOverwriteAccounting: repeated Puts of the same key replace one
+// entry, so under SetMaxBytes they must neither inflate the tracked size
+// (the historical full-frame-per-Put double count) nor ever evict.
+func TestDiskOverwriteAccounting(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xA5}, 1024)
+	frameLen := int64(len(EncodeFrame(payload)))
+	// Budget fits the entry a handful of times over; 100 double-counted
+	// Puts would cross it dozens of times.
+	d.SetMaxBytes(4 * frameLen)
+
+	key := KeyOf([]byte("hot"))
+	for i := 0; i < 100; i++ {
+		d.Put("func", key, payload)
+	}
+
+	if got, _, ok := d.Get("func", key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after repeated overwrites = %v bytes, ok=%v", len(got), ok)
+	}
+	if ev := d.Stats()["disk"].Evictions; ev != 0 {
+		t.Fatalf("repeated same-key Puts evicted %d entries", ev)
+	}
+	d.pmu.Lock()
+	size, sizeOK := d.size, d.sizeOK
+	d.pmu.Unlock()
+	if !sizeOK || size != frameLen {
+		t.Fatalf("tracked size = %d (ok=%v), want the single entry's %d bytes",
+			size, sizeOK, frameLen)
+	}
+
+	// A different key still accounts additively.
+	d.Put("func", KeyOf([]byte("cold")), payload)
+	d.pmu.Lock()
+	size = d.size
+	d.pmu.Unlock()
+	if size != 2*frameLen {
+		t.Fatalf("tracked size after second key = %d, want %d", size, 2*frameLen)
+	}
+}

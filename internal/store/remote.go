@@ -34,6 +34,7 @@ type Remote struct {
 	timeout time.Duration
 	retries int // attempts beyond the first
 	backoff time.Duration
+	token   string // bearer token sent with every request ("" = none)
 
 	// sleep is the backoff sleep, a test seam.
 	sleep func(time.Duration)
@@ -55,6 +56,10 @@ type RemoteOptions struct {
 	// Client overrides the HTTP client (default http.DefaultTransport-based
 	// client; the per-attempt timeout comes from Timeout, not the client).
 	Client *http.Client
+	// AuthToken, when non-empty, is sent as "Authorization: Bearer <token>"
+	// with every request — the credential a hardened polynimad
+	// (-auth-token) requires.
+	AuthToken string
 }
 
 // NewRemote returns a remote tier talking to the store service at base
@@ -78,6 +83,7 @@ func NewRemote(base string, opts RemoteOptions) (*Remote, error) {
 		timeout: opts.Timeout,
 		retries: opts.Retries,
 		backoff: opts.Backoff,
+		token:   opts.AuthToken,
 		sleep:   time.Sleep,
 	}
 	if r.hc == nil {
@@ -109,6 +115,28 @@ func (r *Remote) url(ns string, key Key) string {
 // image; 1 GiB is far beyond any of them.
 const maxRemoteEntry = 1 << 30
 
+// maxBackoff caps the per-retry delay: a large -remote-store-retries must
+// cost at most retries*maxBackoff, not a shift-overflowed (huge or negative)
+// sleep.
+const maxBackoff = 5 * time.Second
+
+// backoffFor returns the delay before retry number attempt (0-based):
+// exponential doubling from the configured base, capped at maxBackoff, plus
+// a small deterministic jitter (±d/8, cycling by attempt) that staggers a
+// fleet of workers retrying against the same recovering server. Doubling by
+// repeated addition, not a shift, so no attempt count can overflow.
+func (r *Remote) backoffFor(attempt int) time.Duration {
+	d := r.backoff
+	for i := 0; i < attempt && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	d += time.Duration(attempt%3-1) * (d / 8)
+	return d
+}
+
 // Get implements Store. Every failure is a miss; see the degradation
 // contract in the type comment.
 func (r *Remote) Get(ns string, key Key) ([]byte, string, bool) {
@@ -130,19 +158,25 @@ func (r *Remote) Get(ns string, key Key) ([]byte, string, bool) {
 			// Authoritative miss: the entry is not there. No retry.
 			r.count(func(c *Counters) { c.Misses++ })
 			return nil, "", false
+		case err == nil && status == http.StatusTooManyRequests:
+			// Server shed the request (admission control): counted as
+			// throttled, retried like a transient failure — the entry may
+			// well be there once the server has capacity.
+			r.count(func(c *Counters) { c.Throttled++ })
 		case err == nil && status >= 400 && status < 500:
-			// Other 4xx: the request itself is broken (bad namespace?).
-			// Retrying cannot help.
+			// Other 4xx: the request itself is broken (bad namespace, bad
+			// credential). Retrying cannot help.
 			r.count(func(c *Counters) { c.Misses++; c.Errors++ })
 			return nil, "", false
 		}
-		// Transport error, timeout, or 5xx: transient, retry with backoff.
+		// Transport error, timeout, 5xx, or 429: transient, retry with
+		// capped backoff.
 		if attempt >= r.retries {
 			r.count(func(c *Counters) { c.Misses++; c.Errors++ })
 			return nil, "", false
 		}
 		r.count(func(c *Counters) { c.Retries++ })
-		r.sleep(r.backoff << attempt)
+		r.sleep(r.backoffFor(attempt))
 	}
 }
 
@@ -155,6 +189,9 @@ func (r *Remote) Put(ns string, key Key, data []byte) {
 		switch {
 		case err == nil && status >= 200 && status < 300:
 			return
+		case err == nil && status == http.StatusTooManyRequests:
+			// Shed by admission control: throttled, retried.
+			r.count(func(c *Counters) { c.Throttled++ })
 		case err == nil && status >= 400 && status < 500:
 			r.count(func(c *Counters) { c.Errors++ })
 			return
@@ -164,7 +201,7 @@ func (r *Remote) Put(ns string, key Key, data []byte) {
 			return
 		}
 		r.count(func(c *Counters) { c.Retries++ })
-		r.sleep(r.backoff << attempt)
+		r.sleep(r.backoffFor(attempt))
 	}
 }
 
@@ -184,6 +221,9 @@ func (r *Remote) do(method, u string, body []byte) ([]byte, int, error) {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	if r.token != "" {
+		req.Header.Set("Authorization", "Bearer "+r.token)
 	}
 	resp, err := r.hc.Do(req)
 	if err != nil {

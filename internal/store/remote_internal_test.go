@@ -1,0 +1,179 @@
+package store
+
+// White-box Remote tests: the backoff schedule and throttling counters need
+// the unexported sleep seam and backoffFor, so unlike remote_test.go
+// (package store_test) these live in the package.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRemoteBackoffSchedule pins the exact backoff sequence: exponential
+// doubling from the base, capped at maxBackoff, with the deterministic
+// ±d/8 jitter cycle — and in particular no shift overflow at large attempt
+// counts (the historical r.backoff << attempt bug went huge/negative).
+func TestRemoteBackoffSchedule(t *testing.T) {
+	r, err := NewRemote("http://127.0.0.1:1", RemoteOptions{Backoff: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := time.Millisecond
+	want := map[int]time.Duration{
+		0: 50*ms - 50*ms/8,   // jitter cycle position -1
+		1: 100 * ms,          // position 0
+		2: 200*ms + 200*ms/8, // position +1
+		3: 400*ms - 400*ms/8,
+		4: 800 * ms,
+		6: 3200*ms - 3200*ms/8,
+		7: 5000 * ms, // capped: 50ms*2^7 = 6.4s > maxBackoff; jitter position 0
+		8: 5000*ms + 5000*ms/8,
+	}
+	for attempt, w := range want {
+		if got := r.backoffFor(attempt); got != w {
+			t.Errorf("backoffFor(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+	// Any attempt count — including ones that would overflow a shift —
+	// stays within (0, maxBackoff + maxBackoff/8].
+	for _, attempt := range []int{8, 63, 64, 100, 1 << 20} {
+		d := r.backoffFor(attempt)
+		if d <= 0 || d > maxBackoff+maxBackoff/8 {
+			t.Errorf("backoffFor(%d) = %v, outside (0, %v]", attempt, d, maxBackoff+maxBackoff/8)
+		}
+	}
+}
+
+// TestRemoteRetrySleepsCapped drives a Remote with a huge retry budget
+// against an always-500 server and asserts, counter-exactly, that every
+// recorded sleep matches the capped schedule — no overflowed sleep ever
+// reaches the seam.
+func TestRemoteRetrySleepsCapped(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	const retries = 70 // far past where << attempt would overflow
+	r, err := NewRemote(srv.URL, RemoteOptions{Retries: retries, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	r.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	if _, _, ok := r.Get("func", KeyOf([]byte("k"))); ok {
+		t.Fatal("Get succeeded against an always-500 server")
+	}
+	if len(slept) != retries {
+		t.Fatalf("slept %d times, want %d", len(slept), retries)
+	}
+	for i, d := range slept {
+		if want := r.backoffFor(i); d != want {
+			t.Fatalf("sleep %d = %v, want %v", i, d, want)
+		}
+		if d <= 0 || d > maxBackoff+maxBackoff/8 {
+			t.Fatalf("sleep %d = %v out of range", i, d)
+		}
+	}
+	st := r.Stats()["remote"]
+	if st.Retries != retries || st.Misses != 1 || st.Errors != 1 {
+		t.Fatalf("counters = %+v", st)
+	}
+}
+
+// TestRemoteThrottledRetries: a 429 is counted under Throttled and retried
+// like a transient failure, on both Get and Put.
+func TestRemoteThrottledRetries(t *testing.T) {
+	key := KeyOf([]byte("k"))
+	payload := []byte("artifact")
+	var fails int
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if fails > 0 {
+			fails--
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			w.Write(EncodeFrame(payload))
+		case http.MethodPut:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	r, err := NewRemote(srv.URL, RemoteOptions{Retries: 3, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sleep = func(time.Duration) {}
+
+	fails = 2
+	got, tier, ok := r.Get("func", key)
+	if !ok || tier != "remote" || string(got) != string(payload) {
+		t.Fatalf("Get after throttling = %q, %q, %v", got, tier, ok)
+	}
+	fails = 1
+	r.Put("func", key, payload)
+
+	st := r.Stats()["remote"]
+	if st.Throttled != 3 || st.Retries != 3 || st.Hits != 1 || st.Errors != 0 {
+		t.Fatalf("counters = %+v, want Throttled 3, Retries 3, Hits 1", st)
+	}
+
+	// Throttled past the retry budget: degrades to a miss like any other
+	// transient failure.
+	fails = 10
+	if _, _, ok := r.Get("func", key); ok {
+		t.Fatal("Get succeeded through an exhausted retry budget")
+	}
+	st = r.Stats()["remote"]
+	if st.Misses != 1 || st.Errors != 1 {
+		t.Fatalf("post-exhaustion counters = %+v", st)
+	}
+}
+
+// TestRemoteAuthHeader: AuthToken rides as "Authorization: Bearer" on every
+// request; without it no Authorization header is sent.
+func TestRemoteAuthHeader(t *testing.T) {
+	var got []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, r.Header.Get("Authorization"))
+		if r.Method == http.MethodGet {
+			http.NotFound(w, r)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	key := KeyOf([]byte("k"))
+	withTok, err := NewRemote(srv.URL, RemoteOptions{AuthToken: "s3cret", Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTok.Get("func", key)
+	withTok.Put("func", key, []byte("v"))
+
+	noTok, err := NewRemote(srv.URL, RemoteOptions{Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTok.Get("func", key)
+
+	want := []string{"Bearer s3cret", "Bearer s3cret", ""}
+	if len(got) != len(want) {
+		t.Fatalf("saw %d requests, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("request %d Authorization = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -68,6 +68,7 @@ type Counters struct {
 	Corrupt   int64 // entries rejected as corrupt/short/checksum-mismatched
 	Errors    int64 // I/O or transport errors swallowed (degraded to misses / dropped writes)
 	Retries   int64 // remote-tier request attempts beyond the first
+	Throttled int64 // remote-tier requests shed by the server (429), retried after backoff
 }
 
 // Add accumulates o into c.
@@ -78,6 +79,7 @@ func (c *Counters) Add(o Counters) {
 	c.Corrupt += o.Corrupt
 	c.Errors += o.Errors
 	c.Retries += o.Retries
+	c.Throttled += o.Throttled
 }
 
 // Store is a content-addressed blob store. Namespaces separate artifact

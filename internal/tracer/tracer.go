@@ -62,13 +62,17 @@ type Result struct {
 // the returned Result carries the counts accumulated so far (the fault may
 // well sit on the very path whose targets the caller is tracing toward).
 func Trace(img *image.Image, g *cfg.Graph, runs []Run, fuel uint64) (*Result, error) {
-	return TraceObs(img, g, runs, fuel, nil, 0)
+	return TraceObs(img, g, runs, fuel, nil, 0, nil)
 }
 
-// TraceObs is Trace with span recording: when tr is non-nil, every concrete
-// execution records an "icft-run" span (with its instruction count and how
-// many new ICFT records it produced) on the given trace track.
-func TraceObs(img *image.Image, g *cfg.Graph, runs []Run, fuel uint64, tr *obs.Tracer, tid int64) (*Result, error) {
+// TraceObs is Trace with span recording and cancellation: when tr is non-nil,
+// every concrete execution records an "icft-run" span (with its instruction
+// count and how many new ICFT records it produced) on the given trace track.
+// When cancel is non-nil, each run stops within a bounded number of
+// instructions once it is closed; the interrupted run surfaces as a faulted
+// run (with everything recorded up to the stop merged, per the contract
+// above), so cancelled callers still get the partial Result.
+func TraceObs(img *image.Image, g *cfg.Graph, runs []Run, fuel uint64, tr *obs.Tracer, tid int64, cancel <-chan struct{}) (*Result, error) {
 	res := &Result{}
 	type siteTarget struct{ site, target uint64 }
 	seen := map[siteTarget]bool{}
@@ -78,6 +82,7 @@ func TraceObs(img *image.Image, g *cfg.Graph, runs []Run, fuel uint64, tr *obs.T
 		if err != nil {
 			return nil, err
 		}
+		m.SetCancel(cancel)
 		if r.Input != nil {
 			m.SetInput(r.Input)
 		}

@@ -379,6 +379,15 @@ func (m *Machine) extendGrant(t *Thread, budget *int, ran int, pendI uint64) boo
 	if m.insts+pendI >= m.runFuel {
 		return false
 	}
+	// A sole-runnable batch never returns to Run's loop, so the cancel
+	// signal must also be polled here (at most once per granted quantum);
+	// declining sends the batch back to Run, which observes the
+	// cancellation. Declines before the rng draw, like the
+	// second-thread-runnable case, so an uncancelled run's draws are
+	// untouched.
+	if m.cancelled() {
+		return false
+	}
 	for _, o := range m.threads {
 		if o != t && o.State == Runnable {
 			return false

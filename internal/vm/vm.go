@@ -91,6 +91,9 @@ type Fault struct {
 	Thread int
 	PC     uint64
 	Reason string
+	// Cancelled marks a stop forced by the machine's cancel signal
+	// (SetCancel) rather than by guest behavior.
+	Cancelled bool
 }
 
 func (f *Fault) Error() string {
@@ -193,6 +196,11 @@ type Machine struct {
 	runFuel   uint64
 	extFrom   int
 
+	// cancel, when non-nil, is polled at scheduling boundaries (SetCancel);
+	// once closed, Run stops with a Cancelled fault.
+	cancel      <-chan struct{}
+	cancelCheck uint64 // next insts value at which Run polls cancel
+
 	// synchronization objects keyed by guest address
 	mutexMap   map[uint64]*hostMutex
 	condMap    map[uint64]*hostCond
@@ -256,6 +264,33 @@ func NewWithExts(img *image.Image, seed int64, exts map[string]ExtFunc) (*Machin
 
 // SetInput provides the byte stream consumed by the input externals.
 func (m *Machine) SetInput(p []byte) { m.input = append([]byte(nil), p...) }
+
+// SetCancel installs a cancellation signal: once ch is closed, a running
+// Run stops within a bounded number of instructions with a Cancelled fault
+// instead of executing to completion — the seam that lets a request-scoped
+// context (a disconnected daemon client) reclaim a guest run. The default
+// nil channel is never polled, so uncancellable runs pay only a nil check
+// per scheduling quantum; with a channel installed the poll is amortized
+// over cancelPollInsts instructions.
+func (m *Machine) SetCancel(ch <-chan struct{}) { m.cancel = ch }
+
+// cancelPollInsts bounds how many instructions may retire between cancel
+// polls: small enough that a cancelled run stops in well under a
+// millisecond, large enough that the channel select vanishes in the noise.
+const cancelPollInsts = 4096
+
+// cancelled reports whether the cancel signal has fired.
+func (m *Machine) cancelled() bool {
+	if m.cancel == nil {
+		return false
+	}
+	select {
+	case <-m.cancel:
+		return true
+	default:
+		return false
+	}
+}
 
 // Threads returns the machine's threads (live and dead), for inspection.
 func (m *Machine) Threads() []*Thread { return m.threads }
@@ -354,7 +389,15 @@ func (m *Machine) Run(fuel uint64) Result {
 	// and so always runs the switch engine.
 	threaded := m.dispatch == DispatchThreaded && !m.nocache
 	m.runFuel = fuel
+	m.cancelCheck = 0
 	for !m.exited && m.fault == nil && m.insts < fuel {
+		if m.cancel != nil && m.insts >= m.cancelCheck {
+			m.cancelCheck = m.insts + cancelPollInsts
+			if m.cancelled() {
+				m.fault = &Fault{Reason: "run cancelled", Cancelled: true}
+				break
+			}
+		}
 		t := m.pickThread()
 		if t == nil {
 			if m.liveCnt == 0 {
