@@ -80,9 +80,13 @@ func main() {
 		os.Exit(2)
 	}
 	vm.DispatchDefault = mode
+	// The harness's root trace position, propagated to every -remote-store
+	// request so the store daemon's spans and logs carry this run's trace id.
+	rootTC := obs.NewTraceContext()
 	var tracer *obs.Tracer
 	if *tracefile != "" {
 		tracer = obs.New()
+		tracer.SetTraceContext(rootTC)
 	}
 	var sink *vm.CounterSink
 	if *metrics != "" {
@@ -135,7 +139,10 @@ func main() {
 		tiers = append(tiers, d)
 	}
 	if *remoteStore != "" {
-		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{AuthToken: *remoteToken})
+		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{
+			AuthToken:   *remoteToken,
+			Traceparent: rootTC.Traceparent(),
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "remote-store: %v\n", err)
 			os.Exit(1)

@@ -26,6 +26,13 @@
 // every integrated miss batch, via an atomic temp-file + rename, and
 // resumes discovery from the checkpoint on the next run — a session killed
 // mid-loop loses at most the batch in flight, never the file.
+//
+// -tracefile FILE records a Chrome trace_event span trace of the pipeline.
+// -traceparent joins an enclosing distributed trace (a driving orchestrator
+// or CI job): the CLI takes a child position under it, and every
+// -remote-store request propagates the position as a W3C traceparent
+// header, so the store daemon's spans, access log, and
+// X-Polynima-Trace-Id all carry the same trace id as the caller's.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/vm"
 )
@@ -59,6 +67,8 @@ func main() {
 	remoteToken := fs.String("remote-store-token", "", "bearer `token` sent to the remote store service")
 	cfgPath := fs.String("cfg", "", "additive: checkpoint the evolving CFG to `file` (atomic write) and resume from it")
 	dispatch := fs.String("dispatch", vm.DispatchDefault.String(), "VM dispatch engine: threaded or switch")
+	tracefile := fs.String("tracefile", "", "write a Chrome trace_event JSON span trace to `file`")
+	traceparent := fs.String("traceparent", "", "join an enclosing distributed trace (W3C traceparent `value`)")
 	imgPath := os.Args[2]
 	_ = fs.Parse(os.Args[3:])
 
@@ -66,7 +76,37 @@ func main() {
 	check(err)
 	vm.DispatchDefault = mode
 
+	// The process's trace position: a child of -traceparent when one was
+	// given (so this run's remote store ops land in the caller's trace),
+	// otherwise a fresh root.
+	rootTC := obs.NewTraceContext()
+	if *traceparent != "" {
+		parsed, ok := obs.ParseTraceparent(*traceparent)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "polynima: -traceparent %q is not a valid W3C traceparent; starting a new trace\n", *traceparent)
+		} else {
+			rootTC = parsed.Child()
+		}
+	}
+	var tracer *obs.Tracer
+	if *tracefile != "" {
+		tracer = obs.New()
+		tracer.SetTraceContext(rootTC)
+	}
+	// finishTrace writes the span trace; called explicitly before every exit
+	// path because os.Exit skips deferred calls.
+	finishTrace := func() {
+		if tracer == nil {
+			return
+		}
+		if err := tracer.WriteFile(*tracefile); err != nil {
+			fmt.Fprintf(os.Stderr, "polynima: tracefile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	opts := core.DefaultOptions()
+	opts.Obs = tracer
 	var tiers []store.Store
 	if *storeDir != "" {
 		d, err := store.OpenDisk(*storeDir)
@@ -77,7 +117,10 @@ func main() {
 		tiers = append(tiers, d)
 	}
 	if *remoteStore != "" {
-		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{AuthToken: *remoteToken})
+		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{
+			AuthToken:   *remoteToken,
+			Traceparent: rootTC.Traceparent(),
+		})
 		check(err)
 		tiers = append(tiers, r)
 	}
@@ -110,6 +153,7 @@ func main() {
 		}
 		res := m.Run(4_000_000_000)
 		fmt.Print(res.Output)
+		finishTrace()
 		if res.Fault != nil {
 			fmt.Fprintln(os.Stderr, res.Fault)
 			os.Exit(1)
@@ -156,10 +200,12 @@ func main() {
 		fmt.Print(res.Result.Output)
 		fmt.Fprintf(os.Stderr, "additive: %d recompilation loops, %d misses integrated\n",
 			res.Recompiles, len(res.Misses))
+		finishTrace()
 		os.Exit(res.Result.ExitCode)
 	default:
 		usage()
 	}
+	finishTrace()
 }
 
 // storeStatsLine renders this run's per-tier store outcomes: the memory

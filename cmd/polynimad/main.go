@@ -11,7 +11,7 @@
 //	          [-auth-token tok] [-max-inflight N [-max-queue N]]
 //	          [-max-inflight-store N [-max-queue-store N]]
 //	          [-quota-rps R [-quota-burst N]]
-//	          [-jpipe N] [-tracefile file]
+//	          [-jpipe N] [-tracefile file] [-log-format json|text]
 //
 // The backing tier composes -store (local disk, optionally size-pruned)
 // over -remote-store (an upstream polynimad or any server speaking the
@@ -26,8 +26,19 @@
 // rate-limits each client. A client that disconnects mid-job has its
 // pipeline cancelled and its worker slot freed.
 //
-// Shutdown is graceful: SIGINT/SIGTERM drains in-flight jobs (bounded),
-// then writes the span trace when -tracefile is set.
+// Observability (DESIGN.md §6): -log-format json|text enables the
+// structured access log on stderr — one line per request with the trace id,
+// client token digest, kind, outcome, queue wait, duration, and byte counts
+// (raw tokens never appear). Requests carrying a W3C traceparent header join
+// the client's distributed trace; the daemon allocates itself a root trace
+// position at startup and propagates it upstream on every chained
+// -remote-store request. /metrics serves latency histograms, Go runtime
+// gauges, and polynima_build_info; /debug/pprof/* is gated behind
+// -auth-token when one is set.
+//
+// Shutdown is graceful: SIGINT/SIGTERM flips /healthz to 503 (so load
+// balancers drain the daemon), waits out in-flight jobs (bounded), then
+// writes the span trace when -tracefile is set.
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -64,6 +76,7 @@ func main() {
 	quotaBurst := flag.Int("quota-burst", 0, "per-client burst capacity, 0 = 2x quota-rps")
 	jpipe := flag.Int("jpipe", runtime.NumCPU(), "concurrent per-job function lifts/optimizations (1 = serial)")
 	tracefile := flag.String("tracefile", "", "write a Chrome trace_event JSON span trace to `file` at shutdown")
+	logFormat := flag.String("log-format", "", "structured access log on stderr: json or text (default off)")
 	dispatch := flag.String("dispatch", vm.DispatchDefault.String(), "VM dispatch engine for job runs: threaded or switch")
 	flag.Parse()
 
@@ -71,9 +84,25 @@ func main() {
 	check(err)
 	vm.DispatchDefault = mode
 
+	var logger *slog.Logger
+	switch *logFormat {
+	case "":
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	default:
+		check(fmt.Errorf("polynimad: -log-format %q: want json or text", *logFormat))
+	}
+
+	// The daemon's root trace position: jobs that arrive without a
+	// traceparent start their own traces, but the daemon's upstream store
+	// requests (a chained -remote-store) all ride under this one.
+	rootTC := obs.NewTraceContext()
 	var tracer *obs.Tracer
 	if *tracefile != "" {
 		tracer = obs.New()
+		tracer.SetTraceContext(rootTC)
 	}
 
 	var tiers []store.Store
@@ -86,7 +115,10 @@ func main() {
 		tiers = append(tiers, d)
 	}
 	if *remoteStore != "" {
-		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{AuthToken: *remoteToken})
+		r, err := store.NewRemote(*remoteStore, store.RemoteOptions{
+			AuthToken:   *remoteToken,
+			Traceparent: rootTC.Traceparent(),
+		})
 		check(err)
 		tiers = append(tiers, r)
 	}
@@ -104,6 +136,7 @@ func main() {
 		MaxQueueStore:    *maxQueueStore,
 		QuotaRPS:         *quotaRPS,
 		QuotaBurst:       *quotaBurst,
+		Logger:           logger,
 	})
 
 	srv := &http.Server{Addr: *listen, Handler: s.Handler()}
@@ -120,6 +153,9 @@ func main() {
 		check(err) // bind failure etc. — Shutdown was never reachable
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "polynimad: shutting down")
+		// Flip /healthz to 503 first, so load balancers stop routing here
+		// while Shutdown waits out the in-flight jobs.
+		s.BeginDrain()
 		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {

@@ -2,7 +2,9 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strings"
 
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -88,6 +90,21 @@ func BuildMetrics(s StageSnapshot, st map[string]store.Counters, c *vm.Counters)
 	ms.Gauge("vm_dispatch_mode",
 		"Dispatch engine new machines use (info metric: constant 1, engine in the mode label).").
 		Set(1, obs.Label{Key: "mode", Val: vm.DispatchDefault.String()})
+
+	// Build/runtime info, the same family polynimad exports, so one fleet
+	// dashboard can tell which toolchain and configuration produced every
+	// scrape regardless of whether it came from a daemon or a bench run.
+	tiers := make([]string, 0, len(st))
+	for tier := range st {
+		tiers = append(tiers, tier)
+	}
+	sort.Strings(tiers)
+	ms.Gauge("polynima_build_info",
+		"Build/runtime info: constant 1 with the go version, dispatch mode, and store tiers in labels.").
+		Set(1,
+			obs.Label{Key: "go_version", Val: runtime.Version()},
+			obs.Label{Key: "dispatch", Val: vm.DispatchDefault.String()},
+			obs.Label{Key: "store_tiers", Val: strings.Join(tiers, ",")})
 
 	if c == nil {
 		return ms

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramGolden pins the full text rendering of a histogram family:
+// ascending le order, cumulative bucket counts, the +Inf bucket, _sum and
+// _count, and label escaping inside _bucket lines.
+func TestHistogramGolden(t *testing.T) {
+	ms := NewMetricSet()
+	h := ms.Histogram("job_seconds", "Job latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05, Label{Key: "kind", Val: "recompile"})
+	h.Observe(0.5, Label{Key: "kind", Val: "recompile"})
+	h.Observe(0.5, Label{Key: "kind", Val: "recompile"})
+	h.Observe(99, Label{Key: "kind", Val: "recompile"})
+	h.Observe(1, Label{Key: "kind", Val: `we"ird\`}) // boundary goes in le="1"; value escaped
+
+	var sb strings.Builder
+	if err := ms.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP job_seconds Job latency.
+# TYPE job_seconds histogram
+job_seconds_bucket{kind="recompile",le="0.1"} 1
+job_seconds_bucket{kind="recompile",le="1"} 3
+job_seconds_bucket{kind="recompile",le="10"} 3
+job_seconds_bucket{kind="recompile",le="+Inf"} 4
+job_seconds_sum{kind="recompile"} 100.05
+job_seconds_count{kind="recompile"} 4
+job_seconds_bucket{kind="we\"ird\\",le="0.1"} 0
+job_seconds_bucket{kind="we\"ird\\",le="1"} 1
+job_seconds_bucket{kind="we\"ird\\",le="10"} 1
+job_seconds_bucket{kind="we\"ird\\",le="+Inf"} 1
+job_seconds_sum{kind="we\"ird\\"} 1
+job_seconds_count{kind="we\"ird\\"} 1
+`
+	if sb.String() != want {
+		t.Errorf("histogram rendering:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestHistogramZeroObservations: a registered family with no observations
+// renders its HELP/TYPE headers only — still a valid exposition.
+func TestHistogramZeroObservations(t *testing.T) {
+	ms := NewMetricSet()
+	ms.Histogram("quiet_seconds", "Never observed.", []float64{1})
+	var sb strings.Builder
+	if err := ms.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP quiet_seconds Never observed.\n# TYPE quiet_seconds histogram\n"
+	if sb.String() != want {
+		t.Errorf("zero-observation family:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestHistogramBucketNormalization: buckets sort, dedup, drop explicit
+// +Inf, and an empty list selects the default ladder. An unlabeled child
+// renders with the bare le label.
+func TestHistogramBucketNormalization(t *testing.T) {
+	ms := NewMetricSet()
+	h := ms.Histogram("h", "", []float64{5, 1, 5, math.Inf(+1)})
+	h.Observe(3)
+	var sb strings.Builder
+	if err := ms.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE h histogram
+h_bucket{le="1"} 0
+h_bucket{le="5"} 1
+h_bucket{le="+Inf"} 1
+h_sum 3
+h_count 1
+`
+	if sb.String() != want {
+		t.Errorf("bucket normalization:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+
+	def := NewMetricSet().Histogram("d", "", nil)
+	if len(def.buckets) != len(DefSecondsBuckets) {
+		t.Errorf("default buckets: got %d want %d", len(def.buckets), len(DefSecondsBuckets))
+	}
+}
+
+// TestHistogramMisuse: Set on a histogram, Observe on a counter, and a
+// reserved le label are surfaced as Write errors, not silent corruption.
+func TestHistogramMisuse(t *testing.T) {
+	for name, build := range map[string]func(*MetricSet){
+		"set-on-histogram":  func(ms *MetricSet) { ms.Histogram("m", "", nil).Set(1) },
+		"observe-on-count":  func(ms *MetricSet) { ms.Counter("m", "").Observe(1) },
+		"reserved-le-label": func(ms *MetricSet) { ms.Histogram("m", "", nil).Observe(1, Label{Key: "le", Val: "x"}) },
+	} {
+		ms := NewMetricSet()
+		build(ms)
+		if err := ms.Write(&strings.Builder{}); err == nil {
+			t.Errorf("%s: Write did not surface the misuse", name)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve: concurrent Observe and Write race-free
+// (run under -race), with every observation accounted.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	ms := NewMetricSet()
+	h := ms.Histogram("c_seconds", "", []float64{0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.1, Label{Key: "w", Val: "x"})
+				if i%100 == 0 {
+					ms.Write(&strings.Builder{})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var sb strings.Builder
+	if err := ms.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `c_seconds_count{w="x"} 8000`) {
+		t.Errorf("lost observations:\n%s", sb.String())
+	}
+}

@@ -58,6 +58,7 @@ type Tracer struct {
 
 	mu     sync.Mutex
 	events []Event
+	tc     TraceContext // the process-root trace position (zero until set)
 }
 
 // New returns an empty tracer. The zero tid (0) names the main track; worker
@@ -68,6 +69,33 @@ func New() *Tracer {
 
 // Enabled reports whether the tracer records anything (false for nil).
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetTraceContext installs the tracer's root trace position and records it
+// as an instant event on the main track (args trace_id/span_id), so the
+// exported Chrome trace carries the distributed-trace identity and two
+// processes' trace files can be stitched by trace id. Nil-safe.
+func (t *Tracer) SetTraceContext(tc TraceContext) {
+	if t == nil || !tc.Valid() {
+		return
+	}
+	t.mu.Lock()
+	t.tc = tc
+	t.mu.Unlock()
+	t.Instant(0, "obs", "trace-context",
+		Arg{Key: "trace_id", Val: tc.TraceIDHex()},
+		Arg{Key: "span_id", Val: tc.SpanIDHex()})
+}
+
+// TraceContext returns the root trace position set with SetTraceContext
+// (the zero TraceContext — Valid() == false — when unset or nil).
+func (t *Tracer) TraceContext() TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tc
+}
 
 // now is the current trace timestamp in microseconds.
 func (t *Tracer) now() int64 { return time.Since(t.t0).Microseconds() }

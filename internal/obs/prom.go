@@ -1,25 +1,42 @@
 // Prometheus text-format export (version 0.0.4): the metrics side of the
-// observability layer. A MetricSet is an ordered registry of counter/gauge
-// families; Write renders HELP/TYPE headers and samples with escaped label
-// values, samples sorted by label signature within each family, so the
-// output is deterministic for a given set of values.
+// observability layer. A MetricSet is an ordered registry of
+// counter/gauge/histogram families; Write renders HELP/TYPE headers and
+// samples with escaped label values, samples sorted by label signature
+// within each family, so the output is deterministic for a given set of
+// values. Histogram families render the full convention: cumulative
+// `_bucket` samples in ascending `le` order ending at `+Inf`, then `_sum`
+// and `_count` per label set.
+//
+// Mutation (Set/Observe) and rendering are safe to interleave from
+// concurrent goroutines — the fleet daemon observes latencies from request
+// goroutines while /metrics scrapes render — via a per-family mutex.
 package obs
 
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Metric family types.
 const (
-	TypeCounter = "counter"
-	TypeGauge   = "gauge"
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
 )
+
+// DefSecondsBuckets is the default latency bucket ladder (seconds) used
+// when a histogram is registered with no explicit buckets: sub-millisecond
+// store ops through multi-minute recompile jobs.
+var DefSecondsBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
 
 var (
 	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
@@ -36,16 +53,38 @@ type sample struct {
 	val    float64
 }
 
+// histSample is one histogram child (a label set's accumulated
+// observations): per-bucket counts (not yet cumulative; the +Inf overflow
+// is the last slot), the running sum, and the observation count.
+type histSample struct {
+	labels []Label
+	counts []uint64 // len(buckets)+1; counts[len(buckets)] is +Inf
+	sum    float64
+	count  uint64
+}
+
 // Metric is one metric family (a name, a type, and any number of samples
 // distinguished by labels).
 type Metric struct {
 	name, help, typ string
-	samples         []sample
+
+	mu      sync.Mutex
+	samples []sample
+	buckets []float64 // histogram upper bounds, ascending; +Inf implicit
+	hists   []*histSample
+	err     error // first misuse (Set on a histogram, Observe elsewhere)
 }
 
 // Set records a sample. Calling Set again with the same labels overwrites
-// the prior value, so accumulating callers can re-export freely.
+// the prior value, so accumulating callers can re-export freely. Calling
+// Set on a histogram family is a recorded error, surfaced by Write.
 func (m *Metric) Set(v float64, labels ...Label) *Metric {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.typ == TypeHistogram {
+		m.misuseLocked("Set called on histogram family")
+		return m
+	}
 	sig := labelSig(labels)
 	for i := range m.samples {
 		if labelSig(m.samples[i].labels) == sig {
@@ -55,6 +94,48 @@ func (m *Metric) Set(v float64, labels ...Label) *Metric {
 	}
 	m.samples = append(m.samples, sample{labels: labels, val: v})
 	return m
+}
+
+// Observe records one observation into the histogram child named by labels
+// (created on first use). Calling Observe on a non-histogram family, or
+// with a reserved "le" label, is a recorded error surfaced by Write.
+// Safe for concurrent use.
+func (m *Metric) Observe(v float64, labels ...Label) *Metric {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.typ != TypeHistogram {
+		m.misuseLocked("Observe called on non-histogram family")
+		return m
+	}
+	for _, l := range labels {
+		if l.Key == "le" {
+			m.misuseLocked(`label "le" is reserved on histograms`)
+			return m
+		}
+	}
+	sig := labelSig(labels)
+	var h *histSample
+	for _, hs := range m.hists {
+		if labelSig(hs.labels) == sig {
+			h = hs
+			break
+		}
+	}
+	if h == nil {
+		h = &histSample{labels: labels, counts: make([]uint64, len(m.buckets)+1)}
+		m.hists = append(m.hists, h)
+	}
+	i := sort.SearchFloat64s(m.buckets, v) // first bucket with upper bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	return m
+}
+
+func (m *Metric) misuseLocked(msg string) {
+	if m.err == nil {
+		m.err = fmt.Errorf("obs: metric %s: %s", m.name, msg)
+	}
 }
 
 // MetricSet is an ordered collection of metric families.
@@ -74,6 +155,35 @@ func (s *MetricSet) Counter(name, help string) *Metric { return s.family(name, h
 // Gauge registers (or returns the existing) gauge family.
 func (s *MetricSet) Gauge(name, help string) *Metric { return s.family(name, help, TypeGauge) }
 
+// Histogram registers (or returns the existing) histogram family. Buckets
+// are upper bounds in seconds-or-whatever units; they are sorted and
+// deduplicated, an explicit +Inf is dropped (it is always rendered), and an
+// empty list selects DefSecondsBuckets. Buckets are fixed at registration —
+// a second call's buckets are ignored.
+func (s *MetricSet) Histogram(name, help string, buckets []float64) *Metric {
+	m := s.family(name, help, TypeHistogram)
+	if m.buckets == nil {
+		if len(buckets) == 0 {
+			buckets = DefSecondsBuckets
+		}
+		bs := make([]float64, 0, len(buckets))
+		for _, b := range buckets {
+			if !math.IsInf(b, +1) && !math.IsNaN(b) {
+				bs = append(bs, b)
+			}
+		}
+		sort.Float64s(bs)
+		dedup := bs[:0]
+		for _, b := range bs {
+			if len(dedup) == 0 || b != dedup[len(dedup)-1] {
+				dedup = append(dedup, b)
+			}
+		}
+		m.buckets = dedup
+	}
+	return m
+}
+
 func (s *MetricSet) family(name, help, typ string) *Metric {
 	if m, ok := s.byName[name]; ok {
 		return m
@@ -86,7 +196,9 @@ func (s *MetricSet) family(name, help, typ string) *Metric {
 
 // Write renders the set in Prometheus text format. Families render in
 // registration order; samples within a family sort by label signature.
-// Invalid metric or label names are an error, not silent corruption.
+// Invalid metric or label names — and recorded family misuse (Set on a
+// histogram, Observe elsewhere) — are an error, not silent corruption.
+// A histogram family with no observations renders its headers only.
 func (s *MetricSet) Write(w io.Writer) error {
 	for _, m := range s.metrics {
 		if !metricNameRE.MatchString(m.name) {
@@ -100,10 +212,10 @@ func (s *MetricSet) Write(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ); err != nil {
 			return err
 		}
-		samples := append([]sample(nil), m.samples...)
-		sort.SliceStable(samples, func(i, j int) bool {
-			return labelSig(samples[i].labels) < labelSig(samples[j].labels)
-		})
+		samples, buckets, hists, err := m.snapshot()
+		if err != nil {
+			return err
+		}
 		for _, sm := range samples {
 			for _, l := range sm.labels {
 				if !labelNameRE.MatchString(l.Key) {
@@ -114,8 +226,68 @@ func (s *MetricSet) Write(w io.Writer) error {
 				return err
 			}
 		}
+		for _, h := range hists {
+			for _, l := range h.labels {
+				if !labelNameRE.MatchString(l.Key) {
+					return fmt.Errorf("obs: invalid label name %q on metric %s", l.Key, m.name)
+				}
+			}
+			if err := writeHist(w, m.name, buckets, h); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// snapshot copies a family's mutable state out under its lock, so rendering
+// can proceed while request goroutines keep observing.
+func (m *Metric) snapshot() ([]sample, []float64, []*histSample, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return nil, nil, nil, m.err
+	}
+	samples := append([]sample(nil), m.samples...)
+	sort.SliceStable(samples, func(i, j int) bool {
+		return labelSig(samples[i].labels) < labelSig(samples[j].labels)
+	})
+	hists := make([]*histSample, 0, len(m.hists))
+	for _, h := range m.hists {
+		cp := &histSample{
+			labels: h.labels,
+			counts: append([]uint64(nil), h.counts...),
+			sum:    h.sum,
+			count:  h.count,
+		}
+		hists = append(hists, cp)
+	}
+	sort.SliceStable(hists, func(i, j int) bool {
+		return labelSig(hists[i].labels) < labelSig(hists[j].labels)
+	})
+	return samples, m.buckets, hists, nil
+}
+
+// writeHist renders one histogram child: cumulative _bucket samples in
+// ascending le order ending at +Inf, then _sum and _count.
+func writeHist(w io.Writer, name string, buckets []float64, h *histSample) error {
+	cum := uint64(0)
+	for i, ub := range buckets {
+		cum += h.counts[i]
+		labels := append(append([]Label(nil), h.labels...), Label{Key: "le", Val: formatValue(ub)})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels), cum); err != nil {
+			return err
+		}
+	}
+	labels := append(append([]Label(nil), h.labels...), Label{Key: "le", Val: "+Inf"})
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels), h.count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(h.labels), formatValue(h.sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(h.labels), h.count)
+	return err
 }
 
 // WriteFile writes the set to path.

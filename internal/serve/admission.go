@@ -6,6 +6,7 @@ package serve
 
 import (
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/hex"
 	"net"
 	"net/http"
@@ -172,6 +173,12 @@ func bearerToken(r *http.Request) string {
 		return h[len(prefix):]
 	}
 	return ""
+}
+
+// bearerOK reports whether the request presents the configured bearer token
+// (constant-time compare; callers check that a token is configured).
+func (s *Server) bearerOK(r *http.Request) bool {
+	return subtle.ConstantTimeCompare([]byte(bearerToken(r)), []byte(s.authToken)) == 1
 }
 
 // clientID names a request's client for quota keying and per-client

@@ -1,0 +1,275 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"log/slog"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// A fixed W3C trace position (the one from the spec's examples) used to
+// verify end-to-end propagation.
+const (
+	knownTraceparent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	knownTraceID     = "0af7651916cd43dd8448eb211c80319c"
+)
+
+var hex32RE = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+// TestServeTraceJoinAndHeader: a request with a valid traceparent joins the
+// client's trace — the daemon answers the same trace id — and a request
+// without one starts a fresh trace (a valid, different id). Store-protocol
+// requests get the same treatment as jobs.
+func TestServeTraceJoinAndHeader(t *testing.T) {
+	imgBytes := compileMarshal(t, threadedSrc)
+	_, srv := newServer(t, serve.Config{})
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/recompile", bytes.NewReader(imgBytes))
+	req.Header.Set("traceparent", knownTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Polynima-Trace-Id"); got != knownTraceID {
+		t.Errorf("joined trace id = %q, want %q", got, knownTraceID)
+	}
+
+	resp2, _ := postRecompile(t, srv.URL, imgBytes)
+	fresh := resp2.Header.Get("X-Polynima-Trace-Id")
+	if !hex32RE.MatchString(fresh) {
+		t.Errorf("fresh trace id %q is not 32 hex digits", fresh)
+	}
+	if fresh == knownTraceID {
+		t.Error("request without traceparent reused the known trace id")
+	}
+
+	// Store endpoint (a miss is fine — the envelope is what's under test).
+	key := store.KeyOf([]byte("absent"))
+	sreq, _ := http.NewRequest(http.MethodGet, srv.URL+"/store/v1/ns/"+key.Hex(), nil)
+	sreq.Header.Set("traceparent", knownTraceparent)
+	sresp, err := http.DefaultClient.Do(sreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if got := sresp.Header.Get("X-Polynima-Trace-Id"); got != knownTraceID {
+		t.Errorf("store trace id = %q, want %q", got, knownTraceID)
+	}
+}
+
+// TestServeJobSpanCarriesTraceID: with tracing on, the per-job span in the
+// daemon's span trace is tagged with the request's distributed trace id, so
+// the client's trace file and the daemon's stitch on one id.
+func TestServeJobSpanCarriesTraceID(t *testing.T) {
+	imgBytes := compileMarshal(t, threadedSrc)
+	tr := obs.New()
+	_, srv := newServer(t, serve.Config{Tracer: tr})
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/recompile", bytes.NewReader(imgBytes))
+	req.Header.Set("traceparent", knownTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	found := false
+	for _, ev := range tr.Events() {
+		if ev.Cat != "serve" || ev.Name != "job" {
+			continue
+		}
+		for _, a := range ev.Args {
+			if a.Key == "trace_id" && a.Val == knownTraceID {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no serve/job span carries the joined trace id")
+	}
+}
+
+// logLine is the access-log schema the test asserts on.
+type logLine struct {
+	Msg         string  `json:"msg"`
+	TraceID     string  `json:"trace_id"`
+	TraceJoined bool    `json:"trace_joined"`
+	Client      string  `json:"client"`
+	Kind        string  `json:"kind"`
+	Method      string  `json:"method"`
+	Path        string  `json:"path"`
+	Status      int     `json:"status"`
+	Outcome     string  `json:"outcome"`
+	QueueWaitS  float64 `json:"queue_wait_s"`
+	DurationS   float64 `json:"duration_s"`
+	BytesIn     int64   `json:"bytes_in"`
+	BytesOut    int64   `json:"bytes_out"`
+}
+
+// TestServeAccessLogJSON drives the daemon handler synchronously (direct
+// ServeHTTP, so every deferred log line has flushed by the time we read) and
+// checks the structured access log: one line per request — admitted or
+// refused — with the trace id, token digest, kind, outcome, status, and byte
+// counts; the raw bearer token never appears.
+func TestServeAccessLogJSON(t *testing.T) {
+	imgBytes := compileMarshal(t, threadedSrc)
+	var buf bytes.Buffer
+	cfg := serve.Config{
+		Opts:      core.DefaultOptions(),
+		AuthToken: "s3cret",
+		Logger:    slog.New(slog.NewJSONHandler(&buf, nil)),
+	}
+	h := serve.New(cfg).Handler()
+
+	// Admitted job, joining a client trace.
+	req := httptest.NewRequest(http.MethodPost, "/v1/recompile", bytes.NewReader(imgBytes))
+	req.Header.Set("Authorization", "Bearer s3cret")
+	req.Header.Set("traceparent", knownTraceparent)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recompile status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Refused store request: wrong credential.
+	key := store.KeyOf([]byte("k"))
+	req2 := httptest.NewRequest(http.MethodGet, "/store/v1/ns/"+key.Hex(), nil)
+	req2.Header.Set("Authorization", "Bearer wrong")
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req2)
+	if rec2.Code != http.StatusUnauthorized {
+		t.Fatalf("unauthorized store get status %d", rec2.Code)
+	}
+
+	if strings.Contains(buf.String(), "s3cret") {
+		t.Fatal("raw bearer token leaked into the access log")
+	}
+	var lines []logLine
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var l logLine
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("access log line is not JSON: %v (%s)", err, raw)
+		}
+		if l.Msg == "request" {
+			lines = append(lines, l)
+		}
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d request lines, want 2: %+v", len(lines), lines)
+	}
+
+	job := lines[0]
+	if job.TraceID != knownTraceID || !job.TraceJoined {
+		t.Errorf("job line trace = %q joined=%v, want %q joined", job.TraceID, job.TraceJoined, knownTraceID)
+	}
+	if job.Kind != "recompile" || job.Outcome != "ok" || job.Status != http.StatusOK {
+		t.Errorf("job line kind/outcome/status = %q/%q/%d", job.Kind, job.Outcome, job.Status)
+	}
+	if !strings.HasPrefix(job.Client, "tok-") {
+		t.Errorf("job line client %q is not a token digest", job.Client)
+	}
+	if job.BytesIn == 0 || job.BytesOut == 0 {
+		t.Errorf("job line bytes_in=%d bytes_out=%d, want both nonzero", job.BytesIn, job.BytesOut)
+	}
+
+	refused := lines[1]
+	if refused.Kind != "store_get" || refused.Outcome != "auth" || refused.Status != http.StatusUnauthorized {
+		t.Errorf("refused line kind/outcome/status = %q/%q/%d", refused.Kind, refused.Outcome, refused.Status)
+	}
+	if !hex32RE.MatchString(refused.TraceID) {
+		t.Errorf("refused line trace id %q invalid", refused.TraceID)
+	}
+}
+
+// TestServeNilLoggerRefusal: the refusal path — where logRequest fires with
+// no handler having run — is nil-logger safe. (The success path runs with a
+// nil logger in every other test of this package.)
+func TestServeNilLoggerRefusal(t *testing.T) {
+	h := serve.New(serve.Config{Opts: core.DefaultOptions(), AuthToken: "tok"}).Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/recompile", nil))
+	if rec.Code != http.StatusUnauthorized {
+		t.Fatalf("status %d, want 401", rec.Code)
+	}
+}
+
+// TestServeDrainHealthz: /healthz answers 200 until BeginDrain, then 503 —
+// the load balancer signal — while already-admitted work keeps being served
+// (http.Server.Shutdown, not the daemon, ends service).
+func TestServeDrainHealthz(t *testing.T) {
+	imgBytes := compileMarshal(t, threadedSrc)
+	s := serve.New(serve.Config{Opts: core.DefaultOptions()})
+	h := s.Handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("pre-drain healthz %d", rec.Code)
+	}
+	if s.Draining() {
+		t.Fatal("Draining() true before BeginDrain")
+	}
+	s.BeginDrain()
+	rec := get("/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "draining") {
+		t.Errorf("draining healthz body %q", rec.Body.String())
+	}
+	if m := get("/metrics"); !strings.Contains(m.Body.String(), "polynimad_draining 1") {
+		t.Error("metrics missing polynimad_draining 1 during drain")
+	}
+	// Work is still served during the drain window.
+	jr := httptest.NewRecorder()
+	h.ServeHTTP(jr, httptest.NewRequest(http.MethodPost, "/v1/recompile", bytes.NewReader(imgBytes)))
+	if jr.Code != http.StatusOK {
+		t.Errorf("job during drain status %d, want 200", jr.Code)
+	}
+}
+
+// TestServePprofGating: /debug/pprof/* requires the bearer token when one is
+// configured (profiles expose process internals) and is open otherwise;
+// refusals are accounted under class "debug".
+func TestServePprofGating(t *testing.T) {
+	h := serve.New(serve.Config{Opts: core.DefaultOptions(), AuthToken: "tok"}).Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated pprof index status %d, want 401", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil)
+	req.Header.Set("Authorization", "Bearer tok")
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("authenticated pprof cmdline status %d, want 200", rec2.Code)
+	}
+	m := httptest.NewRecorder()
+	h.ServeHTTP(m, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(m.Body.String(), `polynimad_rejected_total{class="debug",reason="auth"} 1`) {
+		t.Error("metrics missing the debug-class auth rejection")
+	}
+
+	open := serve.New(serve.Config{Opts: core.DefaultOptions()}).Handler()
+	rec3 := httptest.NewRecorder()
+	open.ServeHTTP(rec3, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("open pprof index status %d, want 200", rec3.Code)
+	}
+}

@@ -26,8 +26,20 @@
 // client's recompiled bytes; at worst a client recomputes.
 //
 // Operational endpoints: GET /metrics (Prometheus text format: per-job and
-// per-store-request counters plus the shared store's per-tier ops) and
-// GET /healthz.
+// per-store-request counters, latency histograms, Go runtime gauges, build
+// info, plus the shared store's per-tier ops), GET /healthz (503 once a
+// drain has begun, so load balancers stop routing to a dying daemon), and
+// /debug/pprof/* (gated behind the bearer token when one is configured).
+//
+// Fleet observability (log.go, DESIGN.md §6): every request resolves a W3C
+// trace position — a valid `traceparent` header joins the client's trace,
+// anything else starts one — answered as X-Polynima-Trace-Id, tagged onto
+// the job span (and store-op instants) in the daemon's span trace, and
+// carried in the structured access log, so a slow job can be followed
+// client → daemon → chained upstream store through one trace id. Latency
+// distributions are exported as Prometheus histograms: job duration by
+// kind and outcome, admission queue wait by class, and per-tier store op
+// latency via store.LatencyObserver.
 //
 // Production posture (admission.go, DESIGN.md §7): optional bearer-token
 // authn (401 on mismatch; /metrics and /healthz stay open), separate
@@ -41,24 +53,29 @@ package serve
 
 import (
 	"context"
-	"crypto/subtle"
 	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/image"
 	"repro/internal/obs"
 	"repro/internal/store"
+	"repro/internal/vm"
 )
 
 // Config assembles a Server.
@@ -95,6 +112,11 @@ type Config struct {
 	// capacity (0 = 2*QuotaRPS, floored at 1).
 	QuotaRPS   float64
 	QuotaBurst int
+	// Logger, when set, receives one structured access-log line per job
+	// and store request (admitted or refused): trace id, client token
+	// digest, kind, outcome, status, queue wait, duration, bytes in/out.
+	// Raw bearer tokens never appear in it. Nil disables request logging.
+	Logger *slog.Logger
 }
 
 // Server is the recompile service. Create with New, expose with Handler.
@@ -102,21 +124,32 @@ type Server struct {
 	opts      core.Options
 	store     *store.Tiered
 	tracer    *obs.Tracer
+	logger    *slog.Logger
 	maxBody   int64
 	start     time.Time
 	authToken string
 	limJobs   *limiter
 	limStore  *limiter
 	quotas    *quotas
+	draining  atomic.Bool
+
+	// The persistent metric registry: families registered once in New,
+	// counter/gauge samples refreshed from the maps below at scrape time,
+	// histograms observed live from request goroutines (obs.Metric is
+	// concurrency-safe).
+	ms            *obs.MetricSet
+	histJob       *obs.Metric // polynimad_job_seconds{kind,outcome}
+	histQueueWait *obs.Metric // polynimad_queue_wait_seconds{class}
+	histStoreOp   *obs.Metric // store_tier_op_seconds{tier,op}
 
 	mu         sync.Mutex
 	inflight   int64
-	jobs       map[[2]string]int64 // {kind, outcome} -> count
-	jobSecs    map[string]float64  // kind -> summed seconds
-	storeReqs  map[[2]string]int64 // {method, outcome} -> count
-	rejected   map[[2]string]int64 // {class, reason} -> requests refused at admission
-	clientReqs map[[2]string]int64 // {client, outcome} -> admission decisions
-	jobCounter int64               // per-job trace-track naming
+	jobs       map[[2]string]int64   // {kind, outcome} -> count
+	jobSecs    map[[2]string]float64 // {kind, outcome} -> summed seconds
+	storeReqs  map[[2]string]int64   // {method, outcome} -> count
+	rejected   map[[2]string]int64   // {class, reason} -> requests refused at admission
+	clientReqs map[[2]string]int64   // {client, outcome} -> admission decisions
+	jobCounter int64                 // per-job trace-track naming
 }
 
 // New returns a server over one shared tiered store (a fresh shared memory
@@ -130,6 +163,7 @@ func New(cfg Config) *Server {
 		opts:       o,
 		store:      store.NewSharedTiered(store.NewMemory(), cfg.Backing),
 		tracer:     cfg.Tracer,
+		logger:     cfg.Logger,
 		maxBody:    cfg.MaxBodyBytes,
 		start:      time.Now(),
 		authToken:  cfg.AuthToken,
@@ -137,7 +171,7 @@ func New(cfg Config) *Server {
 		limStore:   newLimiter(cfg.MaxInflightStore, cfg.MaxQueueStore),
 		quotas:     newQuotas(cfg.QuotaRPS, cfg.QuotaBurst),
 		jobs:       map[[2]string]int64{},
-		jobSecs:    map[string]float64{},
+		jobSecs:    map[[2]string]float64{},
 		storeReqs:  map[[2]string]int64{},
 		rejected:   map[[2]string]int64{},
 		clientReqs: map[[2]string]int64{},
@@ -146,7 +180,73 @@ func New(cfg Config) *Server {
 		s.maxBody = 256 << 20
 	}
 	s.opts.SharedStore = s.store
+	s.initMetrics()
+	// Per-tier store op latencies flow straight into the histogram; the
+	// observer is installed before the store serves its first request.
+	s.store.SetLatencyObserver(func(tier, op string, seconds float64) {
+		s.histStoreOp.Observe(seconds,
+			obs.Label{Key: "tier", Val: tier}, obs.Label{Key: "op", Val: op})
+	})
 	return s
+}
+
+// storeOpBuckets extends the default latency ladder downward: memory-tier
+// artifact gets are single-digit microseconds, and a histogram that starts
+// at 1ms would report them all in its first bucket.
+var storeOpBuckets = []float64{
+	0.000005, 0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// initMetrics registers every family once, in a fixed order, so /metrics
+// output stays deterministic for a given set of values.
+func (s *Server) initMetrics() {
+	s.ms = obs.NewMetricSet()
+	s.ms.Gauge("polynimad_uptime_seconds", "Seconds since the daemon started.")
+	s.ms.Gauge("polynimad_jobs_inflight", "Jobs currently executing.")
+	s.ms.Gauge("polynimad_draining",
+		"1 once shutdown drain has begun (and /healthz answers 503), else 0.")
+	s.ms.Counter("polynimad_jobs_total", "Jobs served, by kind and outcome.")
+	s.ms.Counter("polynimad_job_seconds_total",
+		"Summed job wall-clock seconds, by kind and outcome.")
+	s.histJob = s.ms.Histogram("polynimad_job_seconds",
+		"Job wall-clock latency distribution, by kind and outcome.", nil)
+	s.histQueueWait = s.ms.Histogram("polynimad_queue_wait_seconds",
+		"Time admitted requests spent waiting for a concurrency slot, by class.", nil)
+	s.ms.Counter("polynimad_store_requests_total",
+		"Store-protocol requests served, by method and outcome.")
+	s.ms.Counter("polynimad_rejected_total",
+		"Requests refused at admission, by class and reason (auth, quota, overload, cancelled).")
+	s.ms.Counter("polynimad_client_requests_total",
+		"Admission decisions by client and outcome (client is a token digest or remote host).")
+	s.ms.Gauge("polynimad_queue_depth",
+		"Requests waiting for an admission slot right now, by class.")
+	s.ms.Counter("store_tier_ops_total",
+		"Shared artifact-store operations by tier and outcome.")
+	s.histStoreOp = s.ms.Histogram("store_tier_op_seconds",
+		"Shared artifact-store operation latency, by tier and op (get/put).", storeOpBuckets)
+	s.ms.Gauge("polynima_build_info",
+		"Build/runtime info: constant 1 with the go version, dispatch mode, and store tiers in labels.").
+		Set(1,
+			obs.Label{Key: "go_version", Val: runtime.Version()},
+			obs.Label{Key: "dispatch", Val: vm.DispatchDefault.String()},
+			obs.Label{Key: "store_tiers", Val: strings.Join(s.storeTierNames(), ",")})
+	s.ms.Gauge("go_goroutines", "Live goroutines.")
+	s.ms.Gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	s.ms.Gauge("go_memstats_heap_sys_bytes", "Heap memory obtained from the OS.")
+	s.ms.Counter("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause seconds.")
+	s.ms.Counter("go_gc_cycles_total", "Completed GC cycles.")
+}
+
+// storeTierNames lists the shared store's tiers ("mem" plus backing tier
+// names), sorted — the build-info store_tiers label.
+func (s *Server) storeTierNames() []string {
+	names := make([]string, 0, 4)
+	for tier := range s.store.Stats() {
+		names = append(names, tier)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Store exposes the shared tiered store (tests, diagnostics).
@@ -164,9 +264,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /store/v1/{ns}/{key}", s.admit("store", s.limStore, s.storeGet))
 	mux.HandleFunc("PUT /store/v1/{ns}/{key}", s.admit("store", s.limStore, s.storePut))
 	mux.HandleFunc("GET /metrics", s.metrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /debug/pprof/", s.debugAuth(pprof.Index))
+	mux.HandleFunc("GET /debug/pprof/cmdline", s.debugAuth(pprof.Cmdline))
+	mux.HandleFunc("GET /debug/pprof/profile", s.debugAuth(pprof.Profile))
+	mux.HandleFunc("GET /debug/pprof/symbol", s.debugAuth(pprof.Symbol))
+	mux.HandleFunc("GET /debug/pprof/trace", s.debugAuth(pprof.Trace))
 	return mux
 }
 
@@ -177,39 +280,61 @@ func (s *Server) Handler() http.Handler {
 // unauthenticated request can neither spend quota nor occupy a queue slot.
 // Refusals are counted under polynimad_rejected_total{class,reason} and the
 // per-client counters.
+//
+// admit also opens the request's observability envelope (log.go): it
+// resolves the trace position (joining a client traceparent or starting a
+// trace), answers it as X-Polynima-Trace-Id, wraps the writer in the
+// status/byte recorder, measures queue wait, and — admitted or refused —
+// emits the one access-log line on the way out.
 func (s *Server) admit(class string, lim *limiter, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		client := clientID(r)
-		if s.authToken != "" {
-			if subtle.ConstantTimeCompare([]byte(bearerToken(r)), []byte(s.authToken)) != 1 {
-				s.reject(class, "auth", client)
-				w.Header().Set("WWW-Authenticate", `Bearer realm="polynimad"`)
-				http.Error(w, "unauthorized", http.StatusUnauthorized)
-				return
-			}
-		}
-		if ok, wait := s.quotas.allow(client); !ok {
-			s.reject(class, "quota", client)
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(wait)))
-			http.Error(w, "per-client quota exceeded", http.StatusTooManyRequests)
+		t0 := time.Now()
+		tc, joined := traceContextFor(r)
+		info := &reqInfo{tc: tc, joined: joined, client: clientID(r), kind: requestKind(class, r)}
+		rr := &responseRecorder{ResponseWriter: w}
+		rr.Header().Set(traceIDHeader, tc.TraceIDHex())
+		r = withReqInfo(r, info)
+		defer func() { s.logRequest(r, rr, info, time.Since(t0)) }()
+
+		client := info.client
+		if s.authToken != "" && !s.bearerOK(r) {
+			info.outcome = "auth"
+			s.reject(class, "auth", client)
+			rr.Header().Set("WWW-Authenticate", `Bearer realm="polynimad"`)
+			http.Error(rr, "unauthorized", http.StatusUnauthorized)
 			return
 		}
+		if ok, wait := s.quotas.allow(client); !ok {
+			info.outcome = "quota"
+			s.reject(class, "quota", client)
+			rr.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(wait)))
+			http.Error(rr, "per-client quota exceeded", http.StatusTooManyRequests)
+			return
+		}
+		qw0 := time.Now()
 		release, ok := lim.acquire(r.Context().Done())
+		info.queueWait = time.Since(qw0)
 		if !ok {
 			if r.Context().Err() != nil {
 				// The client gave up while queued; nobody is listening for
 				// a status line, but the refusal is still accounted.
+				info.outcome = "cancelled"
+				rr.status = statusClientClosedRequest
 				s.reject(class, "cancelled", client)
 				return
 			}
+			info.outcome = "overload"
 			s.reject(class, "overload", client)
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+			rr.Header().Set("Retry-After", "1")
+			http.Error(rr, "overloaded, retry later", http.StatusTooManyRequests)
 			return
 		}
 		defer release()
+		// Queue wait is observed for admitted requests only — shed requests
+		// never waited for the slot they were refused.
+		s.histQueueWait.Observe(info.queueWait.Seconds(), obs.Label{Key: "class", Val: class})
 		s.countClient(client, "admitted")
-		h(w, r)
+		h(rr, r)
 	}
 }
 
@@ -264,11 +389,14 @@ type jobRequest struct {
 	ctx   context.Context // the request's context; cancels the job's pipeline
 }
 
-// job wraps one request: body parsing, per-job span, counters, and error
-// mapping. fn writes the success response itself.
+// job wraps one request: body parsing, per-job span (tagged with the
+// request's distributed trace id, so the daemon's span trace stitches to
+// the client's), counters, the latency histogram, and error mapping. fn
+// writes the success response itself.
 func (s *Server) job(w http.ResponseWriter, r *http.Request, kind string,
 	fn func(w http.ResponseWriter, req *jobRequest) error) {
 	t0 := time.Now()
+	info := reqInfoFrom(r.Context())
 	s.count(func() { s.inflight++; s.jobCounter++ })
 	var tid int64
 	if s.tracer.Enabled() {
@@ -277,15 +405,25 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request, kind string,
 		s.mu.Unlock()
 		tid = s.tracer.AllocTID(fmt.Sprintf("job %d (%s)", n, kind))
 	}
-	sp := s.tracer.Begin(tid, "serve", "job", obs.Arg{Key: "kind", Val: kind})
+	args := []obs.Arg{{Key: "kind", Val: kind}}
+	if info != nil {
+		// Per-job, not per-tracer: each job may join a different client trace.
+		args = append(args, obs.Arg{Key: "trace_id", Val: info.tc.TraceIDHex()})
+	}
+	sp := s.tracer.Begin(tid, "serve", "job", args...)
 	outcome := "ok"
 	defer func() {
 		d := time.Since(t0)
 		sp.Arg("outcome", outcome).End()
+		if info != nil {
+			info.outcome = outcome
+		}
+		s.histJob.Observe(d.Seconds(),
+			obs.Label{Key: "kind", Val: kind}, obs.Label{Key: "outcome", Val: outcome})
 		s.count(func() {
 			s.inflight--
 			s.jobs[[2]string{kind, outcome}]++
-			s.jobSecs[kind] += d.Seconds()
+			s.jobSecs[[2]string{kind, outcome}] += d.Seconds()
 		})
 	}()
 
@@ -316,7 +454,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request, kind string,
 }
 
 func (s *Server) parseJob(w http.ResponseWriter, r *http.Request) (*jobRequest, error) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	body, err := io.ReadAll(http.MaxBytesReader(unwrapWriter(w), r.Body, s.maxBody))
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
@@ -503,20 +641,39 @@ func parseStorePath(r *http.Request) (ns string, key store.Key, ok bool) {
 	return ns, key, true
 }
 
+// storeOutcome accounts one finished store-protocol request: the method/
+// outcome counter, the access-log outcome, and — when tracing — an instant
+// in the daemon's span trace tagged with the request's distributed trace id,
+// so a client can find its own store ops in the daemon's trace file.
+func (s *Server) storeOutcome(r *http.Request, method, outcome string) {
+	s.countStoreReq(method, outcome)
+	info := reqInfoFrom(r.Context())
+	if info != nil {
+		info.outcome = outcome
+	}
+	if s.tracer.Enabled() {
+		args := []obs.Arg{{Key: "op", Val: method}, {Key: "outcome", Val: outcome}}
+		if info != nil {
+			args = append(args, obs.Arg{Key: "trace_id", Val: info.tc.TraceIDHex()})
+		}
+		s.tracer.Instant(0, "serve", "store-op", args...)
+	}
+}
+
 func (s *Server) storeGet(w http.ResponseWriter, r *http.Request) {
 	ns, key, ok := parseStorePath(r)
 	if !ok {
-		s.countStoreReq("get", "bad")
+		s.storeOutcome(r, "get", "bad")
 		http.Error(w, "bad namespace or key", http.StatusBadRequest)
 		return
 	}
 	data, _, ok := s.store.Get(ns, key)
 	if !ok {
-		s.countStoreReq("get", "miss")
+		s.storeOutcome(r, "get", "miss")
 		http.NotFound(w, r)
 		return
 	}
-	s.countStoreReq("get", "hit")
+	s.storeOutcome(r, "get", "hit")
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(store.EncodeFrame(data))
 }
@@ -524,13 +681,13 @@ func (s *Server) storeGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) storePut(w http.ResponseWriter, r *http.Request) {
 	ns, key, ok := parseStorePath(r)
 	if !ok {
-		s.countStoreReq("put", "bad")
+		s.storeOutcome(r, "put", "bad")
 		http.Error(w, "bad namespace or key", http.StatusBadRequest)
 		return
 	}
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	raw, err := io.ReadAll(http.MaxBytesReader(unwrapWriter(w), r.Body, s.maxBody))
 	if err != nil {
-		s.countStoreReq("put", "bad")
+		s.storeOutcome(r, "put", "bad")
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
@@ -546,12 +703,12 @@ func (s *Server) storePut(w http.ResponseWriter, r *http.Request) {
 		// accepting garbage here would store it for the whole fleet (it
 		// would still never be *served*, the disk tier re-checksums, but
 		// rejecting early keeps the store clean).
-		s.countStoreReq("put", "bad")
+		s.storeOutcome(r, "put", "bad")
 		http.Error(w, "bad frame", http.StatusBadRequest)
 		return
 	}
 	s.store.Put(ns, key, payload)
-	s.countStoreReq("put", "ok")
+	s.storeOutcome(r, "put", "ok")
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -567,43 +724,42 @@ func (s *Server) countStoreReq(method, outcome string) {
 	s.count(func() { s.storeReqs[[2]string{method, outcome}]++ })
 }
 
-// metrics renders the daemon's counters plus the shared store's per-tier
-// ops in Prometheus text format.
+// metrics renders the daemon's counters, latency histograms, Go runtime
+// gauges, build info, and the shared store's per-tier ops in Prometheus
+// text format. The families live in the persistent set registered by
+// initMetrics (histograms accumulate there between scrapes); counter and
+// gauge samples are refreshed from the authoritative maps here, at scrape
+// time. Set overwrites by label set, so re-exporting is idempotent.
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
-	ms := obs.NewMetricSet()
-	ms.Gauge("polynimad_uptime_seconds", "Seconds since the daemon started.").
-		Set(time.Since(s.start).Seconds())
+	ms := s.ms
+	ms.Gauge("polynimad_uptime_seconds", "").Set(time.Since(s.start).Seconds())
+	ms.Gauge("polynimad_draining", "").Set(boolGauge(s.draining.Load()))
 
 	s.mu.Lock()
-	ms.Gauge("polynimad_jobs_inflight", "Jobs currently executing.").
-		Set(float64(s.inflight))
-	jobs := ms.Counter("polynimad_jobs_total", "Jobs served, by kind and outcome.")
+	ms.Gauge("polynimad_jobs_inflight", "").Set(float64(s.inflight))
+	jobs := ms.Counter("polynimad_jobs_total", "")
 	for k, v := range s.jobs {
 		jobs.Set(float64(v), obs.Label{Key: "kind", Val: k[0]}, obs.Label{Key: "outcome", Val: k[1]})
 	}
-	secs := ms.Counter("polynimad_job_seconds_total", "Summed job wall-clock seconds, by kind.")
+	secs := ms.Counter("polynimad_job_seconds_total", "")
 	for k, v := range s.jobSecs {
-		secs.Set(v, obs.Label{Key: "kind", Val: k})
+		secs.Set(v, obs.Label{Key: "kind", Val: k[0]}, obs.Label{Key: "outcome", Val: k[1]})
 	}
-	reqs := ms.Counter("polynimad_store_requests_total",
-		"Store-protocol requests served, by method and outcome.")
+	reqs := ms.Counter("polynimad_store_requests_total", "")
 	for k, v := range s.storeReqs {
 		reqs.Set(float64(v), obs.Label{Key: "method", Val: k[0]}, obs.Label{Key: "outcome", Val: k[1]})
 	}
-	rej := ms.Counter("polynimad_rejected_total",
-		"Requests refused at admission, by class and reason (auth, quota, overload, cancelled).")
+	rej := ms.Counter("polynimad_rejected_total", "")
 	for k, v := range s.rejected {
 		rej.Set(float64(v), obs.Label{Key: "class", Val: k[0]}, obs.Label{Key: "reason", Val: k[1]})
 	}
-	cli := ms.Counter("polynimad_client_requests_total",
-		"Admission decisions by client and outcome (client is a token digest or remote host).")
+	cli := ms.Counter("polynimad_client_requests_total", "")
 	for k, v := range s.clientReqs {
 		cli.Set(float64(v), obs.Label{Key: "client", Val: k[0]}, obs.Label{Key: "outcome", Val: k[1]})
 	}
 	s.mu.Unlock()
 
-	depth := ms.Gauge("polynimad_queue_depth",
-		"Requests waiting for an admission slot right now, by class.")
+	depth := ms.Gauge("polynimad_queue_depth", "")
 	depth.Set(float64(s.limJobs.queued()), obs.Label{Key: "class", Val: "jobs"})
 	depth.Set(float64(s.limStore.queued()), obs.Label{Key: "class", Val: "store"})
 
@@ -613,8 +769,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		tiers = append(tiers, tier)
 	}
 	sort.Strings(tiers)
-	ops := ms.Counter("store_tier_ops_total",
-		"Shared artifact-store operations by tier and outcome.")
+	ops := ms.Counter("store_tier_ops_total", "")
 	for _, tier := range tiers {
 		c := st[tier]
 		l := obs.Label{Key: "tier", Val: tier}
@@ -627,8 +782,23 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		ops.Set(float64(c.Throttled), l, obs.Label{Key: "op", Val: "throttled"})
 	}
 
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	ms.Gauge("go_goroutines", "").Set(float64(runtime.NumGoroutine()))
+	ms.Gauge("go_memstats_heap_alloc_bytes", "").Set(float64(mem.HeapAlloc))
+	ms.Gauge("go_memstats_heap_sys_bytes", "").Set(float64(mem.HeapSys))
+	ms.Counter("go_gc_pause_seconds_total", "").Set(float64(mem.PauseTotalNs) / 1e9)
+	ms.Counter("go_gc_cycles_total", "").Set(float64(mem.NumGC))
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := ms.Write(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -356,8 +357,14 @@ func TestServeMetricsAndHealth(t *testing.T) {
 	for _, want := range []string{
 		`polynimad_jobs_total{kind="recompile",outcome="ok"} 2`,
 		`polynimad_jobs_inflight 0`,
-		"polynimad_job_seconds_total{kind=\"recompile\"}",
+		`polynimad_job_seconds_total{kind="recompile",outcome="ok"}`,
+		`polynimad_job_seconds_bucket{kind="recompile",outcome="ok",le="+Inf"} 2`,
+		`polynimad_job_seconds_count{kind="recompile",outcome="ok"} 2`,
 		`store_tier_ops_total{tier="mem",op="hit"}`,
+		`store_tier_op_seconds_bucket{tier="mem",op="put",le="+Inf"}`,
+		`polynima_build_info{go_version="` + runtime.Version() + `"`,
+		`polynimad_draining 0`,
+		"go_goroutines ",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q", want)

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // diskVersion is the key-namespace version directory. Artifact encoding
@@ -33,6 +34,7 @@ const diskVersion = "v1"
 // misses and are rewritten on the next Put, exactly like corrupt ones.
 type Disk struct {
 	dir string
+	lat LatencyObserver // construction-time seam; see SetLatencyObserver
 	mu  sync.Mutex
 	c   Counters
 
@@ -83,6 +85,9 @@ func (d *Disk) path(ns string, key Key) string {
 // additionally counted and removed so they are rewritten on the next Put,
 // and real I/O errors (anything but not-exist) are counted under Errors.
 func (d *Disk) Get(ns string, key Key) ([]byte, string, bool) {
+	if d.lat != nil {
+		defer observeSince(d.lat, "disk", "get", time.Now())
+	}
 	raw, err := os.ReadFile(d.path(ns, key))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -105,6 +110,9 @@ func (d *Disk) Get(ns string, key Key) ([]byte, string, bool) {
 // Put implements Store. Write failures are counted and swallowed — the
 // caller keeps its freshly computed artifact either way.
 func (d *Disk) Put(ns string, key Key, data []byte) {
+	if d.lat != nil {
+		defer observeSince(d.lat, "disk", "put", time.Now())
+	}
 	buf := EncodeFrame(data)
 	// An overwrite replaces the existing entry, so the size delta is the
 	// difference, not the full frame — otherwise repeated Puts of the same
@@ -119,6 +127,10 @@ func (d *Disk) Put(ns string, key Key, data []byte) {
 	}
 	d.noteWrite(int64(len(buf)) - old)
 }
+
+// SetLatencyObserver implements LatencyObservable. Install before the tier
+// serves traffic (the observer is read without synchronization in Get/Put).
+func (d *Disk) SetLatencyObserver(obs LatencyObserver) { d.lat = obs }
 
 // Stats implements Store.
 func (d *Disk) Stats() map[string]Counters {

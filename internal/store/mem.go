@@ -1,6 +1,9 @@
 package store
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Memory is the in-process store tier: a content-addressed map with
 // generational pruning. It generalizes core's original function cache — the
@@ -16,6 +19,7 @@ import "sync"
 //
 // Memory is safe for concurrent use.
 type Memory struct {
+	lat     LatencyObserver // construction-time seam; see SetLatencyObserver
 	mu      sync.Mutex
 	gen     uint64
 	entries map[string]map[Key]*memEntry
@@ -70,6 +74,9 @@ func (m *Memory) Len(ns string) int {
 // back cannot corrupt the entry for every later reader — essential once one
 // memory tier is shared across daemon requests.
 func (m *Memory) Get(ns string, key Key) ([]byte, string, bool) {
+	if m.lat != nil {
+		defer observeSince(m.lat, "mem", "get", time.Now())
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e, ok := m.entries[ns][key]
@@ -84,6 +91,9 @@ func (m *Memory) Get(ns string, key Key) ([]byte, string, bool) {
 
 // Put implements Store.
 func (m *Memory) Put(ns string, key Key, data []byte) {
+	if m.lat != nil {
+		defer observeSince(m.lat, "mem", "put", time.Now())
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ents := m.entries[ns]
@@ -93,6 +103,10 @@ func (m *Memory) Put(ns string, key Key, data []byte) {
 	}
 	ents[key] = &memEntry{data: data, gen: m.gen}
 }
+
+// SetLatencyObserver implements LatencyObservable. Install before the tier
+// serves traffic (the observer is read without synchronization in Get/Put).
+func (m *Memory) SetLatencyObserver(obs LatencyObserver) { m.lat = obs }
 
 // Stats implements Store.
 func (m *Memory) Stats() map[string]Counters {

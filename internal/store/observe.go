@@ -1,0 +1,46 @@
+package store
+
+import "time"
+
+// LatencyObserver receives the wall-clock duration of one store operation:
+// tier is the serving tier's name ("mem", "disk", "remote"), op is "get" or
+// "put". The fleet daemon installs one to feed its per-tier latency
+// histograms (store_tier_op_seconds in /metrics); nil — the default —
+// costs one predictable nil check per operation.
+//
+// Observers must be safe for concurrent calls. SetLatencyObserver is a
+// construction-time seam: install the observer before the store serves
+// traffic (it is read without synchronization on the operation path).
+type LatencyObserver func(tier, op string, seconds float64)
+
+// LatencyObservable is implemented by every tier that can time its
+// operations; composites (Tiered, Chain) forward the observer to each child
+// that implements it.
+type LatencyObservable interface {
+	SetLatencyObserver(LatencyObserver)
+}
+
+// observeSince reports one finished operation to obs (callers nil-check obs
+// before arming the deferred call).
+func observeSince(obs LatencyObserver, tier, op string, t0 time.Time) {
+	obs(tier, op, time.Since(t0).Seconds())
+}
+
+// SetLatencyObserver implements LatencyObservable by forwarding to both
+// tiers.
+func (t *Tiered) SetLatencyObserver(obs LatencyObserver) {
+	t.mem.SetLatencyObserver(obs)
+	if lo, ok := t.back.(LatencyObservable); ok {
+		lo.SetLatencyObserver(obs)
+	}
+}
+
+// SetLatencyObserver implements LatencyObservable by forwarding to every
+// tier in the chain.
+func (ch *Chain) SetLatencyObserver(obs LatencyObserver) {
+	for _, s := range ch.tiers {
+		if lo, ok := s.(LatencyObservable); ok {
+			lo.SetLatencyObserver(obs)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package store_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// TestRemoteSendsTraceparent: a Remote built with a Traceparent carries it
+// on every GET and PUT, so the upstream store service can join the trace.
+func TestRemoteSendsTraceparent(t *testing.T) {
+	const tp = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	var mu sync.Mutex
+	seen := map[string]int{}
+	bs := newBlobServer()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.Header.Get("traceparent")]++
+		mu.Unlock()
+		bs.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	r, err := store.NewRemote(srv.URL, store.RemoteOptions{
+		Timeout: 250 * time.Millisecond, Retries: -1, Traceparent: tp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := store.KeyOf([]byte("tp"))
+	r.Put("ns", key, []byte("payload"))
+	if _, _, ok := r.Get("ns", key); !ok {
+		t.Fatal("Get missed after Put")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen[tp] != 2 {
+		t.Fatalf("traceparent header seen on %d of 2 requests (%v)", seen[tp], seen)
+	}
+}
+
+// latRecorder collects LatencyObserver callbacks, concurrency-safe.
+type latRecorder struct {
+	mu  sync.Mutex
+	ops map[[2]string]int
+}
+
+func newLatRecorder() *latRecorder { return &latRecorder{ops: map[[2]string]int{}} }
+
+func (lr *latRecorder) observe(tier, op string, seconds float64) {
+	if seconds < 0 {
+		panic("negative latency")
+	}
+	lr.mu.Lock()
+	lr.ops[[2]string{tier, op}]++
+	lr.mu.Unlock()
+}
+
+func (lr *latRecorder) count(tier, op string) int {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.ops[[2]string{tier, op}]
+}
+
+// TestLatencyObserverPerTier: installing an observer on a Tiered over a
+// Chain(disk, remote) forwards it to every tier, and each Get/Put is timed
+// under its own tier name.
+func TestLatencyObserverPerTier(t *testing.T) {
+	dir, err := os.MkdirTemp("", "latobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	disk, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := newBlobServer()
+	srv := httptest.NewServer(bs)
+	defer srv.Close()
+	remote := newTestRemote(t, srv.URL, 0)
+
+	tiered := store.NewTiered(store.NewMemory(), store.NewChain(disk, remote))
+	lr := newLatRecorder()
+	tiered.SetLatencyObserver(lr.observe)
+
+	key := store.KeyOf([]byte("lat"))
+	tiered.Put("ns", key, []byte("data")) // mem + disk + remote
+	if _, _, ok := tiered.Get("ns", key); !ok {
+		t.Fatal("Get missed after Put")
+	}
+	// Miss probes every tier.
+	tiered.Get("ns", store.KeyOf([]byte("absent")))
+
+	for _, want := range [][2]string{
+		{"mem", "put"}, {"disk", "put"}, {"remote", "put"},
+		{"mem", "get"}, {"disk", "get"}, {"remote", "get"},
+	} {
+		if lr.count(want[0], want[1]) == 0 {
+			t.Errorf("no %s/%s latency observed (%v)", want[0], want[1], lr.ops)
+		}
+	}
+}

@@ -35,6 +35,8 @@ type Remote struct {
 	retries int // attempts beyond the first
 	backoff time.Duration
 	token   string // bearer token sent with every request ("" = none)
+	tparent string // W3C traceparent header sent with every request ("" = none)
+	lat     LatencyObserver
 
 	// sleep is the backoff sleep, a test seam.
 	sleep func(time.Duration)
@@ -60,6 +62,13 @@ type RemoteOptions struct {
 	// with every request — the credential a hardened polynimad
 	// (-auth-token) requires.
 	AuthToken string
+	// Traceparent, when non-empty, is sent as the W3C `traceparent` header
+	// with every request, so the store service joins the client's
+	// distributed trace: store ops it serves are tagged with the client's
+	// trace id in its span trace and access log. The value is the client
+	// process's root trace position (obs.TraceContext.Traceparent()) — all
+	// of one process's store ops are children of its root span.
+	Traceparent string
 }
 
 // NewRemote returns a remote tier talking to the store service at base
@@ -84,6 +93,7 @@ func NewRemote(base string, opts RemoteOptions) (*Remote, error) {
 		retries: opts.Retries,
 		backoff: opts.Backoff,
 		token:   opts.AuthToken,
+		tparent: opts.Traceparent,
 		sleep:   time.Sleep,
 	}
 	if r.hc == nil {
@@ -138,8 +148,13 @@ func (r *Remote) backoffFor(attempt int) time.Duration {
 }
 
 // Get implements Store. Every failure is a miss; see the degradation
-// contract in the type comment.
+// contract in the type comment. An installed LatencyObserver times the
+// whole logical operation, retries and backoff sleeps included — that is
+// the latency the pipeline actually pays.
 func (r *Remote) Get(ns string, key Key) ([]byte, string, bool) {
+	if r.lat != nil {
+		defer observeSince(r.lat, "remote", "get", time.Now())
+	}
 	for attempt := 0; ; attempt++ {
 		raw, status, err := r.do(http.MethodGet, r.url(ns, key), nil)
 		switch {
@@ -183,6 +198,9 @@ func (r *Remote) Get(ns string, key Key) ([]byte, string, bool) {
 // Put implements Store: best-effort write-through. Failures are counted and
 // swallowed; the caller keeps its freshly computed artifact either way.
 func (r *Remote) Put(ns string, key Key, data []byte) {
+	if r.lat != nil {
+		defer observeSince(r.lat, "remote", "put", time.Now())
+	}
 	body := EncodeFrame(data)
 	for attempt := 0; ; attempt++ {
 		_, status, err := r.do(http.MethodPut, r.url(ns, key), body)
@@ -225,6 +243,9 @@ func (r *Remote) do(method, u string, body []byte) ([]byte, int, error) {
 	if r.token != "" {
 		req.Header.Set("Authorization", "Bearer "+r.token)
 	}
+	if r.tparent != "" {
+		req.Header.Set("traceparent", r.tparent)
+	}
 	resp, err := r.hc.Do(req)
 	if err != nil {
 		return nil, 0, err
@@ -243,6 +264,10 @@ func (r *Remote) do(method, u string, body []byte) ([]byte, int, error) {
 	}
 	return raw, resp.StatusCode, nil
 }
+
+// SetLatencyObserver implements LatencyObservable. Install before the tier
+// serves traffic (the observer is read without synchronization in Get/Put).
+func (r *Remote) SetLatencyObserver(obs LatencyObserver) { r.lat = obs }
 
 // Stats implements Store.
 func (r *Remote) Stats() map[string]Counters {
