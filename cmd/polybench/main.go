@@ -49,6 +49,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/mx"
 	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/vm"
@@ -58,9 +59,12 @@ func main() {
 	table := flag.Int("table", 0, "regenerate table N (1-5)")
 	figure := flag.Int("figure", 0, "regenerate figure N (4)")
 	all := flag.Bool("all", false, "regenerate everything")
+	xisa := flag.Bool("xisa", false, "run the cross-ISA target comparison")
+	xisaOut := flag.String("xisa-out", "", "write the cross-ISA JSON record (BENCH_xisa.json) to `file`")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent pipeline cells (1 = serial)")
 	jpipe := flag.Int("jpipe", runtime.NumCPU(), "concurrent per-recompile function lifts/optimizations (1 = serial)")
 	nocache := flag.Bool("nocache", false, "disable the VM predecoded instruction cache")
+	target := flag.String("target", "", "lowering target ISA: mx64 (default) or mx64w (weakly ordered, register-poor)")
 	dispatch := flag.String("dispatch", vm.DispatchDefault.String(), "VM dispatch engine: threaded or switch")
 	nopipecache := flag.Bool("nopipecache", false, "disable the artifact store (per-function recompile cache and friends)")
 	storeDir := flag.String("store", "", "back the artifact store with a disk tier rooted at `dir` (persists across runs)")
@@ -80,6 +84,10 @@ func main() {
 		os.Exit(2)
 	}
 	vm.DispatchDefault = mode
+	if mx.TargetByName(*target) == nil {
+		fmt.Fprintf(os.Stderr, "polybench: unknown -target %q (want mx64 or mx64w)\n", *target)
+		os.Exit(2)
+	}
 	// The harness's root trace position, propagated to every -remote-store
 	// request so the store daemon's spans and logs carry this run's trace id.
 	rootTC := obs.NewTraceContext()
@@ -126,6 +134,7 @@ func main() {
 	h.SetPipelineWorkers(*jpipe)
 	h.SetNoFuncCache(*nopipecache)
 	h.SetTracer(tracer)
+	h.SetTarget(*target)
 	var tiers []store.Store
 	if *storeDir != "" {
 		d, err := store.OpenDisk(*storeDir)
@@ -179,7 +188,7 @@ func main() {
 			if backing != nil {
 				storeStats = backing.Stats()
 			}
-			if err := bench.BuildMetrics(total, storeStats, sink.Snapshot()).WriteFile(*metrics); err != nil {
+			if err := bench.BuildMetrics(total, storeStats, sink.Snapshot(), h.Target()).WriteFile(*metrics); err != nil {
 				fail("metrics: %v", err)
 			}
 		}
@@ -193,13 +202,13 @@ func main() {
 		snap := h.Stats()
 		total.Add(snap)
 		if err != nil {
-			fmt.Fprint(os.Stderr, snap.Footer(name, h.Workers(), h.PipelineWorkers()))
+			fmt.Fprint(os.Stderr, snap.Footer(name, h.Target(), h.Workers(), h.PipelineWorkers()))
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
 			finish()
 			os.Exit(1)
 		}
 		fmt.Println(txt)
-		fmt.Fprint(os.Stderr, snap.Footer(name, h.Workers(), h.PipelineWorkers()))
+		fmt.Fprint(os.Stderr, snap.Footer(name, h.Target(), h.Workers(), h.PipelineWorkers()))
 	}
 
 	want := func(n int, kind string) bool {
@@ -239,6 +248,21 @@ func main() {
 	if want(4, "figure") {
 		any = true
 		run("Figure 4", func() (string, error) { _, t, err := h.Figure4(); return t, err })
+	}
+	if *xisa || *xisaOut != "" {
+		any = true
+		run("Cross-ISA", func() (string, error) {
+			entries, txt, err := h.XISATable()
+			if err != nil {
+				return "", err
+			}
+			if *xisaOut != "" {
+				if werr := bench.WriteXISA(*xisaOut, entries); werr != nil {
+					return "", werr
+				}
+			}
+			return txt, nil
+		})
 	}
 	if !any {
 		flag.Usage()

@@ -7,6 +7,7 @@
 //	polynima disasm  prog.pxe               print the recovered CFG (JSON)
 //	polynima run     prog.pxe [-in file]    execute a binary
 //	polynima recompile prog.pxe -o out.pxe  [-trace] [-fence-opt] [-prune]
+//	                                        [-target mx64|mx64w]
 //	polynima additive  prog.pxe [-in file]  run with the additive loop
 //
 // -store DIR backs the project's artifact store with a content-addressed
@@ -44,6 +45,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/image"
+	"repro/internal/mx"
 	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/vm"
@@ -61,6 +63,7 @@ func main() {
 	fenceOpt := fs.Bool("fence-opt", false, "run spinloop detection and remove fences when provable")
 	prune := fs.Bool("prune", false, "run the callback-usage analysis and prune wrappers")
 	seed := fs.Int64("seed", 1, "scheduler seed")
+	target := fs.String("target", "", "lowering target ISA: mx64 (default) or mx64w (weakly ordered, register-poor)")
 	storeDir := fs.String("store", "", "back the artifact store with a disk tier rooted at `dir`")
 	storeMaxMB := fs.Int64("store-max-mb", 0, "prune the disk tier to at most `N` MiB (0 = unbounded)")
 	remoteStore := fs.String("remote-store", "", "back the artifact store with a polynimad store service at `url`")
@@ -107,6 +110,11 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Obs = tracer
+	if mx.TargetByName(*target) == nil {
+		fmt.Fprintf(os.Stderr, "polynima: unknown -target %q (want mx64 or mx64w)\n", *target)
+		os.Exit(2)
+	}
+	opts.Target = *target
 	var tiers []store.Store
 	if *storeDir != "" {
 		d, err := store.OpenDisk(*storeDir)

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mx"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -78,6 +79,7 @@ func main() {
 	tracefile := flag.String("tracefile", "", "write a Chrome trace_event JSON span trace to `file` at shutdown")
 	logFormat := flag.String("log-format", "", "structured access log on stderr: json or text (default off)")
 	dispatch := flag.String("dispatch", vm.DispatchDefault.String(), "VM dispatch engine for job runs: threaded or switch")
+	target := flag.String("target", "", "default lowering target ISA for jobs: mx64 (default) or mx64w; jobs override with ?target=")
 	flag.Parse()
 
 	mode, err := vm.ParseDispatchMode(*dispatch)
@@ -125,6 +127,10 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Workers = *jpipe
+	if mx.TargetByName(*target) == nil {
+		check(fmt.Errorf("polynimad: unknown -target %q (want mx64 or mx64w)", *target))
+	}
+	opts.Target = *target
 	s := serve.New(serve.Config{
 		Opts:             opts,
 		Backing:          store.NewChain(tiers...),

@@ -67,6 +67,7 @@ func (h *Harness) coreOptions() core.Options {
 	o.NoFuncCache = h.noFuncCache
 	o.Obs = h.tracer
 	o.Store = h.store
+	o.Target = h.target
 	return o
 }
 

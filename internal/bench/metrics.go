@@ -16,8 +16,14 @@ import (
 // machine-counter snapshot (nil when counters were off) as a Prometheus
 // metric set — the payload behind cmd/polybench's -metrics flag. All values
 // are end-of-run totals, so counters use the _total convention and ratios
-// are gauges.
-func BuildMetrics(s StageSnapshot, st map[string]store.Counters, c *vm.Counters) *obs.MetricSet {
+// are gauges. target names the lowering target the run recompiled for; it
+// labels every vm_* counter so cross-target scrapes stay distinguishable
+// ("" normalizes to "mx64").
+func BuildMetrics(s StageSnapshot, st map[string]store.Counters, c *vm.Counters, target string) *obs.MetricSet {
+	if target == "" {
+		target = "mx64"
+	}
+	tl := obs.Label{Key: "target", Val: target}
 	ms := obs.NewMetricSet()
 
 	stage := ms.Gauge("pipeline_stage_seconds",
@@ -110,38 +116,44 @@ func BuildMetrics(s StageSnapshot, st map[string]store.Counters, c *vm.Counters)
 		return ms
 	}
 	ms.Counter("vm_insts_total",
-		"Guest instructions retired across all machines.").Set(float64(c.Insts))
+		"Guest instructions retired across all machines.").Set(float64(c.Insts), tl)
 	ms.Counter("vm_icache_hits_total",
-		"Predecoded-instruction-cache page hits.").Set(float64(c.ICacheHits))
+		"Predecoded-instruction-cache page hits.").Set(float64(c.ICacheHits), tl)
 	ms.Counter("vm_icache_misses_total",
-		"Predecoded-instruction-cache page fills.").Set(float64(c.ICacheMisses))
+		"Predecoded-instruction-cache page fills.").Set(float64(c.ICacheMisses), tl)
 	ms.Counter("vm_icache_invalidations_total",
 		"Predecoded pages dropped because guest code was stored over.").
-		Set(float64(c.ICacheInvalidations))
+		Set(float64(c.ICacheInvalidations), tl)
 	ms.Gauge("vm_icache_hit_ratio",
-		"Icache hits / (hits + misses).").Set(c.ICacheHitRatio())
+		"Icache hits / (hits + misses).").Set(c.ICacheHitRatio(), tl)
 	ms.Counter("vm_tlb_hits_total",
-		"Software-TLB hits.").Set(float64(c.TLBHits))
+		"Software-TLB hits.").Set(float64(c.TLBHits), tl)
 	ms.Counter("vm_tlb_misses_total",
-		"Software-TLB misses (page-map walks).").Set(float64(c.TLBMisses))
+		"Software-TLB misses (page-map walks).").Set(float64(c.TLBMisses), tl)
 	ms.Gauge("vm_tlb_hit_ratio",
-		"TLB hits / (hits + misses).").Set(c.TLBHitRatio())
+		"TLB hits / (hits + misses).").Set(c.TLBHitRatio(), tl)
 	ms.Counter("vm_preemptions_total",
 		"Scheduler switches away from a still-runnable thread.").
-		Set(float64(c.Preemptions))
+		Set(float64(c.Preemptions), tl)
 	ms.Counter("vm_lock_rmw_total",
 		"Lock-prefixed read-modify-write instructions retired (incl. XCHG and CMPXCHG).").
-		Set(float64(c.LockRMW))
+		Set(float64(c.LockRMW), tl)
 	ms.Counter("vm_cmpxchg_total",
-		"CMPXCHG instructions retired.").Set(float64(c.Cmpxchg))
+		"CMPXCHG instructions retired.").Set(float64(c.Cmpxchg), tl)
 	ms.Counter("vm_indirect_branches_total",
 		"Dynamically resolved control transfers retired (JMPR/JMPM/CALLR).").
-		Set(float64(c.IndirectBranches))
+		Set(float64(c.IndirectBranches), tl)
+	ms.Counter("vm_fences_total",
+		"Fence instructions retired (nonzero only for weakly-ordered targets or hand-written guest fences).").
+		Set(float64(c.Fences), tl)
+	ms.Counter("vm_spill_ops_total",
+		"Spill-slot accesses retired (rbp-relative negative-displacement 8-byte loads/stores), the dynamic cost of register pressure.").
+		Set(float64(c.SpillOps), tl)
 
 	opclass := ms.Counter("vm_opclass_insts_total",
 		"Instructions retired per opcode class.")
 	for cl := vm.OpClass(0); cl < vm.NumOpClasses; cl++ {
-		opclass.Set(float64(c.OpClassCounts[cl]), obs.Label{Key: "class", Val: cl.String()})
+		opclass.Set(float64(c.OpClassCounts[cl]), tl, obs.Label{Key: "class", Val: cl.String()})
 	}
 	ti := ms.Counter("vm_thread_insts_total",
 		"Instructions retired per guest thread ID.")
@@ -149,8 +161,8 @@ func BuildMetrics(s StageSnapshot, st map[string]store.Counters, c *vm.Counters)
 		"Cycles charged per guest thread ID.")
 	for tid, t := range c.Threads {
 		l := obs.Label{Key: "thread", Val: fmt.Sprintf("%d", tid)}
-		ti.Set(float64(t.Insts), l)
-		tc.Set(float64(t.Cycles), l)
+		ti.Set(float64(t.Insts), tl, l)
+		tc.Set(float64(t.Cycles), tl, l)
 	}
 	return ms
 }

@@ -41,6 +41,9 @@ type Harness struct {
 	// store, cmd/polybench's -store) handed to every project the harness
 	// builds. Each project fronts it with its own generational memory tier.
 	store store.Store
+	// target names the lowering target every cell recompiles for
+	// (cmd/polybench's -target; "" = the default mx64).
+	target string
 }
 
 // NewHarness returns a harness running up to workers concurrent cells;
@@ -87,6 +90,21 @@ func (h *Harness) SetStore(st store.Store) { h.store = st }
 
 // Store returns the attached backing store (nil when none).
 func (h *Harness) Store() store.Store { return h.store }
+
+// SetTarget sets the lowering target every cell recompiles for ("" or
+// "mx64" = the default TSO backend, "mx64w" = the weakly-ordered,
+// register-poor profile). The caller validates the name (mx.TargetByName);
+// the pipeline rejects unknown names with an error per cell.
+func (h *Harness) SetTarget(name string) { h.target = name }
+
+// Target reports the configured lowering target, normalized for display
+// ("" reads as "mx64").
+func (h *Harness) Target() string {
+	if h.target == "" {
+		return "mx64"
+	}
+	return h.target
+}
 
 // forEach runs f(i) for every i in [0,n), at most h.workers cells at a
 // time, and accounts every executed cell in the harness stats. Error

@@ -37,8 +37,12 @@ type StageSnapshot struct {
 	StoreDiskHits, StoreDiskMisses int
 	StoreEvictions                 int    // memory-tier entries pruned generationally
 	TraceInsts                     uint64 // guest instructions executed by the ICFT tracer
-	Cells, Failed                  int
-	Wall                           time.Duration // wall clock of the table/figure runs
+	// Fences sums the fence instructions lowering emitted across every
+	// recompile (zero on the default TSO target, where the machine provides
+	// the ordering; nonzero for weakly-ordered targets).
+	Fences        int
+	Cells, Failed int
+	Wall          time.Duration // wall clock of the table/figure runs
 }
 
 // absorb adds one project's stage timings. The calling cell owns p and its
@@ -60,6 +64,7 @@ func (st *StageStats) absorb(p *core.Project) {
 	st.s.StoreDiskMisses += p.Stats.StoreDiskMisses
 	st.s.StoreEvictions += p.Stats.StoreEvictions
 	st.s.TraceInsts += p.Stats.TraceInsts
+	st.s.Fences += p.Stats.Fences
 }
 
 // cellDone accounts one executed cell.
@@ -115,6 +120,7 @@ func (s *StageSnapshot) Add(o StageSnapshot) {
 	s.StoreDiskMisses += o.StoreDiskMisses
 	s.StoreEvictions += o.StoreEvictions
 	s.TraceInsts += o.TraceInsts
+	s.Fences += o.Fences
 	s.Cells += o.Cells
 	s.Failed += o.Failed
 	s.Wall += o.Wall
@@ -141,14 +147,15 @@ func (s StageSnapshot) PipelineTotal() time.Duration {
 }
 
 // Footer renders the per-table profiler block. cmd/polybench prints it to
-// stderr so stdout stays byte-identical across worker counts. cellWorkers is
-// the harness cell-pool width (-j); pipeWorkers the per-recompile pipeline
+// stderr so stdout stays byte-identical across worker counts. target is the
+// lowering target the cells recompiled for (-target); cellWorkers is the
+// harness cell-pool width (-j); pipeWorkers the per-recompile pipeline
 // width (-jpipe).
-func (s StageSnapshot) Footer(name string, cellWorkers, pipeWorkers int) string {
+func (s StageSnapshot) Footer(name, target string, cellWorkers, pipeWorkers int) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "-- pipeline stats: %s (%d cell worker(s), %d pipeline worker(s)) --\n",
-		name, cellWorkers, pipeWorkers)
-	fmt.Fprintf(&sb, "cells run %d, failed %d\n", s.Cells, s.Failed)
+	fmt.Fprintf(&sb, "-- pipeline stats: %s (target %s, %d cell worker(s), %d pipeline worker(s)) --\n",
+		name, target, cellWorkers, pipeWorkers)
+	fmt.Fprintf(&sb, "cells run %d, failed %d | fences emitted %d\n", s.Cells, s.Failed, s.Fences)
 	fmt.Fprintf(&sb, "disasm %s | trace %s | lift %s | opt %s | lower %s | stage total %s\n",
 		roundDur(s.Disasm), roundDur(s.Trace), roundDur(s.Lift),
 		roundDur(s.Opt), roundDur(s.Lower), roundDur(s.PipelineTotal()))

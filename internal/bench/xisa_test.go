@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestXISAFenceInvariants pins the cross-ISA contract on one workload: the
+// TSO mx64 backend emits zero fences, the weakly-ordered mx64w backend
+// emits real fences, fence optimization strictly reduces the mx64w count,
+// and every recompiled binary passes its workload check (xisaCell checks
+// before returning).
+func TestXISAFenceInvariants(t *testing.T) {
+	h := NewHarness(1)
+	w := workloads.ByName("linear_regression")
+
+	mx64, err := h.xisaCell(w, "mx64", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx64.Fences != 0 {
+		t.Fatalf("mx64 emitted %d fences; TSO needs none", mx64.Fences)
+	}
+	weak, err := h.xisaCell(w, "mx64w", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.Fences == 0 {
+		t.Fatal("mx64w emitted no fences")
+	}
+	weakFO, err := h.xisaCell(w, "mx64w", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weakFO.Fences >= weak.Fences {
+		t.Fatalf("fence-opt did not reduce fences: %d -> %d", weak.Fences, weakFO.Fences)
+	}
+	if weak.CodeSize <= mx64.CodeSize {
+		t.Fatalf("register-poor mx64w code (%d insts) not larger than mx64 (%d)",
+			weak.CodeSize, mx64.CodeSize)
+	}
+}
+
+// TestXISAReportSums checks the per-configuration fence aggregation CI
+// asserts against.
+func TestXISAReportSums(t *testing.T) {
+	rep := NewXISAReport([]XISAEntry{
+		{Workload: "b", Target: "mx64w", FenceOpt: false, Fences: 3},
+		{Workload: "a", Target: "mx64w", FenceOpt: true, Fences: 1},
+		{Workload: "a", Target: "mx64", FenceOpt: false, Fences: 0},
+		{Workload: "a", Target: "mx64w", FenceOpt: false, Fences: 2},
+	})
+	if got := rep.FencesByConfig["mx64w"]; got != 5 {
+		t.Fatalf("mx64w sum = %d, want 5", got)
+	}
+	if got := rep.FencesByConfig["mx64w+fo"]; got != 1 {
+		t.Fatalf("mx64w+fo sum = %d, want 1", got)
+	}
+	if got := rep.FencesByConfig["mx64"]; got != 0 {
+		t.Fatalf("mx64 sum = %d, want 0", got)
+	}
+	// Deterministic ordering: workload, then target, then fence-opt last.
+	if rep.Benchmarks[0].Workload != "a" || rep.Benchmarks[0].Target != "mx64" {
+		t.Fatalf("unexpected sort order: %+v", rep.Benchmarks[0])
+	}
+}

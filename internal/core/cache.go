@@ -73,6 +73,11 @@ type cacheKeyOpts struct {
 	optimize     bool
 	verifyIR     bool
 	removeFences bool
+	// target is the lowering target's stable ID (mx.Target.ID). Bodies are
+	// lifted IR and thus target-independent today, but the key is
+	// deliberately conservative: a shared store must never serve an
+	// artifact produced under one target configuration to another.
+	target byte
 }
 
 func (k cacheKeyOpts) bits() byte {
@@ -116,7 +121,7 @@ func fingerprintFunc(img *image.Image, g *cfg.Graph, cf *cfg.Func, isFunc map[ui
 		binary.LittleEndian.PutUint64(w[:], x)
 		h.Write(w[:])
 	}
-	h.Write([]byte{opts.bits()})
+	h.Write([]byte{opts.bits(), opts.target})
 	u64(cf.Entry)
 	u64(uint64(len(cf.Blocks)))
 	for _, ba := range cf.Blocks {

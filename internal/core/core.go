@@ -46,6 +46,12 @@ type Options struct {
 	Optimize bool
 	// VerifyIR re-verifies the IR after every pass (slow; tests).
 	VerifyIR bool
+	// Target names the ISA description lowering emits for ("" or "mx64"
+	// is the default TSO MX64 backend; "mx64w" the weakly-ordered,
+	// register-poor profile — see mx.TargetByName). The target id is
+	// folded into per-function cache fingerprints and image artifact
+	// keys, so a warm store never serves one target's bytes to another.
+	Target string
 	// Fuel bounds every VM execution (instructions).
 	Fuel uint64
 	// Seed drives VM scheduling for pipeline-internal runs.
@@ -143,6 +149,9 @@ type Stats struct {
 	TraceInsts      uint64
 	FencesGone      bool
 	NumExternal     int
+	// Fences is the number of fence instructions the last Recompile's
+	// lowering emitted (zero on TSO-like targets, where fences are free).
+	Fences int
 }
 
 // update runs f with the stats lock held; every pipeline-side mutation goes
@@ -718,13 +727,19 @@ func (p *Project) PruneCallbacks(inputs []Input) error {
 // recompilations. It returns the analysis report.
 func (p *Project) FenceOptimize(inputs []Input) (*spindet.Report, error) {
 	// Build the instrumented binary from a fresh lift (no optimization:
-	// instrumentation must see every site).
+	// instrumentation must see every site). The configured target applies
+	// here too: the instrumented binary runs under the same machine mode the
+	// production recompile will.
 	lf, err := p.lift()
 	if err != nil {
 		return nil, err
 	}
+	tgt := p.target()
+	if tgt == nil {
+		return nil, fmt.Errorf("core: unknown target %q", p.Opts.Target)
+	}
 	spindet.Instrument(lf.Mod)
-	res, err := lower.Lower(lf)
+	res, err := lower.LowerWithOptions(lf, lower.Options{Target: tgt})
 	if err != nil {
 		return nil, err
 	}

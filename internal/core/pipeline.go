@@ -34,11 +34,16 @@ import (
 	"repro/internal/ir"
 	"repro/internal/lifter"
 	"repro/internal/lower"
+	"repro/internal/mx"
 	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/pool"
 	"repro/internal/store"
 )
+
+// target resolves Opts.Target to its ISA description ("" means the default
+// MX64), or nil when the name is unknown.
+func (p *Project) target() *mx.Target { return mx.TargetByName(p.Opts.Target) }
 
 // pipeWorkers resolves the configured pipeline worker count.
 func (p *Project) pipeWorkers() int {
@@ -62,6 +67,10 @@ func (p *Project) Recompile() (*image.Image, error) {
 	if err := p.ctxErr(); err != nil {
 		return nil, fmt.Errorf("core: recompile cancelled: %w", err)
 	}
+	tgt := p.target()
+	if tgt == nil {
+		return nil, fmt.Errorf("core: unknown target %q", p.Opts.Target)
+	}
 	rsp := p.Opts.Obs.Begin(p.obsTID(), "pipeline", "recompile")
 	imgKey, imgKeyOK := p.imageKey()
 	if imgKeyOK {
@@ -77,7 +86,7 @@ func (p *Project) Recompile() (*image.Image, error) {
 	}
 	lsp := p.Opts.Obs.Begin(p.obsTID(), "pipeline", "lower")
 	t0 := time.Now()
-	res, err := lower.Lower(lf)
+	res, err := lower.LowerWithOptions(lf, lower.Options{Target: tgt})
 	d := time.Since(t0)
 	lsp.End()
 	if err != nil {
@@ -90,12 +99,13 @@ func (p *Project) Recompile() (*image.Image, error) {
 	p.Stats.update(func() {
 		p.Stats.LowerTime += d
 		p.Stats.CodeSize = res.CodeSize
+		p.Stats.Fences = res.Fences
 		p.Stats.Recompiles++
 		numExternal = p.Stats.NumExternal
 		fencesGone = p.Stats.FencesGone
 	})
 	if imgKeyOK {
-		if env, ok := encodeImageArtifact(res.Img, res.CodeSize, numExternal, fencesGone); ok {
+		if env, ok := encodeImageArtifact(res.Img, res.CodeSize, numExternal, res.Fences, fencesGone); ok {
 			p.storePut(nsImage, imgKey, env)
 		}
 	}
@@ -111,13 +121,14 @@ func (p *Project) replayImage(key store.Key) (*image.Image, string, bool) {
 	if !ok {
 		return nil, "", false
 	}
-	img, codeSize, numExternal, fencesGone, ok := decodeImageArtifact(data)
+	img, codeSize, numExternal, fences, fencesGone, ok := decodeImageArtifact(data)
 	if !ok {
 		return nil, "", false
 	}
 	p.Stats.update(func() {
 		p.Stats.CodeSize = codeSize
 		p.Stats.NumExternal = numExternal
+		p.Stats.Fences = fences
 		p.Stats.FencesGone = fencesGone
 		p.Stats.Recompiles++
 	})
@@ -166,7 +177,8 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 	// Fused per-function lift+optimize requires that no interprocedural
 	// stage runs between them; callback pruning introduces one (inlining).
 	fused := p.callbackSet == nil
-	cacheable := fused && p.store != nil
+	tgt := p.target()
+	cacheable := fused && p.store != nil && tgt != nil
 
 	var keys []store.Key
 	if cacheable {
@@ -181,6 +193,7 @@ func (p *Project) buildOptimizedModule() (*lifter.Lifted, error) {
 			optimize:     p.Opts.Optimize,
 			verifyIR:     p.Opts.VerifyIR,
 			removeFences: p.removeFences,
+			target:       tgt.ID,
 		}
 		fsp := tr.Begin(p.obsTID(), "pipeline", "fingerprint")
 		keys = make([]store.Key, len(funcs))

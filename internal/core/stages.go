@@ -17,11 +17,11 @@
 //	                                     payload: counts + merged pairs
 //	func   one lifted+optimized body     key: fingerprintFunc (machine
 //	                                          bytes, CFG shape, option
-//	                                          bits) + image
+//	                                          bits, target id) + image
 //	                                     payload: site count + ir.EncodeFunc
 //	image  the final lowered image       key: image, merged-CFG
 //	                                          fingerprint, option bits,
-//	                                          callback set
+//	                                          target id, callback set
 //	                                     payload: stats + image JSON
 //
 // Every key starts with a schema tag, so an encoding change orphans old
@@ -37,6 +37,7 @@ import (
 	"sort"
 
 	"repro/internal/image"
+	"repro/internal/mx"
 	"repro/internal/store"
 	"repro/internal/tracer"
 )
@@ -53,8 +54,8 @@ const (
 var (
 	schemaCFG   = []byte("cfg/1")
 	schemaTrace = []byte("trace/1")
-	schemaFunc  = []byte("func/1")
-	schemaImage = []byte("image/1")
+	schemaFunc  = []byte("func/2")  // v2: target id joined the key bytes
+	schemaImage = []byte("image/2") // v2: target id in key; fences in payload
 )
 
 // storeGet probes the project's artifact store and attributes the outcome
@@ -180,14 +181,19 @@ func (p *Project) imageKey() (store.Key, bool) {
 	if !ok {
 		return store.Key{}, false
 	}
+	tgt := mx.TargetByName(p.Opts.Target)
+	if tgt == nil {
+		return store.Key{}, false
+	}
 	ko := cacheKeyOpts{
 		insertFences: p.Opts.InsertFences,
 		naiveAtomics: p.Opts.NaiveAtomics,
 		optimize:     p.Opts.Optimize,
 		verifyIR:     p.Opts.VerifyIR,
 		removeFences: p.removeFences,
+		target:       tgt.ID,
 	}
-	parts := [][]byte{schemaImage, imgFP[:], gFP[:], {ko.bits()}}
+	parts := [][]byte{schemaImage, imgFP[:], gFP[:], {ko.bits(), ko.target}}
 	if p.callbackSet == nil {
 		parts = append(parts, store.U64(^uint64(0)))
 	} else {
@@ -248,15 +254,17 @@ func decodeTraceArtifact(data []byte) (*tracer.Result, bool) {
 
 // encodeImageArtifact serializes the final lowered image plus the scalar
 // stats a replayed Recompile must restore (code size, external-entry count,
-// fence state) so cold and replayed runs report identically.
-func encodeImageArtifact(img *image.Image, codeSize, numExternal int, fencesGone bool) ([]byte, bool) {
+// emitted-fence count, fence state) so cold and replayed runs report
+// identically.
+func encodeImageArtifact(img *image.Image, codeSize, numExternal, fences int, fencesGone bool) ([]byte, bool) {
 	data, err := img.Marshal()
 	if err != nil {
 		return nil, false
 	}
-	buf := make([]byte, 0, 17+len(data))
+	buf := make([]byte, 0, 25+len(data))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(codeSize))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(numExternal))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(fences))
 	if fencesGone {
 		buf = append(buf, 1)
 	} else {
@@ -267,15 +275,16 @@ func encodeImageArtifact(img *image.Image, codeSize, numExternal int, fencesGone
 
 // decodeImageArtifact parses encodeImageArtifact's form; !ok on any
 // mismatch (the caller rebuilds the image through the full pipeline).
-func decodeImageArtifact(data []byte) (img *image.Image, codeSize, numExternal int, fencesGone, ok bool) {
-	if len(data) < 17 {
-		return nil, 0, 0, false, false
+func decodeImageArtifact(data []byte) (img *image.Image, codeSize, numExternal, fences int, fencesGone, ok bool) {
+	if len(data) < 25 {
+		return nil, 0, 0, 0, false, false
 	}
-	img, err := image.Unmarshal(data[17:])
+	img, err := image.Unmarshal(data[25:])
 	if err != nil {
-		return nil, 0, 0, false, false
+		return nil, 0, 0, 0, false, false
 	}
 	codeSize = int(binary.LittleEndian.Uint64(data))
 	numExternal = int(binary.LittleEndian.Uint64(data[8:]))
-	return img, codeSize, numExternal, data[16] != 0, true
+	fences = int(binary.LittleEndian.Uint64(data[16:]))
+	return img, codeSize, numExternal, fences, data[24] != 0, true
 }

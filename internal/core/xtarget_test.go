@@ -1,0 +1,205 @@
+package core_test
+
+// Cross-target differential tests. The same project recompiled for the
+// default MX64 target and for the weakly-ordered, register-poor MX64W
+// profile must (a) produce guest-observable behavior identical to the
+// original binary on both targets across seeds, (b) never alias artifacts
+// between targets in a shared store (the target id is folded into every
+// per-function fingerprint and image key), and (c) actually differ where
+// the targets differ: MX64W images carry the machine mode tag and real
+// fence instructions, MX64 images carry neither.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// diskProjectTarget is diskProject with a target name.
+func diskProjectTarget(t *testing.T, src, dir, target string, workers int) *core.Project {
+	t.Helper()
+	d, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := options()
+	o.Workers = workers
+	o.Store = d
+	o.Target = target
+	p, err := core.NewProject(compile(t, src, 2), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCrossTargetRunIdentity is the run-identity matrix: every workload,
+// recompiled for each target, must produce output and exit code identical
+// to the original binary at every seed. MX64W's store buffer drains before
+// any other thread runs, so weak-mode executions stay observationally
+// sequentially consistent and the outputs match byte for byte.
+func TestCrossTargetRunIdentity(t *testing.T) {
+	workloads := []struct {
+		name  string
+		src   string
+		input []byte
+		trace bool // needs an ICFT trace before recompiling (indirect calls)
+	}{
+		{"threaded", threadedSrc, nil, false},
+		{"fptr", fptrSrc, []byte("0121"), true},
+	}
+	for _, wl := range workloads {
+		t.Run(wl.name, func(t *testing.T) {
+			img := compile(t, wl.src, 2)
+			for _, target := range []string{"mx64", "mx64w"} {
+				o := options()
+				o.Target = target
+				p, err := core.NewProject(img, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wl.trace {
+					if _, err := p.Trace([]core.Input{{Data: wl.input, Seed: 1}}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				rec, err := p.Recompile()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, seed := range []int64{1, 3, 7} {
+					in := core.Input{Seed: seed, Data: wl.input}
+					want := runImg(t, img, in)
+					got := runImg(t, rec, in)
+					if want.ExitCode != got.ExitCode || want.Output != got.Output {
+						t.Fatalf("%s seed %d: original %d/%q, recompiled %d/%q",
+							target, seed, want.ExitCode, want.Output, got.ExitCode, got.Output)
+					}
+				}
+				switch target {
+				case "mx64":
+					if rec.Machine != "" {
+						t.Fatalf("mx64 image tagged with machine mode %q", rec.Machine)
+					}
+					if p.Stats.Fences != 0 {
+						t.Fatalf("mx64 lowering emitted %d fences; TSO needs none", p.Stats.Fences)
+					}
+				case "mx64w":
+					if rec.Machine != "mx64w" {
+						t.Fatalf("mx64w image tagged %q", rec.Machine)
+					}
+					if p.Stats.Fences == 0 {
+						t.Fatal("mx64w lowering emitted no fences")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCrossTargetSharedStore compiles the same program for both targets
+// against one shared disk store. The second target must not replay any of
+// the first target's artifacts (distinct keys at both the function and
+// image tiers), each target's warm replay must be byte-identical to its own
+// cold build, and both builds must run correctly.
+func TestCrossTargetSharedStore(t *testing.T) {
+	dir := t.TempDir()
+	img := compile(t, threadedSrc, 2)
+	want := runImg(t, img, core.Input{Seed: 5})
+
+	// Cold MX64 populates the store.
+	p64 := diskProjectTarget(t, threadedSrc, dir, "mx64", 1)
+	rec64, err := p64.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p64.Stats.CacheMisses == 0 {
+		t.Fatal("cold mx64 run hit a supposedly empty store")
+	}
+
+	// MX64W over the same store: every probe must miss — a hit would mean a
+	// key collision across targets.
+	p64w := diskProjectTarget(t, threadedSrc, dir, "mx64w", 1)
+	rec64w, err := p64w.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p64w.Stats.CacheHits != 0 {
+		t.Fatalf("mx64w recompile replayed %d of mx64's function bodies", p64w.Stats.CacheHits)
+	}
+	if rec64w.Machine != "mx64w" {
+		t.Fatalf("shared store served a %q image to the mx64w target", rec64w.Machine)
+	}
+	if bytes.Equal(marshalImg(t, rec64), marshalImg(t, rec64w)) {
+		t.Fatal("mx64 and mx64w lowered to identical images")
+	}
+
+	// Both outputs byte-correct against the original.
+	got64 := runImg(t, rec64, core.Input{Seed: 5})
+	got64w := runImg(t, rec64w, core.Input{Seed: 5})
+	if got64.Output != want.Output || got64.ExitCode != want.ExitCode {
+		t.Fatalf("mx64 output diverged: %d/%q vs %d/%q", got64.ExitCode, got64.Output, want.ExitCode, want.Output)
+	}
+	if got64w.Output != want.Output || got64w.ExitCode != want.ExitCode {
+		t.Fatalf("mx64w output diverged: %d/%q vs %d/%q", got64w.ExitCode, got64w.Output, want.ExitCode, want.ExitCode)
+	}
+
+	// Warm replays: each target is served its own bytes back.
+	for _, tc := range []struct {
+		target string
+		want   []byte
+	}{
+		{"mx64", marshalImg(t, rec64)},
+		{"mx64w", marshalImg(t, rec64w)},
+	} {
+		p := diskProjectTarget(t, threadedSrc, dir, tc.target, 1)
+		rec, err := p.Recompile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Stats.StoreDiskHits == 0 {
+			t.Fatalf("warm %s recompile never hit the disk tier", tc.target)
+		}
+		if !bytes.Equal(tc.want, marshalImg(t, rec)) {
+			t.Fatalf("warm %s replay diverged from its cold build", tc.target)
+		}
+	}
+}
+
+// TestCrossTargetFenceStatsReplay pins Stats.Fences across image replay: a
+// warm recompile must report the same emitted-fence count the cold build
+// did (the count rides in the image artifact envelope).
+func TestCrossTargetFenceStatsReplay(t *testing.T) {
+	dir := t.TempDir()
+	cold := diskProjectTarget(t, threadedSrc, dir, "mx64w", 1)
+	if _, err := cold.Recompile(); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.Fences == 0 {
+		t.Fatal("cold mx64w build emitted no fences")
+	}
+	warm := diskProjectTarget(t, threadedSrc, dir, "mx64w", 1)
+	if _, err := warm.Recompile(); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Fences != cold.Stats.Fences {
+		t.Fatalf("replayed fence count %d, cold build reported %d", warm.Stats.Fences, cold.Stats.Fences)
+	}
+}
+
+// TestUnknownTargetErrors: a bad target name must fail loudly, not fall
+// back to the default backend.
+func TestUnknownTargetErrors(t *testing.T) {
+	o := options()
+	o.Target = "mx128"
+	p, err := core.NewProject(compile(t, threadedSrc, 2), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Recompile(); err == nil || !strings.Contains(err.Error(), "unknown target") {
+		t.Fatalf("Recompile with bogus target: err = %v", err)
+	}
+}

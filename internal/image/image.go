@@ -53,6 +53,12 @@ type Image struct {
 	// TLSBASE yields its address. Recompiled binaries use this for the
 	// thread_local virtual CPU state.
 	TLSSize uint64 `json:"tls_size"`
+	// Machine selects the execution mode the VM runs this image under.
+	// Empty means the default machine (MX64, TSO-like ordering); "mx64w"
+	// selects the weakly-ordered profile, where plain loads/stores may
+	// reorder through a per-thread store buffer unless fenced. Old
+	// artifacts carry no field and decode as the default machine.
+	Machine string `json:"machine,omitempty"`
 }
 
 // Section returns the section with the given name, or nil.
@@ -118,7 +124,7 @@ func (im *Image) InText(addr uint64) bool {
 
 // Clone returns a deep copy of the image.
 func (im *Image) Clone() *Image {
-	out := &Image{Name: im.Name, Entry: im.Entry, TLSSize: im.TLSSize}
+	out := &Image{Name: im.Name, Entry: im.Entry, TLSSize: im.TLSSize, Machine: im.Machine}
 	out.Imports = append([]string(nil), im.Imports...)
 	for _, s := range im.Sections {
 		s.Data = append([]byte(nil), s.Data...)

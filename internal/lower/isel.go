@@ -9,16 +9,21 @@ import (
 
 // Instruction selection.
 //
-// Register plan:
+// Register plan (fixed roles; the allocatable pool is target-specific):
 //
 //	RAX        — external-call results, atomic cmpxchg protocol, scratch
-//	RBX, R12, R13, R14 — allocatable pool (function-scoped assignment)
+//	Target.PoolRegs — allocatable pool (function-scoped assignment); on
+//	             MX64 that is RBX, R12, R13, R14, RDI, RDX, RCX, R8, R9,
+//	             on the register-poor MX64W just RBX
 //	RBP        — frame pointer (value slots at [rbp - off])
 //	RSP        — native stack
 //	RSI        — third scratch (atomic RMW loops)
-//	RDI, RDX, RCX, R8, R9 — free until external-call marshaling
 //	R10, R11   — expression scratch
 //	R15        — TLS base (virtual CPU state)
+//
+// Pool registers that overlap the target's ArgRegs are pushed/popped around
+// CALLX sites when assigned (the host may clobber them when invoking
+// callbacks; see Target.IsMarshal).
 //
 // Every lifted function saves/restores the pool registers it uses, so values
 // held in pool registers survive calls to other lifted functions; callback
@@ -28,16 +33,9 @@ import (
 // Values are materialized at their program point into a pool register or a
 // frame slot, except pure single-use values, which are folded into their
 // consumer as an expression tree (Sethi-Ullman-style with two scratch
-// registers and a push/pop overflow path).
-
-// poolRegs are allocatable, in preference order. The first four never need
-// preservation; the rest double as external-call argument registers and are
-// pushed/popped around CALLX sites when assigned (the host may clobber them
-// when invoking callbacks).
-var poolRegs = []mx.Reg{mx.RBX, mx.R12, mx.R13, mx.R14, mx.RDI, mx.RDX, mx.RCX, mx.R8, mx.R9}
-
-// marshalRegs need preservation around external calls when pool-assigned.
-var marshalRegs = map[mx.Reg]bool{mx.RDI: true, mx.RDX: true, mx.RCX: true, mx.R8: true, mx.R9: true}
+// registers and a push/pop overflow path). A short target pool turns
+// register pressure into real spill traffic: values that do not fit the
+// pool round-trip through frame slots.
 
 type locKind uint8
 
@@ -58,6 +56,7 @@ type funcLower struct {
 	env   *env
 	e     *emitter
 	f     *ir.Func
+	pool  []mx.Reg // the target's allocatable pool, in preference order
 	loc   map[*ir.Value]location
 	inl   map[*ir.Value]bool // tree-inlined (lowered at use site)
 	uses  map[*ir.Value]int
@@ -70,6 +69,7 @@ type funcLower struct {
 
 // env carries module-level lowering context.
 type env struct {
+	tgt       *mx.Target
 	tlsOff    map[*ir.Global]int32
 	importIdx func(string) uint16
 	fnLabel   func(*ir.Func) string
@@ -77,6 +77,8 @@ type env struct {
 	// block at this address: R15 is loaded with the constant base instead
 	// of TLSBASE (single-thread-state baselines).
 	stateBase uint64
+	// fences counts fence instructions emitted (weak-ordering targets).
+	fences int
 }
 
 // emitStateBase loads the virtual-state base register.
@@ -108,6 +110,7 @@ func lowerFunc(env *env, e *emitter, f *ir.Func) error {
 	}
 	fl := &funcLower{
 		env: env, e: e, f: f,
+		pool:  env.tgt.PoolRegs,
 		loc:   map[*ir.Value]location{},
 		inl:   map[*ir.Value]bool{},
 		moves: moves,
@@ -219,14 +222,14 @@ func lowerFunc(env *env, e *emitter, f *ir.Func) error {
 			cands = append(cands, cand{v, score})
 		}
 	}
-	for len(fl.used) < len(poolRegs) && len(cands) > 0 {
+	for len(fl.used) < len(fl.pool) && len(cands) > 0 {
 		best := 0
 		for i := range cands {
 			if cands[i].score > cands[best].score {
 				best = i
 			}
 		}
-		r := poolRegs[len(fl.used)]
+		r := fl.pool[len(fl.used)]
 		fl.loc[cands[best].v] = location{kind: locReg, reg: r}
 		fl.used[r] = true
 		cands = append(cands[:best], cands[best+1:]...)
@@ -255,7 +258,7 @@ func lowerFunc(env *env, e *emitter, f *ir.Func) error {
 	e.label(env.fnLabel(f))
 	e.emit(mx.Inst{Op: mx.PUSH, Dst: mx.RBP})
 	e.emit(mx.Inst{Op: mx.MOVRR, Dst: mx.RBP, Src: mx.RSP})
-	for _, r := range poolRegs {
+	for _, r := range fl.pool {
 		if fl.used[r] {
 			e.emit(mx.Inst{Op: mx.PUSH, Dst: r})
 		}

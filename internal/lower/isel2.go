@@ -138,10 +138,17 @@ func (fl *funcLower) lowerInst(v *ir.Value, b *ir.Block, bi, ii int) error {
 		return nil
 
 	case ir.OpFence, ir.OpBarrier:
-		// Same-ISA lowering: fences and barriers constrain only the
-		// optimizer; the target's memory model (TSO) already provides the
+		// On a TSO-like target, fences and barriers constrain only the
+		// optimizer; the machine's memory model already provides the
 		// required ordering (§3.4: "we care about memory access
-		// reorderings only at the IR-level").
+		// reorderings only at the IR-level"). A weakly-ordered target must
+		// order its store buffer explicitly, so every fence the optimizer
+		// kept becomes a real instruction there — which is what makes the
+		// fence-optimization pass a measurable win cross-ISA.
+		if fl.env.tgt.WeakOrder {
+			e.emit(mx.Inst{Op: fl.env.tgt.FenceOp})
+			fl.env.fences++
+		}
 		return nil
 
 	case ir.OpSelect:
@@ -181,15 +188,16 @@ func (fl *funcLower) lowerInst(v *ir.Value, b *ir.Block, bi, ii int) error {
 		return nil
 
 	case ir.OpCallExt:
-		if len(v.Args) > 6 {
+		argRegs := fl.env.tgt.ArgRegs
+		if len(v.Args) > len(argRegs) {
 			return fmt.Errorf("external call with %d args", len(v.Args))
 		}
 		// Pool registers that double as argument registers are preserved
 		// around the call: we clobber them marshaling, and the host
 		// clobbers them when invoking callbacks.
 		var pres []mx.Reg
-		for _, r := range poolRegs {
-			if marshalRegs[r] && fl.used[r] {
+		for _, r := range fl.pool {
+			if fl.env.tgt.IsMarshal(r) && fl.used[r] {
 				if l, ok := fl.loc[v]; ok && l.kind == locReg && l.reg == r {
 					continue // the result's own home need not be preserved
 				}
@@ -204,7 +212,6 @@ func (fl *funcLower) lowerInst(v *ir.Value, b *ir.Block, bi, ii int) error {
 			}
 			e.emit(mx.Inst{Op: mx.PUSH, Dst: r})
 		}
-		argRegs := []mx.Reg{mx.RDI, mx.RSI, mx.RDX, mx.RCX, mx.R8, mx.R9}
 		for i := len(v.Args) - 1; i >= 0; i-- {
 			e.emit(mx.Inst{Op: mx.POP, Dst: argRegs[i]})
 		}
@@ -502,9 +509,9 @@ func (fl *funcLower) epilogue() {
 	if fl.frame > 0 {
 		e.emit(mx.Inst{Op: mx.ADDRI, Dst: mx.RSP, Imm: int64(fl.frame)})
 	}
-	for i := len(poolRegs) - 1; i >= 0; i-- {
-		if fl.used[poolRegs[i]] {
-			e.emit(mx.Inst{Op: mx.POP, Dst: poolRegs[i]})
+	for i := len(fl.pool) - 1; i >= 0; i-- {
+		if fl.used[fl.pool[i]] {
+			e.emit(mx.Inst{Op: mx.POP, Dst: fl.pool[i]})
 		}
 	}
 	e.emit(mx.Inst{Op: mx.POP, Dst: mx.RBP})

@@ -34,22 +34,37 @@ type Result struct {
 	Labels map[string]uint64
 	// CodeSize is the recompiled code size in bytes.
 	CodeSize int
+	// Fences is the number of fence instructions emitted. Zero on
+	// TSO-like targets, where ir.OpFence/OpBarrier lower to nothing.
+	Fences int
 }
 
 // Options configures lowering variants.
 type Options struct {
+	// Target selects the ISA description the backend emits for; nil means
+	// mx.MX64. The target decides the allocatable register pool, whether
+	// fences are emitted (weak ordering) or dropped (TSO), the ABI
+	// registers wrappers marshal, and the state-layout constants below.
+	Target *mx.Target
+
 	// SingleThreadState places the virtual CPU state in ordinary process
 	// memory instead of TLS — the McSema/BinRec/Rev.Ng state model the
 	// paper contrasts with (§2.2.1: "their implementation is not general as
 	// they do [not] handle the multithreaded case where each thread of
 	// execution needs to work with its own emulated stack"). All threads
-	// then share one virtual state and one emulated stack.
+	// then share one virtual state and one emulated stack, placed at the
+	// target's SingleStateBase (a Target layout constant, so baseline
+	// variants compose with any target).
 	SingleThreadState bool
 }
 
-// singleStateBase is where the shared virtual state lives under
-// SingleThreadState (below the recompiled code).
-const singleStateBase uint64 = 0x0098_0000
+// target resolves the configured target, defaulting to MX64.
+func (o Options) target() *mx.Target {
+	if o.Target != nil {
+		return o.Target
+	}
+	return mx.MX64
+}
 
 // Lower assembles the recompiled binary for a lifted (and typically
 // optimized) module. The IR module is consumed: phi destruction mutates it.
@@ -59,9 +74,13 @@ func Lower(lf *lifter.Lifted) (*Result, error) {
 
 // LowerWithOptions is Lower with baseline-variant knobs.
 func LowerWithOptions(lf *lifter.Lifted, opts Options) (*Result, error) {
+	tgt := opts.target()
 	mod := lf.Mod
 	out := lf.Img.Clone()
 	out.Name = lf.Img.Name + ".recompiled"
+	// Stamp the machine mode so the VM executes the output under the
+	// target's memory model (empty for the default MX64/TSO machine).
+	out.Machine = tgt.MachineMode
 
 	// State layout: init flag first, then every thread_local global. The
 	// offsets are TLS offsets normally, or offsets into a shared state
@@ -78,7 +97,7 @@ func LowerWithOptions(lf *lifter.Lifted, opts Options) (*Result, error) {
 	if opts.SingleThreadState {
 		out.TLSSize = 0
 		if err := out.AddSection(image.Section{
-			Name: ".lstate", Addr: singleStateBase, Size: uint64(next),
+			Name: ".lstate", Addr: tgt.SingleStateBase, Size: uint64(next),
 		}); err != nil {
 			return nil, err
 		}
@@ -95,12 +114,13 @@ func LowerWithOptions(lf *lifter.Lifted, opts Options) (*Result, error) {
 	}
 
 	env := &env{
+		tgt:       tgt,
 		tlsOff:    tlsOff,
 		importIdx: out.ImportIndex,
 		fnLabel:   func(f *ir.Func) string { return "F_" + f.Name },
 	}
 	if opts.SingleThreadState {
-		env.stateBase = singleStateBase
+		env.stateBase = tgt.SingleStateBase
 	}
 	e := newEmitter(image.RecompiledBase)
 
@@ -119,8 +139,8 @@ func LowerWithOptions(lf *lifter.Lifted, opts Options) (*Result, error) {
 	if rspG == nil || raxG == nil {
 		return nil, fmt.Errorf("lower: virtual rsp/rax globals missing")
 	}
-	argG := make([]*ir.Global, 6)
-	for i, r := range []mx.Reg{mx.RDI, mx.RSI, mx.RDX, mx.RCX, mx.R8, mx.R9} {
+	argG := make([]*ir.Global, len(tgt.ArgRegs))
+	for i, r := range tgt.ArgRegs {
 		argG[i] = mod.Global("vr_" + r.String())
 		if argG[i] == nil {
 			return nil, fmt.Errorf("lower: virtual %s global missing", r)
@@ -177,18 +197,16 @@ func LowerWithOptions(lf *lifter.Lifted, opts Options) (*Result, error) {
 		copy(text.Data[off:], tramp)
 	}
 
-	return &Result{Img: out, Labels: labels, CodeSize: len(code)}, nil
-}
-
-// savedRegs is the register file preserved by wrappers around re-entry into
-// guest code (everything except rax — the native return slot — and rsp).
-var savedRegs = []mx.Reg{
-	mx.RCX, mx.RDX, mx.RBX, mx.RBP, mx.RSI, mx.RDI,
-	mx.R8, mx.R9, mx.R10, mx.R11, mx.R12, mx.R13, mx.R14, mx.R15,
+	return &Result{Img: out, Labels: labels, CodeSize: len(code), Fences: env.fences}, nil
 }
 
 // emitWrapper synthesizes the native->emulated transition wrapper for f.
+// Wrappers are ABI edges: they preserve the target's full SavedRegs file
+// (everything except rax — the native return slot — and rsp) and marshal
+// the target's native argument registers, regardless of how small the
+// target's allocatable pool is.
 func emitWrapper(e *emitter, env *env, f *ir.Func, rspOff, raxOff int32, argG []*ir.Global, tlsOff map[*ir.Global]int32) {
+	savedRegs := env.tgt.SavedRegs
 	e.label("W_" + f.Name)
 	for _, r := range savedRegs {
 		e.emit(mx.Inst{Op: mx.PUSH, Dst: r})
@@ -206,7 +224,7 @@ func emitWrapper(e *emitter, env *env, f *ir.Func, rspOff, raxOff int32, argG []
 	e.label(done)
 	// Marshal native argument registers into the virtual state. (The
 	// pushes above did not clobber them.)
-	for i, r := range []mx.Reg{mx.RDI, mx.RSI, mx.RDX, mx.RCX, mx.R8, mx.R9} {
+	for i, r := range env.tgt.ArgRegs {
 		e.emit(mx.Inst{Op: mx.STORE64, Dst: r, Base: mx.R15, Disp: tlsOff[argG[i]]})
 	}
 	// Reserve the return-address slot the lifted RET will pop.

@@ -1,0 +1,210 @@
+package lower_test
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/disasm"
+	"repro/internal/image"
+	"repro/internal/lifter"
+	"repro/internal/lower"
+	"repro/internal/mx"
+	"repro/internal/opt"
+)
+
+// Golden isel tests for the target-parameterized backend: the same lifted
+// module lowered for mx64 (TSO, 9 pool registers) and mx64w (weakly
+// ordered, one pool register) must differ exactly where the Target says —
+// fence emission and spill traffic — and nowhere observable.
+
+// lowerFor runs the static pipeline (disassemble, lift with fence
+// insertion, optimize, lower) for one target and returns the full lowering
+// result, including the emitted-fence count.
+func lowerFor(t *testing.T, img *image.Image, tgt *mx.Target) *lower.Result {
+	t.Helper()
+	g, err := disasm.Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := lifter.Lift(img, g, lifter.Options{InsertFences: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Run(lf.Mod, opt.Options{Verify: true}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := lower.LowerWithOptions(lf, lower.Options{Target: tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// decodeLtext decodes the recompiled code section. Bytes that fail to
+// decode (embedded jump-table data) are skipped one at a time, exactly as
+// the interpreter's fetch would refuse them.
+func decodeLtext(t *testing.T, img *image.Image) []mx.Inst {
+	t.Helper()
+	sec := img.Section(".ltext")
+	if sec == nil {
+		t.Fatal("recompiled image has no .ltext section")
+	}
+	var insts []mx.Inst
+	for off := 0; off < len(sec.Data); {
+		inst, n := mx.Decode(sec.Data[off:])
+		if n == 0 {
+			break
+		}
+		if inst.Op != mx.BAD {
+			insts = append(insts, inst)
+		}
+		off += n
+	}
+	return insts
+}
+
+func countOp(insts []mx.Inst, op mx.Op) int {
+	n := 0
+	for _, i := range insts {
+		if i.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// countSpillOps counts the register allocator's spill-slot idiom: 8-byte
+// loads/stores at a negative rbp displacement (the same predicate
+// vm.Counters uses for its SpillOps counter).
+func countSpillOps(insts []mx.Inst) int {
+	n := 0
+	for _, i := range insts {
+		if (i.Op == mx.LOAD64 || i.Op == mx.STORE64) && i.Base == mx.RBP && i.Disp < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// fenceSrc is global-heavy: with InsertFences every non-stack load gets an
+// acquire fence and every non-stack store a release fence, so the lifted
+// module carries many ir.OpFence ops for the target to keep or drop.
+const fenceSrc = `
+var g = 0;
+var h = 1;
+func main() {
+	var i;
+	for (i = 0; i < 8; i = i + 1) { g = g + i; h = h + g; }
+	return (g + h) % 100;
+}`
+
+// atomicSrc exercises the atomic isel path: atomic ops are ordering points
+// on every target and must lower identically (LOCKXADD for the RMW,
+// CMPXCHG for the CAS) regardless of the memory model.
+const atomicSrc = `
+var c = 0;
+func main() {
+	var i;
+	for (i = 0; i < 5; i = i + 1) { atomic_add(&c, 2); }
+	atomic_cas(&c, 10, 42);
+	return c % 128;
+}`
+
+// pressureSrc keeps six values live across a loop body: comfortably within
+// mx64's nine pool registers, far beyond mx64w's single one.
+const pressureSrc = `
+func main() {
+	var a = 1; var b = 2; var c = 3; var d = 4; var e = 5;
+	var i;
+	for (i = 0; i < 10; i = i + 1) {
+		a = a + b; b = b + c; c = c + d; d = d + e; e = e + a;
+	}
+	return (a + b + c + d + e) % 200;
+}`
+
+// compileSrc builds the original binary once per test at -O2.
+func compileSrc(t *testing.T, src string) *image.Image {
+	t.Helper()
+	img, _, err := cc.Compile(src, cc.Config{Name: "t", Opt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestGoldenFenceLowering: fences are free on the TSO target and real
+// instructions on the weak target, with the lowering result's Fences stat
+// matching what is actually in the emitted bytes.
+func TestGoldenFenceLowering(t *testing.T) {
+	img := compileSrc(t, fenceSrc)
+
+	strong := lowerFor(t, img, mx.MX64)
+	if got := countOp(decodeLtext(t, strong.Img), mx.MFENCE); got != 0 {
+		t.Errorf("mx64 emitted %d MFENCEs; TSO lowering must drop fences", got)
+	}
+	if strong.Fences != 0 {
+		t.Errorf("mx64 Result.Fences = %d, want 0", strong.Fences)
+	}
+	if strong.Img.Machine != "" {
+		t.Errorf("mx64 image machine = %q, want default", strong.Img.Machine)
+	}
+
+	weak := lowerFor(t, img, mx.MX64W)
+	decoded := countOp(decodeLtext(t, weak.Img), mx.MFENCE)
+	if decoded == 0 {
+		t.Fatal("mx64w emitted no MFENCEs for a global-heavy function")
+	}
+	if weak.Fences != decoded {
+		t.Errorf("mx64w Result.Fences = %d but .ltext holds %d MFENCEs", weak.Fences, decoded)
+	}
+	if weak.Img.Machine != "mx64w" {
+		t.Errorf("mx64w image machine = %q, want mx64w", weak.Img.Machine)
+	}
+
+	diffRun(t, img, strong.Img, nil, 11)
+	diffRun(t, img, weak.Img, nil, 11)
+}
+
+// TestGoldenAtomicLowering: atomic instruction selection is identical
+// across targets — the memory model changes fence emission, never the
+// atomics, which are ordering points on both machines.
+func TestGoldenAtomicLowering(t *testing.T) {
+	img := compileSrc(t, atomicSrc)
+	strong := decodeLtext(t, lowerFor(t, img, mx.MX64).Img)
+	weak := decodeLtext(t, lowerFor(t, img, mx.MX64W).Img)
+	for _, op := range []mx.Op{mx.LOCKXADD, mx.CMPXCHG} {
+		s, w := countOp(strong, op), countOp(weak, op)
+		if s == 0 {
+			t.Errorf("mx64 emitted no %v for an atomic-using function", op)
+		}
+		if s != w {
+			t.Errorf("%v count differs across targets: mx64 %d, mx64w %d", op, s, w)
+		}
+	}
+}
+
+// TestRegallocPressureByTarget: the register-poor target spills where the
+// default target does not, and both recompiles still behave identically.
+// rbp-negative frame traffic includes the source's own stack locals on
+// both targets; the single-pool-register mx64w adds genuine spill
+// loads/reloads on top, so its count is strictly — and substantially —
+// higher for a function with six simultaneously live values.
+func TestRegallocPressureByTarget(t *testing.T) {
+	img := compileSrc(t, pressureSrc)
+
+	strong := lowerFor(t, img, mx.MX64)
+	weak := lowerFor(t, img, mx.MX64W)
+	sSpill := countSpillOps(decodeLtext(t, strong.Img))
+	wSpill := countSpillOps(decodeLtext(t, weak.Img))
+	if wSpill <= sSpill {
+		t.Fatalf("mx64w (one pool register) spill traffic %d not above mx64's %d",
+			wSpill, sSpill)
+	}
+	if weak.CodeSize <= strong.CodeSize {
+		t.Errorf("mx64w code (%d bytes) not larger than mx64 (%d bytes)",
+			weak.CodeSize, strong.CodeSize)
+	}
+
+	diffRun(t, img, strong.Img, nil, 7)
+	diffRun(t, img, weak.Img, nil, 7)
+}

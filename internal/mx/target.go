@@ -1,0 +1,135 @@
+package mx
+
+// Target is an ISA description the lowering backend is parameterized over
+// (the Macaw-style architecture-parameterized design). A Target specifies
+// everything internal/lower needs to know about the machine it is emitting
+// for — the allocatable register file, the memory-ordering model and its
+// fence lowering recipe, the call/ABI conventions wrappers marshal across,
+// and the state-layout constants baseline variants depend on. Both built-in
+// targets share the MX64 byte encoding and are executed by the same VM; a
+// weakly-ordered target is selected at run time via the image's machine
+// mode flag (image.Image.Machine).
+//
+// Memory-model contract: on a Target with WeakOrder false (TSO-like — the
+// interpreter serializes all memory accesses), ir.OpFence/OpBarrier are
+// zero-cost ordering constraints and lowering drops them. With WeakOrder
+// true, plain loads and stores may be reordered by the machine (the VM
+// models a per-thread store buffer), so lowering must emit FenceOp for
+// every fence the optimizer did not prove removable.
+type Target struct {
+	// Name is the user-facing target name (the -target flag value).
+	Name string
+	// ID is a stable one-byte target identifier folded into per-function
+	// cache fingerprints and image artifact keys, so a warm store never
+	// serves one target's bytes to another target's request. IDs are
+	// append-only: never renumber.
+	ID byte
+	// WeakOrder reports whether plain loads/stores may reorder unless
+	// fenced. When true, lowering emits FenceOp for ir.OpFence/OpBarrier.
+	WeakOrder bool
+	// MachineMode is the value stamped into image.Image.Machine so the VM
+	// executes the output under this target's memory model. Empty means
+	// the default machine (MX64, TSO) — old artifacts carry no field.
+	MachineMode string
+	// FenceOp is the full-fence instruction emitted for ir.OpFence and
+	// ir.OpBarrier when WeakOrder is set.
+	FenceOp Op
+	// PoolRegs is the ordered allocatable register pool for function
+	// bodies. Registers beyond the pool spill to stack slots, so a short
+	// pool makes register pressure (and the resulting spill traffic) a
+	// real, measurable cost on register-poor targets.
+	PoolRegs []Reg
+	// ArgRegs is the native argument-register sequence of the external
+	// call ABI, in order. Pool registers that overlap ArgRegs must be
+	// preserved around external calls (see IsMarshal).
+	ArgRegs []Reg
+	// SavedRegs is the register file wrappers preserve around re-entry
+	// into guest code (everything except the native return slot and rsp).
+	SavedRegs []Reg
+	// SingleStateBase is where the shared virtual state lives under
+	// lower.Options.SingleThreadState (below the recompiled code). It is
+	// a target-layout constant: the address must fall outside every
+	// section the target's images map.
+	SingleStateBase uint64
+}
+
+// IsMarshal reports whether r is a native argument register of the external
+// call ABI — a pool register for which lowering must save/restore its value
+// around CALLX, and which wrappers marshal into the virtual state.
+func (t *Target) IsMarshal(r Reg) bool {
+	for _, a := range t.ArgRegs {
+		if a == r {
+			return true
+		}
+	}
+	return false
+}
+
+// MX64 is the default target: the full 16-GPR register file (9 allocatable
+// pool registers) under TSO-like ordering, so fences lower to nothing.
+var MX64 = &Target{
+	Name:      "mx64",
+	ID:        0,
+	WeakOrder: false,
+	FenceOp:   MFENCE,
+	PoolRegs:  []Reg{RBX, R12, R13, R14, RDI, RDX, RCX, R8, R9},
+	ArgRegs:   []Reg{RDI, RSI, RDX, RCX, R8, R9},
+	SavedRegs: []Reg{
+		RCX, RDX, RBX, RBP, RSI, RDI,
+		R8, R9, R10, R11, R12, R13, R14, R15,
+	},
+	SingleStateBase: 0x0098_0000,
+}
+
+// MX64W is the weakly-ordered, register-poor MX profile: same byte encoding
+// and VM, but plain loads/stores may reorder unless fenced (the VM models a
+// per-thread store buffer when Image.Machine == "mx64w") and only one pool
+// register is allocatable, so function bodies touch at most 8 GPRs
+// (rax, rbx, rsp, rbp, rsi, r10, r11, r15). ABI edges — wrappers and
+// external-call marshaling — are exempt from the 8-GPR budget: they speak
+// the full-file native calling convention by definition.
+var MX64W = &Target{
+	Name:        "mx64w",
+	ID:          1,
+	WeakOrder:   true,
+	MachineMode: "mx64w",
+	FenceOp:     MFENCE,
+	PoolRegs:    []Reg{RBX},
+	ArgRegs:     []Reg{RDI, RSI, RDX, RCX, R8, R9},
+	SavedRegs: []Reg{
+		RCX, RDX, RBX, RBP, RSI, RDI,
+		R8, R9, R10, R11, R12, R13, R14, R15,
+	},
+	SingleStateBase: 0x0098_0000,
+}
+
+// Targets lists every built-in target.
+var Targets = []*Target{MX64, MX64W}
+
+// TargetByName resolves a -target flag value ("" and "mx64" mean the
+// default target) or returns nil for an unknown name.
+func TargetByName(name string) *Target {
+	if name == "" {
+		return MX64
+	}
+	for _, t := range Targets {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// TargetByMachine resolves an image machine-mode flag to its target ("" is
+// the default MX64/TSO machine) or returns nil for an unknown mode.
+func TargetByMachine(mode string) *Target {
+	if mode == "" {
+		return MX64
+	}
+	for _, t := range Targets {
+		if t.MachineMode == mode {
+			return t
+		}
+	}
+	return nil
+}

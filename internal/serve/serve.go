@@ -6,7 +6,8 @@
 //
 // Job endpoints (the request body is always a marshaled PXE image):
 //
-//	POST /v1/recompile[?trace=1&prune=1&seed=N]   -> recompiled image bytes
+//	POST /v1/recompile[?trace=1&prune=1&seed=N&target=mx64|mx64w]
+//	                                              -> recompiled image bytes
 //	POST /v1/trace[?seed=N]                       -> ICFT session summary (JSON)
 //	POST /v1/additive[?seed=N&maxloops=N]         -> additive session result (JSON)
 //
@@ -73,6 +74,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/image"
+	"repro/internal/mx"
 	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/vm"
@@ -382,11 +384,12 @@ const statusClientClosedRequest = 499
 
 // jobRequest is a parsed job: the input image plus common parameters.
 type jobRequest struct {
-	img   *image.Image
-	seed  int64
-	input []byte // optional concrete input (X-Polynima-Input, base64)
-	query func(string) string
-	ctx   context.Context // the request's context; cancels the job's pipeline
+	img    *image.Image
+	seed   int64
+	target string // lowering target ISA (?target=, "" = server default)
+	input  []byte // optional concrete input (X-Polynima-Input, base64)
+	query  func(string) string
+	ctx    context.Context // the request's context; cancels the job's pipeline
 }
 
 // job wraps one request: body parsing, per-job span (tagged with the
@@ -470,13 +473,20 @@ func (s *Server) parseJob(w http.ResponseWriter, r *http.Request) (*jobRequest, 
 	if err != nil {
 		return nil, badRequest("not a PXE image: %v", err)
 	}
-	req := &jobRequest{img: img, seed: s.opts.Seed, query: r.URL.Query().Get, ctx: r.Context()}
+	req := &jobRequest{img: img, seed: s.opts.Seed, target: s.opts.Target,
+		query: r.URL.Query().Get, ctx: r.Context()}
 	if v := req.query("seed"); v != "" {
 		seed, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
 			return nil, badRequest("seed %q: %v", v, err)
 		}
 		req.seed = seed
+	}
+	if v := req.query("target"); v != "" {
+		if mx.TargetByName(v) == nil {
+			return nil, badRequest("target %q: unknown (want mx64 or mx64w)", v)
+		}
+		req.target = v
 	}
 	if v := r.Header.Get("X-Polynima-Input"); v != "" {
 		in, err := base64.StdEncoding.DecodeString(v)
@@ -494,6 +504,7 @@ func (s *Server) parseJob(w http.ResponseWriter, r *http.Request) (*jobRequest, 
 func (s *Server) project(req *jobRequest) (*core.Project, error) {
 	o := s.opts
 	o.Seed = req.seed
+	o.Target = req.target
 	o.Ctx = req.ctx
 	p, err := core.NewProject(req.img, o)
 	if err != nil {

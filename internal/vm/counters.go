@@ -122,6 +122,15 @@ type Counters struct {
 	// IndirectBranches counts dynamically resolved control transfers
 	// (JMPR/JMPM/CALLR — the ICFT site executions).
 	IndirectBranches uint64
+	// Fences counts fence instructions retired. Nonzero only for code
+	// that actually carries fences — recompiled output for a
+	// weakly-ordered target, or hand-written guest code.
+	Fences uint64
+	// SpillOps counts 8-byte frame-slot accesses (rbp-relative loads and
+	// stores with a negative displacement — the lowered code's spill-slot
+	// idiom), the dynamic cost of register pressure on register-poor
+	// targets.
+	SpillOps uint64
 	// OpClassCounts is the per-opcode-class retired histogram.
 	OpClassCounts [NumOpClasses]uint64
 	// Threads holds per-thread retired instructions and cycles, indexed by
@@ -141,8 +150,20 @@ func (c *Counters) thread(tid int) *ThreadCounters {
 	return &c.Threads[tid]
 }
 
-// count accounts one retired instruction (the stepThread hook).
-func (c *Counters) count(tid int, op mx.Op) {
+// opSpillable marks the opcodes whose rbp-relative negative-displacement
+// form is the lowered code's spill-slot access idiom.
+var opSpillable = func() [mx.NumOps]bool {
+	var t [mx.NumOps]bool
+	t[mx.LOAD64] = true
+	t[mx.STORE64] = true
+	return t
+}()
+
+// count accounts one retired instruction (the stepThread hook). Both
+// dispatch engines call it with the decoded instruction, so engine choice
+// never changes a counter value (TestDispatchIdentity).
+func (c *Counters) count(tid int, inst *mx.Inst) {
+	op := inst.Op
 	c.Insts++
 	c.thread(tid).Insts++
 	c.OpClassCounts[opClasses[op]]++
@@ -154,6 +175,12 @@ func (c *Counters) count(tid int, op mx.Op) {
 	}
 	if opIndirect[op] {
 		c.IndirectBranches++
+	}
+	if op == mx.MFENCE {
+		c.Fences++
+	}
+	if opSpillable[op] && inst.Base == mx.RBP && inst.Disp < 0 {
+		c.SpillOps++
 	}
 }
 
@@ -177,6 +204,8 @@ func (c *Counters) Merge(o *Counters) {
 	c.LockRMW += o.LockRMW
 	c.Cmpxchg += o.Cmpxchg
 	c.IndirectBranches += o.IndirectBranches
+	c.Fences += o.Fences
+	c.SpillOps += o.SpillOps
 	for i := range c.OpClassCounts {
 		c.OpClassCounts[i] += o.OpClassCounts[i]
 	}

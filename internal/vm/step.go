@@ -112,6 +112,18 @@ func (t *Thread) eaIdx(inst *mx.Inst) uint64 {
 // loop (hoisted from per-step closures so that stepping allocates nothing).
 
 func (m *Machine) loadMem(t *Thread, pc, addr uint64, w int, sext bool) (uint64, bool) {
+	if m.weak && len(t.sbuf) > 0 {
+		// Store-to-load forwarding from this thread's buffer (weak.go):
+		// an exact match forwards, a partial overlap drains first.
+		if v, hit, overlap := t.sbLoad(addr, w); hit {
+			if sext && w == 4 {
+				v = sx32(v)
+			}
+			return v, true
+		} else if overlap {
+			m.drainSB(t)
+		}
+	}
 	v, ok := m.Mem.Load(addr, w)
 	if !ok {
 		m.faultf(t, pc, "load from unmapped address %#x", addr)
@@ -124,6 +136,9 @@ func (m *Machine) loadMem(t *Thread, pc, addr uint64, w int, sext bool) (uint64,
 }
 
 func (m *Machine) storeMem(t *Thread, pc, addr, v uint64, w int) bool {
+	if m.weak {
+		return m.storeBuffered(t, pc, addr, v, w)
+	}
 	if !m.Mem.Store(addr, v, w) {
 		m.faultf(t, pc, "store to unmapped address %#x", addr)
 		return false
@@ -146,7 +161,12 @@ func (m *Machine) stepThread(t *Thread) {
 	m.insts++
 	m.charge(t, costs[inst.Op])
 	if m.ctr != nil {
-		m.ctr.count(t.ID, inst.Op)
+		m.ctr.count(t.ID, inst)
+	}
+	if m.weak && len(t.sbuf) > 0 && opDrainsSB[inst.Op] {
+		// Fences, atomics, external calls, jump-table loads, and
+		// machine-stopping ops are drain points (weak.go).
+		m.drainSB(t)
 	}
 	next := pc + uint64(n)
 	t.PC = next // default; control flow overrides
@@ -452,7 +472,8 @@ func (m *Machine) stepThread(t *Thread) {
 			t.ZF = false
 		}
 	case mx.MFENCE:
-		// Interpreter execution is sequentially consistent already.
+		// TSO machine: interpreter execution is sequentially consistent
+		// already. Weak machine: the store buffer drained above.
 
 	case mx.TLSBASE:
 		t.Regs[inst.Dst] = t.TLS

@@ -952,13 +952,13 @@ func (m *Machine) stepBatchCounted(t *Thread, budget int) int {
 		next := pc + uint64(d.n)
 		m.insts++
 		m.charge(t, costs[inst.Op])
-		ctr.count(t.ID, inst.Op)
+		ctr.count(t.ID, inst)
 		if k == 2 {
-			op2 := cp.insts[next&(pageSize-1)].Op
+			inst2 := &cp.insts[next&(pageSize-1)]
 			m.insts++
-			m.charge(t, costs[op2])
+			m.charge(t, costs[inst2.Op])
 			ctr.ICacheHits++ // the pair's second fetch, same page by construction
-			ctr.count(t.ID, op2)
+			ctr.count(t.ID, inst2)
 		}
 		t.PC = next
 		fall := h(m, t, cp, inst, pc, next)

@@ -62,6 +62,10 @@ type Thread struct {
 	ExitValue uint64 // RAX when the entry function returned
 	StackLo   uint64 // lowest mapped stack address (for diagnostics)
 
+	// sbuf is this thread's store buffer in weak-ordering machine mode
+	// (weak.go); always empty on the default TSO machine.
+	sbuf []sbEntry
+
 	// wakeup is called when whatever the thread blocked on resolves.
 	wakeup func()
 	// hostFrames holds suspended host-library state machines (qsort etc.)
@@ -148,6 +152,13 @@ type Machine struct {
 	// dispatch engine (dispatch.go / step_threaded.go)
 	dispatch DispatchMode
 
+	// weak-ordering machine mode (weak.go), selected by the image's
+	// Machine field: plain stores buffer per thread until a drain point.
+	// sbOwner is the only thread with a nonempty store buffer (the buffer
+	// drains before any other thread runs), or nil.
+	weak    bool
+	sbOwner *Thread
+
 	// predecoded instruction cache (icache.go). icBase/icPage are the
 	// last-fetched page, the common case of straight-line execution.
 	nocache      bool
@@ -216,6 +227,10 @@ func New(img *image.Image, seed int64) (*Machine, error) {
 // NewWithExts is New with additional host functions made available to the
 // import binder under the given names (overriding builtins on collision).
 func NewWithExts(img *image.Image, seed int64, exts map[string]ExtFunc) (*Machine, error) {
+	tgt := mx.TargetByMachine(img.Machine)
+	if tgt == nil {
+		return nil, fmt.Errorf("vm: image %q requires unknown machine mode %q", img.Name, img.Machine)
+	}
 	m := &Machine{
 		Mem:      NewMemory(),
 		Img:      img,
@@ -241,6 +256,7 @@ func NewWithExts(img *image.Image, seed int64, exts map[string]ExtFunc) (*Machin
 	// executable ranges so such stores invalidate the predecode cache.
 	m.nocache = NoCacheDefault
 	m.dispatch = DispatchDefault
+	m.weak = tgt.WeakOrder
 	m.icache = map[uint64]*codePage{}
 	m.icBase = noPage
 	if CounterSinkDefault != nil {
@@ -386,8 +402,9 @@ func (m *Machine) pickThread() *Thread {
 // instructions) is exhausted.
 func (m *Machine) Run(fuel uint64) Result {
 	// Threaded dispatch needs predecoded pages; -nocache decodes per step
-	// and so always runs the switch engine.
-	threaded := m.dispatch == DispatchThreaded && !m.nocache
+	// and so always runs the switch engine, as does weak-ordering mode
+	// (the store buffer lives behind the switch engine's memory seam).
+	threaded := m.dispatch == DispatchThreaded && !m.nocache && !m.weak
 	m.runFuel = fuel
 	m.cancelCheck = 0
 	for !m.exited && m.fault == nil && m.insts < fuel {
@@ -399,6 +416,12 @@ func (m *Machine) Run(fuel uint64) Result {
 			}
 		}
 		t := m.pickThread()
+		if m.weak && m.sbOwner != nil && m.sbOwner != t {
+			// Thread switch: the outgoing thread's buffered stores become
+			// globally visible before any other thread executes. This keeps
+			// every weak-mode execution observationally SC (weak.go).
+			m.drainSB(m.sbOwner)
+		}
 		if t == nil {
 			if m.liveCnt == 0 {
 				// All threads returned; treat main's return as exit code.
@@ -434,6 +457,11 @@ func (m *Machine) Run(fuel uint64) Result {
 				m.sliceLeft -= ran - 1
 			}
 		}
+	}
+	if m.weak && m.sbOwner != nil {
+		// Make the final thread's stores visible before the host inspects
+		// memory (and before a later Run resumes a different thread).
+		m.drainSB(m.sbOwner)
 	}
 	if !m.exited && m.fault == nil && m.insts >= fuel {
 		m.fault = &Fault{Reason: fmt.Sprintf("fuel exhausted after %d instructions", m.insts)}

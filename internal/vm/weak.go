@@ -1,0 +1,130 @@
+package vm
+
+import (
+	"repro/internal/mx"
+)
+
+// Weak-ordering machine mode (the MX64W target's execution model).
+//
+// An image whose Machine field names a weakly-ordered target runs with a
+// per-thread FIFO store buffer: plain stores are buffered and become
+// globally visible only when the buffer drains. Drains happen at every
+// fence, atomic, external call, jump-table load, syscall/halt, when the
+// buffer reaches capacity, and — crucially — whenever the scheduler runs a
+// different thread. The running thread forwards its own buffered stores to
+// its own loads (exact-match store-to-load forwarding; partially
+// overlapping loads drain first), so single-threaded semantics are
+// unchanged, while unfenced cross-thread visibility is exactly what the
+// drain points allow.
+//
+// Because the buffer always drains before any other thread executes an
+// instruction and before any host-visible access, every weak-mode execution
+// is observationally equivalent to a sequentially consistent interleaving —
+// the same guarantee the TSO machine gives — so a correctly fenced program
+// produces byte-identical output on both machines. What changes is the
+// contract: on this machine the *target's code generator* is responsible
+// for ordering (emitting real fence instructions), not the machine, which
+// is what makes emitted-fence counts and the fence-optimization pass
+// measurable (§3.4). Native PUSH/POP and instruction fetch write through
+// directly (stronger ordering than required, still correct).
+//
+// Weak mode always runs the switch dispatch engine: like -nocache, the
+// threaded engine's fused handlers bypass the loadMem/storeMem seam the
+// store buffer lives behind.
+
+// sbCap is the store-buffer capacity in entries; reaching it drains the
+// whole buffer (modeling limited store-queue depth).
+const sbCap = 8
+
+// sbEntry is one buffered store.
+type sbEntry struct {
+	addr uint64
+	val  uint64
+	w    uint8
+}
+
+// opDrainsSB marks opcodes that drain the executing thread's store buffer
+// before the instruction's own memory semantics run: fences (their whole
+// point), atomics (globally-visible ordering points on every machine),
+// external calls (the host reads guest memory directly), memory-indirect
+// jumps (the jump-table load bypasses loadMem), and machine-stopping ops.
+var opDrainsSB = func() [mx.NumOps]bool {
+	var t [mx.NumOps]bool
+	for op := mx.Op(0); op < mx.NumOps; op++ {
+		if (mx.Inst{Op: op}).IsAtomic() {
+			t[op] = true
+		}
+	}
+	t[mx.MFENCE] = true
+	t[mx.CALLX] = true
+	t[mx.JMPM] = true
+	t[mx.SYSCALL] = true
+	t[mx.HLT] = true
+	return t
+}()
+
+// drainSB flushes t's buffered stores to memory in FIFO order. Entries were
+// validated as mapped when buffered, so the stores cannot fault.
+func (m *Machine) drainSB(t *Thread) {
+	for i := range t.sbuf {
+		e := &t.sbuf[i]
+		m.Mem.Store(e.addr, e.val, int(e.w))
+	}
+	t.sbuf = t.sbuf[:0]
+	if m.sbOwner == t {
+		m.sbOwner = nil
+	}
+}
+
+// sbLoad attempts store-to-load forwarding from t's buffer. hit means val
+// holds the newest buffered store to exactly (addr, w); overlap means some
+// buffered store intersects the loaded range without matching exactly, so
+// the caller must drain before loading from memory.
+func (t *Thread) sbLoad(addr uint64, w int) (val uint64, hit, overlap bool) {
+	end := addr + uint64(w)
+	for i := len(t.sbuf) - 1; i >= 0; i-- {
+		e := &t.sbuf[i]
+		if e.addr == addr && int(e.w) == w {
+			return e.val, true, false
+		}
+		if e.addr < end && addr < e.addr+uint64(e.w) {
+			return 0, false, true
+		}
+	}
+	return 0, false, false
+}
+
+// storeBuffered is storeMem's weak-mode path: validate the target (fault
+// attribution is identical to the direct path), then buffer the store.
+// Stores into watched executable ranges write through after a drain, so
+// self-modifying code invalidates the predecode cache at store time, in
+// program order.
+func (m *Machine) storeBuffered(t *Thread, pc, addr, v uint64, w int) bool {
+	mem := m.Mem
+	if mem.onWrite != nil && addr < mem.watchHi && addr+uint64(w) > mem.watchLo {
+		m.drainSB(t)
+		if !mem.Store(addr, v, w) {
+			m.faultf(t, pc, "store to unmapped address %#x", addr)
+			return false
+		}
+		return true
+	}
+	if !mem.Mapped(addr, uint64(w)) {
+		m.faultf(t, pc, "store to unmapped address %#x", addr)
+		return false
+	}
+	// Mask to the stored width now, so forwarded loads see exactly what a
+	// memory round-trip would have produced.
+	switch w {
+	case 1:
+		v &= 0xff
+	case 4:
+		v &= 0xffff_ffff
+	}
+	t.sbuf = append(t.sbuf, sbEntry{addr: addr, val: v, w: uint8(w)})
+	m.sbOwner = t
+	if len(t.sbuf) >= sbCap {
+		m.drainSB(t)
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+package vm_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/mx"
+	"repro/internal/vm"
+)
+
+// Weak-ordering machine mode (weak.go): store-buffer forwarding semantics,
+// the observational-equivalence guarantee against the default machine, and
+// the fence/spill machine counters the cross-ISA bench reads.
+
+// weakClone returns img tagged for the weakly-ordered machine mode.
+func weakClone(img *image.Image) *image.Image {
+	out := img.Clone()
+	out.Machine = "mx64w"
+	return out
+}
+
+// TestWeakModeForwardingSemantics exercises every store-buffer path in one
+// program: exact-match store-to-load forwarding, a partial-overlap load
+// (drains, then reads merged memory), a capacity drain (more buffered
+// stores than sbCap), and a fence drain. The program computes a checksum
+// and must produce it identically on both machines.
+func TestWeakModeForwardingSemantics(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.BSS("buf", 128)
+		b.Entry("main")
+		b.Label("main")
+		b.MovSym(mx.RBX, "buf")
+
+		// Exact-match forwarding: an 8-byte store, loaded right back.
+		b.MovRI(mx.RDX, 0x1234)
+		b.I(mx.Inst{Op: mx.STORE64, Dst: mx.RDX, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RDI, Base: mx.RBX})
+
+		// Partial overlap: a byte store into the middle of the quad, then an
+		// 8-byte load over it — the weak machine must drain and read the
+		// merged bytes (0x1234 with byte 1 replaced by 0x56 = 0x5634).
+		b.MovRI(mx.RCX, 0x56)
+		b.I(mx.Inst{Op: mx.STORE8, Dst: mx.RCX, Base: mx.RBX, Disp: 1})
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RAX, Base: mx.RBX})
+		b.I(mx.Inst{Op: mx.ADDRR, Dst: mx.RDI, Src: mx.RAX})
+
+		// Capacity drain: 12 distinct slots (> sbCap 8) written, fence, then
+		// summed back from memory.
+		b.MovRI(mx.RCX, 0)
+		b.Label("fill")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.RCX, Imm: 12})
+		b.Jcc(mx.CondGE, "fence")
+		b.MovRR(mx.RDX, mx.RCX)
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RDX, Imm: 1})
+		b.I(mx.Inst{Op: mx.STOREIDX64, Dst: mx.RDX, Base: mx.RBX, Idx: mx.RCX, Scale: 8, Disp: 16})
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RCX, Imm: 1})
+		b.Jmp("fill")
+		b.Label("fence")
+		b.I(mx.Inst{Op: mx.MFENCE})
+		b.MovRI(mx.RCX, 0)
+		b.Label("sum")
+		b.I(mx.Inst{Op: mx.CMPRI, Dst: mx.RCX, Imm: 12})
+		b.Jcc(mx.CondGE, "done")
+		b.I(mx.Inst{Op: mx.LOADIDX64, Dst: mx.RAX, Base: mx.RBX, Idx: mx.RCX, Scale: 8, Disp: 16})
+		b.I(mx.Inst{Op: mx.ADDRR, Dst: mx.RDI, Src: mx.RAX})
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RCX, Imm: 1})
+		b.Jmp("sum")
+		b.Label("done")
+		// Fold to a single byte so the checksum fits an exit code.
+		b.I(mx.Inst{Op: mx.ANDRI, Dst: mx.RDI, Imm: 0x7f})
+		b.CallExt("exit")
+	})
+
+	// Expected checksum: 0x1234 + 0x5634 + (1+2+...+12), masked.
+	want := (0x1234 + 0x5634 + 78) & 0x7f
+
+	strong := run(t, img)
+	mustExit(t, strong, want)
+
+	m, err := vm.New(weakClone(img), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak := m.Run(50_000_000)
+	mustExit(t, weak, want)
+	if strong.Output != weak.Output {
+		t.Fatalf("output diverged: %q vs %q", strong.Output, weak.Output)
+	}
+}
+
+// TestWeakModeMatchesDefaultOnThreadedWorkload runs the 4-thread lock-add
+// workload on both machines at several seeds: the weak machine drains the
+// store buffer before any other thread executes, so every execution stays
+// observationally sequentially consistent and the results agree exactly.
+func TestWeakModeMatchesDefaultOnThreadedWorkload(t *testing.T) {
+	img := threadedCounterImage(t)
+	weak := weakClone(img)
+	for _, seed := range []int64{1, 2, 3} {
+		ms, err := vm.New(img, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := ms.Run(50_000_000)
+		mw, err := vm.New(weak, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw := mw.Run(50_000_000)
+		if rs.Fault != nil || rw.Fault != nil {
+			t.Fatalf("seed %d: faults %v / %v", seed, rs.Fault, rw.Fault)
+		}
+		if rs.ExitCode != rw.ExitCode || rs.Output != rw.Output {
+			t.Fatalf("seed %d: default %d/%q, weak %d/%q",
+				seed, rs.ExitCode, rs.Output, rw.ExitCode, rw.Output)
+		}
+	}
+}
+
+// TestUnknownMachineModeErrors: an image demanding a machine mode this VM
+// does not implement must be rejected at construction, not misrun.
+func TestUnknownMachineModeErrors(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.Entry("main")
+		b.Label("main")
+		b.MovRI(mx.RDI, 0)
+		b.CallExt("exit")
+	})
+	bad := img.Clone()
+	bad.Machine = "mx96"
+	if _, err := vm.New(bad, 1); err == nil {
+		t.Fatal("vm.New accepted an unknown machine mode")
+	}
+}
+
+// TestCountersFenceAndSpillAccounting retires a known mix of fences and
+// frame-slot accesses: 2 fences; 3 spill-idiom ops (8-byte rbp-relative
+// negative displacement), with a global-based store and a positive-
+// displacement load as non-counting controls.
+func TestCountersFenceAndSpillAccounting(t *testing.T) {
+	img := build(t, func(b *asm.Builder) {
+		b.BSS("g", 16)
+		b.Entry("main")
+		b.Label("main")
+		b.MovRR(mx.RBP, mx.RSP)
+		b.I(mx.Inst{Op: mx.SUBRI, Dst: mx.RSP, Imm: 32})
+		b.MovRI(mx.RDX, 41)
+		b.I(mx.Inst{Op: mx.STORE64, Dst: mx.RDX, Base: mx.RBP, Disp: -8})  // spill
+		b.I(mx.Inst{Op: mx.MFENCE})
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RAX, Base: mx.RBP, Disp: -8})   // spill
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RCX, Base: mx.RBP, Disp: -16})  // spill
+		b.I(mx.Inst{Op: mx.MFENCE})
+		b.MovSym(mx.RBX, "g")
+		b.I(mx.Inst{Op: mx.STORE64, Dst: mx.RDX, Base: mx.RBX})            // control: global base
+		b.I(mx.Inst{Op: mx.LOAD64, Dst: mx.RCX, Base: mx.RBX, Disp: 8})    // control: positive disp
+		b.MovRR(mx.RDI, mx.RAX)
+		b.I(mx.Inst{Op: mx.ADDRI, Dst: mx.RDI, Imm: 1})
+		b.CallExt("exit")
+	})
+	res, c := runCounted(t, img, 1)
+	mustExit(t, res, 42)
+	if c.Fences != 2 {
+		t.Errorf("Fences = %d, want 2", c.Fences)
+	}
+	if c.SpillOps != 3 {
+		t.Errorf("SpillOps = %d, want 3", c.SpillOps)
+	}
+	if c.OpClassCounts[vm.OpClassFence] != 2 {
+		t.Errorf("fence class = %d, want 2", c.OpClassCounts[vm.OpClassFence])
+	}
+}
